@@ -1,0 +1,69 @@
+//! Criterion benchmark of one full training epoch per pooling model —
+//! the measured quantity behind the paper's running-time Table 4.
+//!
+//! The dataset is a small NCI1-like sample so the benchmark stays fast;
+//! run `cargo run --release -p mg-bench --bin table4` for the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_data::{make_graph_dataset, GraphDatasetKind, GraphGenConfig};
+use mg_eval::graph_tasks::build_contexts;
+use mg_eval::{GraphModelKind, TrainConfig};
+use mg_tensor::{AdamConfig, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_epoch(c: &mut Criterion) {
+    let ds = make_graph_dataset(
+        GraphDatasetKind::Nci1,
+        &GraphGenConfig { scale: 0.01, max_nodes: 40, seed: 1 },
+    );
+    let contexts = build_contexts(&ds);
+    let mut group = c.benchmark_group("train_epoch_nci1_sample");
+    group.sample_size(10);
+    for kind in [
+        GraphModelKind::DiffPool,
+        GraphModelKind::SagPool,
+        GraphModelKind::TopKPool,
+        GraphModelKind::StructPool,
+        GraphModelKind::AdamGnn,
+    ] {
+        let cfg = TrainConfig { levels: 3, hidden: 32, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = kind.build(&mut store, ds.feat_dim, 32, 2, &cfg, &mut rng);
+        group.bench_function(kind.name(), |bencher| {
+            bencher.iter(|| {
+                // one mini-batch step over the whole sample = one epoch here
+                let tape = Tape::new();
+                let bind = store.bind(&tape);
+                let mut losses = Vec::new();
+                for (ctx, label) in &contexts {
+                    let out = model.forward(&tape, &bind, ctx, true, &mut rng);
+                    let ce = tape.cross_entropy(
+                        out.logits,
+                        Rc::new(vec![*label]),
+                        Rc::new(vec![0]),
+                    );
+                    losses.push(match out.aux_loss {
+                        Some(aux) => tape.add(ce, aux),
+                        None => ce,
+                    });
+                }
+                let mut sum = losses[0];
+                for &l in &losses[1..] {
+                    sum = tape.add(sum, l);
+                }
+                let loss = tape.scale(sum, 1.0 / losses.len() as f64);
+                let mut grads = tape.backward(loss);
+                store.step(&mut grads, &bind, &AdamConfig::with_lr(0.01));
+                black_box(());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the autograd substrate: the operations
+//! that dominate AdamGNN training time (spmm, matmul, segment softmax,
+//! fitness scoring, full forward/backward).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_graph::{gcn_norm, Topology};
+use mg_tensor::{Matrix, Tape};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m + n);
+    for v in 1..n as u32 {
+        edges.push((rng.random_range(0..v), v));
+    }
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Topology::from_edges(n, &edges)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Matrix::uniform(512, 256, -1.0, 1.0, &mut rng);
+    let b = Matrix::uniform(256, 64, -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_512x256x64", |bencher| {
+        bencher.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let g = random_graph(2000, 8000, 1);
+    let norm = gcn_norm(&g);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    c.bench_function("spmm_2k_nodes_8k_edges_d64", |bencher| {
+        bencher.iter(|| black_box(norm.csr.spmm(&norm.values, &x)))
+    });
+}
+
+fn bench_gcn_forward_backward(c: &mut Criterion) {
+    use mg_nn::{Activation, GcnLayer, GraphCtx};
+    use mg_tensor::ParamStore;
+    let g = random_graph(2000, 8000, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    let ctx = GraphCtx::new(g, x);
+    let mut store = ParamStore::new();
+    let layer = GcnLayer::new(&mut store, "b", 64, 64, Activation::Relu, &mut rng);
+    c.bench_function("gcn_layer_fwd_bwd_2k_nodes", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let xv = ctx.x_var(&tape);
+            let h = layer.forward(&tape, &bind, &ctx, xv);
+            let loss = tape.mean_all(h);
+            black_box(tape.backward(loss));
+        })
+    });
+}
+
+fn bench_fitness(c: &mut Criterion) {
+    use adamgnn_core::{pair_fitness, AttentionParams, EgoPairs};
+    use mg_tensor::ParamStore;
+    let g = random_graph(2000, 8000, 5);
+    let pairs = EgoPairs::build(&g, 1);
+    let mut rng = StdRng::seed_from_u64(6);
+    let h0 = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    let mut store = ParamStore::new();
+    let params = AttentionParams::new(&mut store, "fit", 64, &mut rng);
+    c.bench_function("adamgnn_pair_fitness_16k_pairs", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let h = tape.constant(h0.clone());
+            black_box(pair_fitness(&tape, &bind, &params, &pairs, h, 2000));
+        })
+    });
+}
+
+fn bench_segment_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let scores = Matrix::uniform(16000, 1, -2.0, 2.0, &mut rng);
+    let seg: Rc<Vec<usize>> =
+        Rc::new((0..16000).map(|_| rng.random_range(0..2000)).collect());
+    c.bench_function("segment_softmax_16k_entries", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let s = tape.constant(scores.clone());
+            black_box(tape.segment_softmax(s, seg.clone(), 2000));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_spmm, bench_gcn_forward_backward, bench_fitness,
+              bench_segment_softmax
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Design-choice ablations beyond the paper's tables (DESIGN.md calls
+//! these out): the fitness linearity term `f^c` of Eq. 2 and the
+//! ego-network radius λ.
+//!
+//! These probe *why* AdamGNN's pooling works: `f^c` injects feature
+//! similarity into the hyper-node formation weights, and λ controls how
+//! much of the neighbourhood one hyper-node swallows.
+
+use adamgnn_core::{kl_loss, reconstruction_loss, total_loss, AdamGnnConfig, AdamGnnNode};
+use mg_bench::{mean, BenchConfig};
+use mg_data::{make_node_dataset, NodeDatasetKind, Split};
+use mg_eval::{accuracy, pct, TextTable};
+use mg_nn::GraphCtx;
+use mg_tensor::{AdamConfig, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+fn run_variant(
+    cfg: &BenchConfig,
+    ds: &mg_data::NodeDataset,
+    lambda: usize,
+    linearity: bool,
+    seed: u64,
+) -> f64 {
+    let train_cfg = cfg.train(seed, 3);
+    let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+    let split = Split::random_80_10_10(ds.n(), seed ^ 0x5eed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mut mcfg = AdamGnnConfig::new(ds.feat_dim(), train_cfg.hidden, 3);
+    mcfg.lambda = lambda;
+    mcfg.linearity = linearity;
+    let model = AdamGnnNode::new(&mut store, mcfg, ds.num_classes, &mut rng);
+    let adam = AdamConfig::with_lr(train_cfg.lr);
+    let targets = Rc::new(ds.labels.clone());
+    let train_nodes = Rc::new(split.train.clone());
+    let mut best_val = -1.0;
+    let mut best_test = 0.0;
+    for _ in 0..train_cfg.epochs {
+        {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let (logits, out) = model.forward_full(&tape, &bind, &ctx, true, &mut rng);
+            let task = tape.cross_entropy(logits, targets.clone(), train_nodes.clone());
+            let kl = kl_loss(&tape, out.h, &out.egos_l1);
+            let recon = reconstruction_loss(&tape, out.h, &ctx.graph, &mut rng);
+            let loss = total_loss(&tape, task, kl, recon, &train_cfg.weights);
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &adam);
+        }
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let (logits, _) = model.forward_full(&tape, &bind, &ctx, false, &mut rng);
+        let lv = tape.value_cloned(logits);
+        let val = accuracy(&lv, &ds.labels, &split.val);
+        if val > best_val {
+            best_val = val;
+            best_test = accuracy(&lv, &ds.labels, &split.test);
+        }
+    }
+    best_test
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.banner("Design ablations: fitness linearity term and ego radius λ (node classification)");
+    let datasets =
+        [NodeDatasetKind::Cora, NodeDatasetKind::Acm].map(|k| make_node_dataset(k, &cfg.node_gen()));
+
+    let variants: [(&str, usize, bool); 3] = [
+        ("full fitness, λ=1 (paper)", 1, true),
+        ("no linearity term f^c", 1, false),
+        ("full fitness, λ=2", 2, true),
+    ];
+    let mut table = TextTable::new(&["Variant", "Cora NC", "ACM NC"]);
+    for (name, lambda, linearity) in variants {
+        let mut row = vec![name.to_string()];
+        for ds in &datasets {
+            let accs: Vec<f64> = (0..cfg.seeds)
+                .map(|s| run_variant(&cfg, ds, lambda, linearity, s))
+                .collect();
+            row.push(pct(mean(&accs)));
+            eprint!(".");
+        }
+        eprintln!(" {name}");
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

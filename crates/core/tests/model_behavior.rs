@@ -1,0 +1,163 @@
+//! Behavioural tests of the AdamGNN model: unpooling semantics, λ-radius
+//! ego-networks, multi-level coarsening, and attention introspection.
+
+use adamgnn_core::{AdamGnn, AdamGnnConfig};
+use mg_graph::Topology;
+use mg_nn::GraphCtx;
+use mg_tensor::{Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A barbell: two 5-cliques joined by a path — strong two-community
+/// structure with an obvious meso level.
+fn barbell() -> GraphCtx {
+    let mut edges = Vec::new();
+    for base in [0u32, 6] {
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.push((4, 5));
+    edges.push((5, 6));
+    let n = 11;
+    GraphCtx::new(Topology::from_edges(n, &edges), Matrix::eye(n))
+}
+
+fn model(levels: usize, lambda: usize) -> (ParamStore, AdamGnn) {
+    let mut store = ParamStore::new();
+    let mut cfg = AdamGnnConfig::new(11, 8, levels);
+    cfg.lambda = lambda;
+    cfg.dropout = 0.0;
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    (store, m)
+}
+
+#[test]
+fn lambda2_ego_networks_pool_more_aggressively() {
+    let ctx = barbell();
+    let sizes = |lambda: usize| {
+        let (store, m) = model(1, lambda);
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        out.levels.first().map(|l| l.size)
+    };
+    let s1 = sizes(1).expect("lambda=1 must pool");
+    let s2 = sizes(2).expect("lambda=2 must pool");
+    assert!(s2 <= s1, "wider ego radius must not coarsen less: {s2} vs {s1}");
+}
+
+#[test]
+fn multi_level_hierarchy_terminates_gracefully() {
+    // asking for far more levels than the graph supports must not panic
+    let ctx = barbell();
+    let (store, m) = model(6, 1);
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    assert!(out.levels.len() <= 6);
+    assert_eq!(out.unpooled.len(), out.levels.len());
+    // whatever was pooled still unpools to the original node count
+    for &up in &out.unpooled {
+        assert_eq!(tape.shape(up).0, 11);
+    }
+}
+
+#[test]
+fn edgeless_graph_skips_pooling() {
+    let ctx = GraphCtx::new(Topology::from_edges(5, &[]), Matrix::eye(5));
+    let mut store = ParamStore::new();
+    let mut cfg = AdamGnnConfig::new(5, 8, 3);
+    cfg.dropout = 0.0;
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    assert!(out.levels.is_empty());
+    assert!(out.beta.is_none());
+    assert_eq!(out.h, out.h0);
+}
+
+#[test]
+fn s_matrix_values_match_fitness_entries() {
+    // every stored S value is either a φ score in (0, 1) or exactly 1.0
+    let ctx = barbell();
+    let (store, m) = model(1, 1);
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let level = &out.levels[0];
+    let vals = tape.value(level.s_vals);
+    for &v in vals.data() {
+        assert!(
+            (0.0 < v && v < 1.0) || v == 1.0,
+            "S value {v} outside fitness range"
+        );
+    }
+    // ego diagonals: one exact 1.0 per ego column at minimum
+    let ones = vals.data().iter().filter(|&&v| v == 1.0).count();
+    assert!(ones >= level.egos.len());
+}
+
+#[test]
+fn unpooled_messages_are_local_to_ego_networks() {
+    // level-1 messages reach exactly the nodes covered by some selected
+    // ego-network plus retained nodes (which receive their own message)
+    let ctx = barbell();
+    let (store, m) = model(1, 1);
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let up = tape.value_cloned(out.unpooled[0]);
+    // every node participates in S (no information loss), so every row of
+    // the unpooled message should generally be non-zero
+    let nonzero_rows =
+        (0..up.rows()).filter(|&i| up.row(i).iter().any(|&x| x != 0.0)).count();
+    assert_eq!(nonzero_rows, 11, "all nodes must receive a message");
+}
+
+#[test]
+fn beta_reflects_number_of_levels() {
+    let ctx = barbell();
+    let (store, m) = model(3, 1);
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    if let Some(beta) = out.beta {
+        assert_eq!(tape.shape(beta), (11, out.unpooled.len()));
+    }
+}
+
+#[test]
+fn hidden_width_is_respected_everywhere() {
+    let ctx = barbell();
+    let (store, m) = model(2, 1);
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    assert_eq!(tape.shape(out.h), (11, 8));
+    for &up in &out.unpooled {
+        assert_eq!(tape.shape(up).1, 8);
+    }
+}
+
+#[test]
+fn disconnected_graph_pools_each_component() {
+    // two disjoint triangles: selection happens independently per component
+    let g = Topology::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+    let ctx = GraphCtx::new(g, Matrix::eye(6));
+    let mut store = ParamStore::new();
+    let mut cfg = AdamGnnConfig::new(6, 8, 1);
+    cfg.dropout = 0.0;
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    if let Some(level) = out.levels.first() {
+        // with distinct fitness, each triangle contributes >= 1 ego
+        assert!(!level.egos.is_empty());
+        assert!(level.size < 6, "pooling must coarsen");
+    }
+}

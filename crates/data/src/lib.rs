@@ -1,0 +1,14 @@
+//! # mg-data
+//!
+//! Synthetic dataset generators for the AdamGNN reproduction, matched to
+//! the statistics the paper publishes for its twelve benchmarks, plus
+//! train/val/test split utilities. See DESIGN.md for the substitution
+//! rationale (the original datasets are not available offline).
+
+pub mod graphs;
+pub mod node;
+pub mod splits;
+
+pub use graphs::{make_graph_dataset, GraphDataset, GraphDatasetKind, GraphGenConfig, GraphSample};
+pub use node::{make_node_dataset, NodeDataset, NodeDatasetKind, NodeGenConfig};
+pub use splits::{sample_non_edges, LinkSplit, Split};

@@ -1,0 +1,187 @@
+//! Train/validation/test splits.
+//!
+//! The paper's protocol: 80/10/10 random splits for labelled nodes and
+//! graphs; for link prediction, 10% of edges held out for validation and
+//! 10% for test, each paired with an equal number of sampled non-edges,
+//! with the training graph containing only the remaining 80% of edges.
+
+use mg_graph::Topology;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index split for node or graph classification.
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Random 80/10/10 split of `0..n`.
+    pub fn random_80_10_10(n: usize, seed: u64) -> Split {
+        assert!(n >= 10, "split needs at least 10 items, got {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_val = n / 10;
+        let n_test = n / 10;
+        let n_train = n - n_val - n_test;
+        Split {
+            train: idx[..n_train].to_vec(),
+            val: idx[n_train..n_train + n_val].to_vec(),
+            test: idx[n_train + n_val..].to_vec(),
+        }
+    }
+
+    /// Sanity: the three parts partition `0..n`.
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &i in self.train.iter().chain(&self.val).chain(&self.test) {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+/// Link-prediction split: message-passing graph plus positive/negative
+/// evaluation pairs.
+#[derive(Clone, Debug)]
+pub struct LinkSplit {
+    /// Graph containing only training edges (input to the encoder).
+    pub train_graph: Topology,
+    /// Training positive edges (also used for the reconstruction loss).
+    pub train_pos: Vec<(usize, usize)>,
+    /// Training negatives (resampled per call if desired).
+    pub train_neg: Vec<(usize, usize)>,
+    pub val_pos: Vec<(usize, usize)>,
+    pub val_neg: Vec<(usize, usize)>,
+    pub test_pos: Vec<(usize, usize)>,
+    pub test_neg: Vec<(usize, usize)>,
+}
+
+impl LinkSplit {
+    /// Build an 80/10/10 edge split with equal-size sampled non-edges.
+    pub fn new(g: &Topology, seed: u64) -> LinkSplit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+        assert!(edges.len() >= 10, "link split needs at least 10 edges");
+        for i in (1..edges.len()).rev() {
+            let j = rng.random_range(0..=i);
+            edges.swap(i, j);
+        }
+        let m = edges.len();
+        let n_val = m / 10;
+        let n_test = m / 10;
+        let n_train = m - n_val - n_test;
+        let train_e = &edges[..n_train];
+        let val_e = &edges[n_train..n_train + n_val];
+        let test_e = &edges[n_train + n_val..];
+        let train_graph = Topology::from_edges(g.n(), train_e);
+        let as_pairs =
+            |es: &[(u32, u32)]| es.iter().map(|&(u, v)| (u as usize, v as usize)).collect();
+        let train_pos: Vec<(usize, usize)> = as_pairs(train_e);
+        let val_pos: Vec<(usize, usize)> = as_pairs(val_e);
+        let test_pos: Vec<(usize, usize)> = as_pairs(test_e);
+        let train_neg = sample_non_edges(g, train_pos.len(), &mut rng);
+        let val_neg = sample_non_edges(g, val_pos.len(), &mut rng);
+        let test_neg = sample_non_edges(g, test_pos.len(), &mut rng);
+        LinkSplit { train_graph, train_pos, train_neg, val_pos, val_neg, test_pos, test_neg }
+    }
+}
+
+/// Uniformly sample `count` node pairs that are non-edges of `g` (and not
+/// self-pairs). Pairs may repeat across calls but not within one call.
+pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let n = g.n();
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    let mut guard = 0usize;
+    while out.len() < count && guard < 1000 * count.max(1) {
+        guard += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_partition() {
+        let s = Split::random_80_10_10(103, 5);
+        assert!(s.is_partition_of(103));
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        assert_eq!(s.train.len(), 83);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = Split::random_80_10_10(50, 9);
+        let b = Split::random_80_10_10(50, 9);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    fn ring(n: usize) -> Topology {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn link_split_partitions_edges() {
+        let g = ring(40);
+        let ls = LinkSplit::new(&g, 11);
+        let total = ls.train_pos.len() + ls.val_pos.len() + ls.test_pos.len();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(ls.train_graph.num_edges(), ls.train_pos.len());
+        assert_eq!(ls.val_pos.len(), ls.val_neg.len());
+        assert_eq!(ls.test_pos.len(), ls.test_neg.len());
+    }
+
+    #[test]
+    fn link_split_negatives_are_non_edges() {
+        let g = ring(40);
+        let ls = LinkSplit::new(&g, 11);
+        for &(u, v) in ls.val_neg.iter().chain(&ls.test_neg).chain(&ls.train_neg) {
+            assert!(!g.has_edge(u, v), "({u},{v}) is an edge");
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn held_out_edges_absent_from_train_graph() {
+        let g = ring(40);
+        let ls = LinkSplit::new(&g, 11);
+        for &(u, v) in ls.val_pos.iter().chain(&ls.test_pos) {
+            assert!(!ls.train_graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn non_edge_sampler_respects_count() {
+        let g = ring(30);
+        let mut rng = StdRng::seed_from_u64(0);
+        let neg = sample_non_edges(&g, 25, &mut rng);
+        assert_eq!(neg.len(), 25);
+        let set: std::collections::HashSet<_> = neg.iter().collect();
+        assert_eq!(set.len(), 25, "no duplicates within a call");
+    }
+}

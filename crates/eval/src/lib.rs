@@ -1,0 +1,20 @@
+//! # mg-eval
+//!
+//! Training loops, metrics and experiment harness for the AdamGNN
+//! reproduction: node classification, link prediction and graph
+//! classification trainers with best-validation checkpoint selection,
+//! plus text-table rendering for the paper's result tables.
+
+pub mod clustering;
+pub mod graph_tasks;
+pub mod metrics;
+pub mod models;
+pub mod node_tasks;
+pub mod tables;
+
+pub use clustering::{kmeans, nmi, run_node_clustering};
+pub use graph_tasks::{build_contexts, run_graph_classification, GcRunResult};
+pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
+pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
+pub use node_tasks::{run_link_prediction, run_node_classification, RunResult, TrainConfig};
+pub use tables::{auc, pct, TextTable};

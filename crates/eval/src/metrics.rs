@@ -1,0 +1,109 @@
+//! Evaluation metrics: classification accuracy and ROC-AUC.
+
+use mg_tensor::Matrix;
+
+/// Accuracy of row-argmax predictions against labels, over a node subset.
+pub fn accuracy(logits: &Matrix, labels: &[usize], nodes: &[usize]) -> f64 {
+    assert!(!nodes.is_empty(), "accuracy over empty set");
+    let correct = nodes
+        .iter()
+        .filter(|&&i| logits.row_argmax(i) == labels[i])
+        .count();
+    correct as f64 / nodes.len() as f64
+}
+
+/// ROC-AUC via the rank statistic (equivalent to the Mann-Whitney U),
+/// with proper tie handling through midranks.
+pub fn roc_auc(pos_scores: &[f64], neg_scores: &[f64]) -> f64 {
+    assert!(
+        !pos_scores.is_empty() && !neg_scores.is_empty(),
+        "roc_auc needs both classes"
+    );
+    let mut all: Vec<(f64, bool)> = pos_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg_scores.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // midranks
+    let n = all.len();
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in all.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = pos_scores.len() as f64;
+    let n_neg = neg_scores.len() as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Inner-product link scores for node pairs.
+pub fn pair_scores(h: &Matrix, pairs: &[(usize, usize)]) -> Vec<f64> {
+    pairs.iter().map(|&(u, v)| h.row_dot(u, h, v)).collect()
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var =
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let labels = vec![0, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[0, 1, 2]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        assert_eq!(roc_auc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(roc_auc(&[0.1, 0.2], &[0.9, 0.8]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // fully tied scores -> AUC 0.5
+        assert!((roc_auc(&[0.5, 0.5], &[0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_interleaved() {
+        // pos {3, 1}, neg {2, 0}: pairs won = (3>2, 3>0, 1>0) = 3 of 4
+        assert!((roc_auc(&[3.0, 1.0], &[2.0, 0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_scores_inner_products() {
+        let h = Matrix::from_vec(2, 2, vec![1.0, 0.0, 2.0, 3.0]);
+        assert_eq!(pair_scores(&h, &[(0, 1)]), vec![2.0]);
+    }
+}

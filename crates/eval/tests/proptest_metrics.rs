@@ -1,0 +1,72 @@
+//! Property-based tests for the evaluation metrics.
+
+use mg_eval::{accuracy, mean_std, nmi, roc_auc};
+use mg_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    /// AUC is invariant under any strictly monotone transform of scores.
+    #[test]
+    fn auc_monotone_invariant(
+        pos in proptest::collection::vec(-5.0..5.0f64, 1..20),
+        neg in proptest::collection::vec(-5.0..5.0f64, 1..20),
+    ) {
+        let base = roc_auc(&pos, &neg);
+        let squash = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| (x / 3.0).tanh() * 7.0 + 1.0).collect() };
+        let transformed = roc_auc(&squash(&pos), &squash(&neg));
+        prop_assert!((base - transformed).abs() < 1e-9);
+    }
+
+    /// Swapping positives and negatives mirrors the AUC around 0.5.
+    #[test]
+    fn auc_symmetry(
+        pos in proptest::collection::vec(-5.0..5.0f64, 1..20),
+        neg in proptest::collection::vec(-5.0..5.0f64, 1..20),
+    ) {
+        let a = roc_auc(&pos, &neg);
+        let b = roc_auc(&neg, &pos);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// Accuracy is bounded and consistent with per-node counting.
+    #[test]
+    fn accuracy_bounds(labels in proptest::collection::vec(0usize..3, 5..30), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let n = labels.len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let logits = Matrix::uniform(n, 3, -1.0, 1.0, &mut rng);
+        let nodes: Vec<usize> = (0..n).collect();
+        let acc = accuracy(&logits, &labels, &nodes);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // exact count cross-check
+        let manual = nodes.iter().filter(|&&i| logits.row_argmax(i) == labels[i]).count();
+        prop_assert!((acc - manual as f64 / n as f64).abs() < 1e-12);
+    }
+
+    /// NMI is symmetric and bounded.
+    #[test]
+    fn nmi_symmetric_and_bounded(
+        a in proptest::collection::vec(0usize..4, 6..40),
+        seed in 0u64..100,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b: Vec<usize> = a.iter().map(|_| rng.random_range(0..4)).collect();
+        let ab = nmi(&a, &b);
+        let ba = nmi(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-9 || a.iter().all(|&x| x == a[0]));
+    }
+
+    /// mean_std: the mean is within the sample range, std >= 0.
+    #[test]
+    fn mean_std_sanity(xs in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+        let (m, s) = mean_std(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! # mg-graph
+//!
+//! Graph topology substrate for the AdamGNN reproduction: undirected CSR
+//! graphs, k-hop ego networks, GCN/random-walk normalisation and the
+//! weighted normalisation needed for coarsened hyper-graphs.
+
+pub mod norm;
+pub mod topology;
+
+pub use norm::{gcn_norm, gcn_norm_weighted, neighbor_mean, rw_norm, unit_adj, NormAdj};
+pub use topology::Topology;

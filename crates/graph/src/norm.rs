@@ -1,0 +1,226 @@
+//! Adjacency normalisation for graph convolutions.
+//!
+//! Implements the symmetric GCN normalisation `D̂^{-1/2} Â D̂^{-1/2}` with
+//! `Â = A + I` (Kipf & Welling 2017, the paper's Eq. 1), both for the
+//! original topology and for weighted coarsened hyper-graphs.
+
+use crate::topology::Topology;
+use mg_tensor::Csr;
+
+/// A normalised adjacency: structure plus values, ready for `spmm`.
+#[derive(Clone, Debug)]
+pub struct NormAdj {
+    /// Sparsity pattern including self-loops.
+    pub csr: std::rc::Rc<Csr>,
+    /// Symmetric-normalised values aligned with `csr`.
+    pub values: Vec<f64>,
+}
+
+/// Symmetric GCN normalisation of an unweighted topology.
+pub fn gcn_norm(g: &Topology) -> NormAdj {
+    let n = g.n();
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges() * 2 + n);
+    for r in 0..n {
+        for c in g.neighbors(r) {
+            entries.push((r as u32, c as u32));
+        }
+        entries.push((r as u32, r as u32));
+    }
+    let csr = Csr::from_coo(n, n, &entries);
+    let deg: Vec<f64> = (0..n).map(|i| (g.degree(i) + 1) as f64).collect();
+    let mut values = vec![0.0; csr.nnz()];
+    for (r, c, k) in csr.iter() {
+        values[k] = 1.0 / (deg[r] * deg[c]).sqrt();
+    }
+    NormAdj { csr: std::rc::Rc::new(csr), values }
+}
+
+/// Row-normalised (random-walk) adjacency `D̂^{-1} Â` — used by the
+/// mean-aggregating GraphSAGE layer.
+pub fn rw_norm(g: &Topology) -> NormAdj {
+    let n = g.n();
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges() * 2 + n);
+    for r in 0..n {
+        for c in g.neighbors(r) {
+            entries.push((r as u32, c as u32));
+        }
+        entries.push((r as u32, r as u32));
+    }
+    let csr = Csr::from_coo(n, n, &entries);
+    let mut values = vec![0.0; csr.nnz()];
+    for (r, _c, k) in csr.iter() {
+        values[k] = 1.0 / (g.degree(r) + 1) as f64;
+    }
+    NormAdj { csr: std::rc::Rc::new(csr), values }
+}
+
+/// Mean-over-neighbours (no self-loop) adjacency — `D^{-1} A`. Rows with
+/// no neighbours are all-zero.
+pub fn neighbor_mean(g: &Topology) -> NormAdj {
+    let n = g.n();
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges() * 2);
+    for r in 0..n {
+        for c in g.neighbors(r) {
+            entries.push((r as u32, c as u32));
+        }
+    }
+    let csr = Csr::from_coo(n, n, &entries);
+    let mut values = vec![0.0; csr.nnz()];
+    for (r, _c, k) in csr.iter() {
+        values[k] = 1.0 / g.degree(r) as f64;
+    }
+    NormAdj { csr: std::rc::Rc::new(csr), values }
+}
+
+/// Plain (unnormalised) adjacency with unit values and no self-loops —
+/// GIN's sum aggregation.
+pub fn unit_adj(g: &Topology) -> NormAdj {
+    let n = g.n();
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges() * 2);
+    for r in 0..n {
+        for c in g.neighbors(r) {
+            entries.push((r as u32, c as u32));
+        }
+    }
+    let csr = Csr::from_coo(n, n, &entries);
+    let values = vec![1.0; csr.nnz()];
+    NormAdj { csr: std::rc::Rc::new(csr), values }
+}
+
+/// Symmetric GCN normalisation of a *weighted* adjacency given as
+/// structure + values (used for coarsened hyper-graphs `A_k`).
+///
+/// Self-loops of weight 1 are added where missing; weighted degrees are
+/// clamped away from zero for numerical safety.
+pub fn gcn_norm_weighted(csr: &Csr, values: &[f64]) -> NormAdj {
+    assert_eq!(csr.rows(), csr.cols(), "gcn_norm_weighted: square matrix required");
+    let n = csr.rows();
+    // union of the pattern with the diagonal
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(csr.nnz() + n);
+    let mut vals: Vec<(u32, u32, f64)> = Vec::with_capacity(csr.nnz() + n);
+    let mut has_diag = vec![false; n];
+    for (r, c, k) in csr.iter() {
+        if r == c {
+            has_diag[r] = true;
+            vals.push((r as u32, c as u32, values[k] + 1.0));
+        } else {
+            vals.push((r as u32, c as u32, values[k]));
+        }
+        entries.push((r as u32, c as u32));
+    }
+    for (r, has) in has_diag.iter().enumerate() {
+        if !has {
+            entries.push((r as u32, r as u32));
+            vals.push((r as u32, r as u32, 1.0));
+        }
+    }
+    let out = Csr::from_coo(n, n, &entries);
+    // weighted degree of Â
+    let mut deg = vec![0.0f64; n];
+    for &(r, _c, v) in &vals {
+        deg[r as usize] += v.abs();
+    }
+    for d in &mut deg {
+        *d = d.max(1e-12);
+    }
+    let mut out_values = vec![0.0; out.nnz()];
+    for &(r, c, v) in &vals {
+        // locate entry position in the sorted row
+        let row = out.row_indices(r as usize);
+        let off = row.binary_search(&c).expect("entry must exist");
+        let k = out.row_range(r as usize).start + off;
+        out_values[k] = v / (deg[r as usize] * deg[c as usize]).sqrt();
+    }
+    NormAdj { csr: std::rc::Rc::new(out), values: out_values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn gcn_norm_rows_include_self() {
+        let norm = gcn_norm(&triangle());
+        assert_eq!(norm.csr.nnz(), 9); // complete + diag
+        // all degrees are 3 (2 neighbours + self), so every value is 1/3
+        for &v in &norm.values {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gcn_norm_spectral_bound() {
+        // symmetric normalised adjacency has spectral radius <= 1:
+        // repeated application to a vector must not blow up
+        let g = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let norm = gcn_norm(&g);
+        let mut x = mg_tensor::Matrix::full(5, 1, 1.0);
+        let initial = x.frobenius_norm();
+        for _ in 0..50 {
+            x = norm.csr.spmm(&norm.values, &x);
+            // the symmetric normalised adjacency has eigenvalues in [-1, 1],
+            // so it is non-expansive in the 2-norm
+            assert!(x.frobenius_norm() <= initial + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rw_norm_rows_sum_to_one() {
+        let norm = rw_norm(&triangle());
+        let ones = mg_tensor::Matrix::full(3, 1, 1.0);
+        let out = norm.csr.spmm(&norm.values, &ones);
+        for i in 0..3 {
+            assert!((out[(i, 0)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn neighbor_mean_excludes_self() {
+        let g = Topology::from_edges(3, &[(0, 1)]);
+        let norm = neighbor_mean(&g);
+        let x = mg_tensor::Matrix::from_vec(3, 1, vec![1.0, 5.0, 9.0]);
+        let out = norm.csr.spmm(&norm.values, &x);
+        assert_eq!(out[(0, 0)], 5.0); // mean of neighbour {1}
+        assert_eq!(out[(1, 0)], 1.0);
+        assert_eq!(out[(2, 0)], 0.0); // isolated
+    }
+
+    #[test]
+    fn unit_adj_sums_neighbors() {
+        let g = triangle();
+        let norm = unit_adj(&g);
+        let x = mg_tensor::Matrix::from_vec(3, 1, vec![1.0, 2.0, 4.0]);
+        let out = norm.csr.spmm(&norm.values, &x);
+        assert_eq!(out[(0, 0)], 6.0);
+        assert_eq!(out[(1, 0)], 5.0);
+        assert_eq!(out[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn weighted_norm_matches_unweighted_on_unit_graph() {
+        let g = triangle();
+        let plain = gcn_norm(&g);
+        let unit = unit_adj(&g);
+        let weighted = gcn_norm_weighted(&unit.csr, &unit.values);
+        assert_eq!(weighted.csr.nnz(), plain.csr.nnz());
+        for (a, b) in weighted.values.iter().zip(&plain.values) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_norm_handles_existing_diagonal() {
+        let csr = mg_tensor::Csr::from_coo(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let norm = gcn_norm_weighted(&csr, &[2.0, 1.0, 1.0]);
+        // diag of node 0 becomes 2+1=3; degree0 = 3+1 = 4, degree1 = 1+1 = 2
+        assert_eq!(norm.csr.nnz(), 4);
+        let dense = norm.csr.to_dense(&norm.values);
+        assert!((dense[(0, 0)] - 3.0 / 4.0).abs() < 1e-12);
+        assert!((dense[(0, 1)] - 1.0 / (4.0f64 * 2.0).sqrt()).abs() < 1e-12);
+        assert!((dense[(1, 1)] - 1.0 / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Undirected graph topology backed by a CSR adjacency pattern.
+
+use mg_tensor::Csr;
+
+/// An undirected, simple graph (no self-loops, no multi-edges).
+///
+/// The adjacency is stored as a symmetric CSR *pattern*; edge weights, when
+/// needed (GCN normalisation, coarsened hyper-graphs), live in separate
+/// value vectors so they can be tape variables.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    adj: Csr,
+    /// Unique undirected edges with `u < v`.
+    edges: Vec<(u32, u32)>,
+}
+
+impl Topology {
+    /// Build from an edge list. Self-loops are dropped, duplicates and
+    /// reversed duplicates are merged.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, raw: &[(u32, u32)]) -> Self {
+        let mut edges: Vec<(u32, u32)> = raw
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        for &(u, v) in &edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut sym: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in &edges {
+            sym.push((u, v));
+            sym.push((v, u));
+        }
+        let adj = Csr::from_coo(n, n, &sym);
+        Topology { n, adj, edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Unique undirected edges (`u < v`).
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Symmetric adjacency pattern (no self-loops).
+    #[inline]
+    pub fn adj(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// Degree of node `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj.row_indices(i).len()
+    }
+
+    /// Neighbours of node `i`, sorted.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj.row_indices(i).iter().map(|&c| c as usize)
+    }
+
+    /// True if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.row_indices(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.n as f64
+    }
+
+    /// All nodes within `k` hops of `start` (including `start` itself),
+    /// sorted ascending.
+    pub fn khop(&self, start: usize, k: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        let mut out = vec![start];
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == k {
+                continue;
+            }
+            for v in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    out.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Connected-component id per node (0-based, in discovery order).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.connected_components().iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Directed edge arrays `(src, dst)` covering both directions of every
+    /// edge plus one self-loop per node — the canonical message-passing
+    /// index used by attention layers (GAT, AdamGNN fitness scoring).
+    pub fn directed_edges_with_self_loops(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut src = Vec::with_capacity(self.edges.len() * 2 + self.n);
+        let mut dst = Vec::with_capacity(self.edges.len() * 2 + self.n);
+        for r in 0..self.n {
+            for c in self.neighbors(r) {
+                src.push(c);
+                dst.push(r);
+            }
+            src.push(r);
+            dst.push(r);
+        }
+        (src, dst)
+    }
+
+    /// Induced subgraph over `nodes` (which must be unique); returns the
+    /// subgraph and the mapping from new index to old index.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Topology, Vec<usize>) {
+        let mut new_of = vec![usize::MAX; self.n];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(new_of[old] == usize::MAX, "induced_subgraph: duplicate node {old}");
+            new_of[old] = new;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            let (nu, nv) = (new_of[u as usize], new_of[v as usize]);
+            if nu != usize::MAX && nv != usize::MAX {
+                edges.push((nu as u32, nv as u32));
+            }
+        }
+        (Topology::from_edges(nodes.len(), &edges), nodes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Topology {
+        Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn dedup_and_symmetry() {
+        let g = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(2), 0); // self loop dropped
+    }
+
+    #[test]
+    fn khop_path() {
+        let g = path4();
+        assert_eq!(g.khop(0, 1), vec![0, 1]);
+        assert_eq!(g.khop(0, 2), vec![0, 1, 2]);
+        assert_eq!(g.khop(1, 1), vec![0, 1, 2]);
+        assert_eq!(g.khop(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Topology::from_edges(5, &[(0, 1), (2, 3)]);
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(g.num_components(), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn directed_edges_include_self_loops() {
+        let g = path4();
+        let (src, dst) = g.directed_edges_with_self_loops();
+        assert_eq!(src.len(), 2 * 3 + 4);
+        // every node has a self loop
+        for i in 0..4 {
+            assert!(src.iter().zip(&dst).any(|(&s, &d)| s == i && d == i));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = path4();
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert!(sub.has_edge(0, 1)); // old (1,2)
+    }
+
+    #[test]
+    fn mean_degree_path() {
+        let g = path4();
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Layer extensions beyond the paper's baseline configurations:
+//! multi-head GAT and smooth-max-pooling GraphSAGE — the variants the
+//! original papers describe but the AdamGNN evaluation runs with default
+//! settings (1 head, mean pooling).
+
+use crate::ctx::GraphCtx;
+use crate::layers::{Activation, GatLayer};
+use mg_tensor::{Binding, Matrix, ParamId, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Multi-head GAT: `H' = ‖_heads GAT_head(H)` (concatenation, as in
+/// Velickovic et al. 2018 for hidden layers).
+pub struct MultiHeadGat {
+    heads: Vec<GatLayer>,
+}
+
+impl MultiHeadGat {
+    /// `num_heads` independent heads of width `out_dim` each; output width
+    /// is `num_heads * out_dim`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        num_heads: usize,
+        act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(num_heads >= 1, "need at least one head");
+        let heads = (0..num_heads)
+            .map(|h| GatLayer::new(store, &format!("{name}.h{h}"), in_dim, out_dim, act, rng))
+            .collect();
+        MultiHeadGat { heads }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Forward on a graph context; output is `n x (heads * out_dim)`.
+    pub fn forward(&self, tape: &Tape, bind: &Binding, ctx: &GraphCtx, h: Var) -> Var {
+        let outs: Vec<Var> =
+            self.heads.iter().map(|head| head.forward(tape, bind, ctx, h)).collect();
+        if outs.len() == 1 {
+            outs[0]
+        } else {
+            tape.concat_cols(&outs)
+        }
+    }
+}
+
+/// GraphSAGE with (smooth) max-pooling aggregation (Hamilton et al. 2017):
+/// `H' = act([H ‖ smoothmax_neigh(relu(H W_pool))] W + b)`, where the
+/// per-neighbourhood max is realised as the differentiable LogSumExp
+/// `ln(Σ_j exp(m_j))` over incoming messages — a standard smooth
+/// relaxation that equals the max in the low-temperature limit.
+pub struct SageMaxPool {
+    w_pool: ParamId,
+    w: ParamId,
+    b: ParamId,
+    act: Activation,
+}
+
+impl SageMaxPool {
+    /// Create with Glorot-initialised weights.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        SageMaxPool {
+            w_pool: store.add(format!("{name}.w_pool"), Matrix::glorot(in_dim, in_dim, rng)),
+            w: store.add(format!("{name}.w"), Matrix::glorot(2 * in_dim, out_dim, rng)),
+            b: store.add(format!("{name}.b"), Matrix::zeros(1, out_dim)),
+            act,
+        }
+    }
+
+    /// Forward on a graph context. The edge index includes self loops, so
+    /// every node aggregates at least its own message (no empty LSE).
+    pub fn forward(&self, tape: &Tape, bind: &Binding, ctx: &GraphCtx, h: Var) -> Var {
+        // tanh keeps messages in [-1, 1] so exp never overflows
+        let transformed = tape.tanh(tape.matmul(h, bind.var(self.w_pool)));
+        let msg = tape.gather_rows(transformed, ctx.edge_src.clone());
+        let lse = tape.ln(tape.segment_sum(
+            tape.exp(msg),
+            ctx.edge_dst.clone(),
+            ctx.n(),
+        ));
+        let cat = tape.concat_cols(&[h, lse]);
+        let z = tape.add_bias(tape.matmul(cat, bind.var(self.w)), bind.var(self.b));
+        match self.act {
+            Activation::None => z,
+            Activation::Relu => tape.relu(z),
+            Activation::Tanh => tape.tanh(z),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::Topology;
+    use mg_tensor::AdamConfig;
+    use rand::SeedableRng;
+
+    fn ctx() -> GraphCtx {
+        let g = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        GraphCtx::new(g, Matrix::eye(5))
+    }
+
+    #[test]
+    fn multi_head_gat_width() {
+        let mut store = ParamStore::new();
+        let gat = MultiHeadGat::new(
+            &mut store,
+            "mh",
+            5,
+            4,
+            3,
+            Activation::Relu,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(gat.num_heads(), 3);
+        let ctx = ctx();
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let x = ctx.x_var(&tape);
+        let out = gat.forward(&tape, &bind, &ctx, x);
+        assert_eq!(tape.shape(out), (5, 12));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn single_head_matches_plain_gat_shape() {
+        let mut store = ParamStore::new();
+        let gat = MultiHeadGat::new(
+            &mut store,
+            "mh1",
+            5,
+            4,
+            1,
+            Activation::None,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let ctx = ctx();
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let x = ctx.x_var(&tape);
+        let out = gat.forward(&tape, &bind, &ctx, x);
+        assert_eq!(tape.shape(out), (5, 4));
+    }
+
+    #[test]
+    fn sage_maxpool_runs_and_is_finite() {
+        let mut store = ParamStore::new();
+        let layer = SageMaxPool::new(
+            &mut store,
+            "smp",
+            5,
+            4,
+            Activation::Relu,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let ctx = ctx();
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let x = ctx.x_var(&tape);
+        let out = layer.forward(&tape, &bind, &ctx, x);
+        assert_eq!(tape.shape(out), (5, 4));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn sage_maxpool_learns() {
+        // two-community fixture: the layer must be trainable end to end
+        let (ctx, labels) = crate::testkit::two_community_ctx();
+        let mut store = ParamStore::new();
+        let l1 = SageMaxPool::new(
+            &mut store,
+            "smp1",
+            8,
+            8,
+            Activation::Relu,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let l2 = SageMaxPool::new(
+            &mut store,
+            "smp2",
+            8,
+            2,
+            Activation::None,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let targets = std::rc::Rc::new(labels);
+        let nodes = std::rc::Rc::new((0..8).collect::<Vec<_>>());
+        let cfg = AdamConfig::with_lr(0.05);
+        let mut last = f64::INFINITY;
+        for _ in 0..200 {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let x = ctx.x_var(&tape);
+            let h = l1.forward(&tape, &bind, &ctx, x);
+            let logits = l2.forward(&tape, &bind, &ctx, h);
+            let loss = tape.cross_entropy(logits, targets.clone(), nodes.clone());
+            last = tape.value(loss).scalar();
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &cfg);
+        }
+        assert!(last < 0.3, "final loss = {last}");
+    }
+
+    #[test]
+    fn multi_head_gat_learns() {
+        let (ctx, labels) = crate::testkit::two_community_ctx();
+        let mut store = ParamStore::new();
+        let gat = MultiHeadGat::new(
+            &mut store,
+            "mhl",
+            8,
+            4,
+            2,
+            Activation::Relu,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let head = crate::layers::Mlp::new(
+            &mut store,
+            "mhl.head",
+            &[8, 2],
+            &mut StdRng::seed_from_u64(1),
+        );
+        let targets = std::rc::Rc::new(labels);
+        let nodes = std::rc::Rc::new((0..8).collect::<Vec<_>>());
+        let cfg = AdamConfig::with_lr(0.05);
+        let mut last = f64::INFINITY;
+        for _ in 0..200 {
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let x = ctx.x_var(&tape);
+            let h = gat.forward(&tape, &bind, &ctx, x);
+            let logits = head.forward(&tape, &bind, h);
+            let loss = tape.cross_entropy(logits, targets.clone(), nodes.clone());
+            last = tape.value(loss).scalar();
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &cfg);
+        }
+        assert!(last < 0.3, "final loss = {last}");
+    }
+}

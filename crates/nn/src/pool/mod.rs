@@ -1,0 +1,13 @@
+//! Pooling operators: the competing methods of the paper's evaluation.
+
+pub mod dense;
+pub mod hierarchy;
+pub mod sortpool;
+pub mod threewl;
+pub mod unet;
+
+pub use dense::{dense_adj, DenseFlavor, DensePoolGc};
+pub use hierarchy::{top_ratio_indices, topk_coverage, TopKFlavor, TopKGc};
+pub use sortpool::SortPoolGc;
+pub use threewl::ThreeWlGc;
+pub use unet::GraphUNet;

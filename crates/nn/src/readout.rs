@@ -1,0 +1,73 @@
+//! Graph-level readouts: permutation-invariant reductions of node
+//! embeddings into a single `1 x d` (or concatenated) representation.
+
+use mg_tensor::{Tape, Var};
+
+/// Which reduction a readout applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Readout {
+    Mean,
+    Max,
+    Sum,
+    /// `[mean ‖ max]` — the readout used by the SAGPool pipeline the
+    /// paper's graph-classification protocol follows.
+    MeanMax,
+}
+
+impl Readout {
+    /// Output width given node-embedding width `d`.
+    pub fn out_dim(&self, d: usize) -> usize {
+        match self {
+            Readout::MeanMax => 2 * d,
+            _ => d,
+        }
+    }
+
+    /// Apply to an `n x d` node-embedding matrix, producing `1 x out_dim`.
+    pub fn apply(&self, tape: &Tape, h: Var) -> Var {
+        match self {
+            Readout::Mean => tape.mean_rows(h),
+            Readout::Max => tape.max_rows(h),
+            Readout::Sum => tape.sum_rows(h),
+            Readout::MeanMax => {
+                let mean = tape.mean_rows(h);
+                let max = tape.max_rows(h);
+                tape.concat_cols(&[mean, max])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::Matrix;
+
+    #[test]
+    fn readout_shapes() {
+        let tape = Tape::new();
+        let h = tape.constant(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        assert_eq!(tape.shape(Readout::Mean.apply(&tape, h)), (1, 2));
+        assert_eq!(tape.shape(Readout::Max.apply(&tape, h)), (1, 2));
+        assert_eq!(tape.shape(Readout::Sum.apply(&tape, h)), (1, 2));
+        assert_eq!(tape.shape(Readout::MeanMax.apply(&tape, h)), (1, 4));
+    }
+
+    #[test]
+    fn readout_values() {
+        let tape = Tape::new();
+        let h = tape.constant(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        assert_eq!(tape.value(Readout::Mean.apply(&tape, h)).data(), &[3., 4.]);
+        assert_eq!(tape.value(Readout::Max.apply(&tape, h)).data(), &[5., 6.]);
+        assert_eq!(tape.value(Readout::Sum.apply(&tape, h)).data(), &[9., 12.]);
+    }
+
+    #[test]
+    fn out_dim_matches_apply() {
+        let tape = Tape::new();
+        let h = tape.constant(Matrix::zeros(4, 3));
+        for r in [Readout::Mean, Readout::Max, Readout::Sum, Readout::MeanMax] {
+            assert_eq!(tape.shape(r.apply(&tape, h)).1, r.out_dim(3));
+        }
+    }
+}

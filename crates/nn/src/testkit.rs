@@ -1,0 +1,98 @@
+//! Shared fixtures for tests and benchmarks: tiny structured graphs and a
+//! minimal graph-classification training loop.
+//!
+//! Lives in the library (not `#[cfg(test)]`) so integration tests, the
+//! AdamGNN crate's tests and the benchmark harness can reuse it.
+
+use crate::ctx::GraphCtx;
+use crate::gc::GraphClassifier;
+use mg_graph::Topology;
+use mg_tensor::{AdamConfig, Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rings (label 1) versus stars (label 0) of a few sizes, with constant
+/// node features — separable only through structure.
+pub fn ring_vs_star_samples() -> Vec<(GraphCtx, usize)> {
+    let mut out = Vec::new();
+    for size in [6usize, 8, 10] {
+        let ring: Vec<(u32, u32)> =
+            (0..size as u32).map(|i| (i, (i + 1) % size as u32)).collect();
+        let star: Vec<(u32, u32)> = (1..size as u32).map(|i| (0, i)).collect();
+        let feat = |n: usize| Matrix::full(n, 3, 1.0);
+        out.push((GraphCtx::new(Topology::from_edges(size, &ring), feat(size)), 1));
+        out.push((GraphCtx::new(Topology::from_edges(size, &star), feat(size)), 0));
+    }
+    out
+}
+
+/// A graph with two dense communities joined by one bridge, plus identity
+/// features — the canonical node-classification fixture.
+pub fn two_community_ctx() -> (GraphCtx, Vec<usize>) {
+    let g = Topology::from_edges(
+        8,
+        &[(0, 1), (1, 2), (0, 2), (2, 3), (0, 3), (4, 5), (5, 6), (4, 6), (6, 7), (4, 7), (3, 4)],
+    );
+    let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    (GraphCtx::new(g, Matrix::eye(8)), labels)
+}
+
+/// Full-batch training of a graph classifier on fixed samples; returns the
+/// final mean loss (CE + any auxiliary loss).
+pub fn train_graph_classifier(
+    model: &dyn GraphClassifier,
+    store: &mut ParamStore,
+    samples: &[(GraphCtx, usize)],
+    epochs: usize,
+    lr: f64,
+) -> f64 {
+    let cfg = AdamConfig::with_lr(lr);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut last = f64::INFINITY;
+    for _ in 0..epochs {
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let mut losses = Vec::new();
+        for (ctx, label) in samples {
+            let out = model.forward(&tape, &bind, ctx, false, &mut rng);
+            let ce = tape.cross_entropy(
+                out.logits,
+                std::rc::Rc::new(vec![*label]),
+                std::rc::Rc::new(vec![0]),
+            );
+            let total = match out.aux_loss {
+                Some(aux) => tape.add(ce, aux),
+                None => ce,
+            };
+            losses.push(total);
+        }
+        let mut sum = losses[0];
+        for &l in &losses[1..] {
+            sum = tape.add(sum, l);
+        }
+        let loss = tape.scale(sum, 1.0 / losses.len() as f64);
+        last = tape.value(loss).scalar();
+        let mut grads = tape.backward(loss);
+        store.step(&mut grads, &bind, &cfg);
+    }
+    last
+}
+
+/// Accuracy of a classifier on labelled graph samples.
+pub fn graph_classifier_accuracy(
+    model: &dyn GraphClassifier,
+    store: &ParamStore,
+    samples: &[(GraphCtx, usize)],
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut correct = 0;
+    for (ctx, label) in samples {
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let out = model.forward(&tape, &bind, ctx, false, &mut rng);
+        if tape.value(out.logits).row_argmax(0) == *label {
+            correct += 1;
+        }
+    }
+    correct as f64 / samples.len() as f64
+}

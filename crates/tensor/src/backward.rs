@@ -1,0 +1,409 @@
+//! Reverse pass over the tape.
+//!
+//! Nodes are processed in reverse creation order; inputs always precede
+//! outputs on the tape, so a single backward sweep suffices. Gradients
+//! accumulate into a side table ([`Gradients`]) rather than the nodes
+//! themselves.
+
+use crate::matrix::Matrix;
+use crate::ops::{kl_distributions, sigmoid, softmax_rows};
+use crate::tape::{Gradients, Op, Tape, Var};
+
+impl Tape {
+    /// Run reverse-mode differentiation from the scalar `loss` node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be a 1x1 scalar"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            if !nodes[i].requires_grad {
+                grads[i] = None;
+                continue;
+            }
+            let Some(g) = grads[i].take() else { continue };
+            let node = &nodes[i];
+            let out = &node.value;
+
+            // Accumulate `delta` into the gradient of `v` if it needs one.
+            macro_rules! acc {
+                ($v:expr, $delta:expr) => {{
+                    let v: Var = $v;
+                    if nodes[v.0].requires_grad {
+                        match &mut grads[v.0] {
+                            Some(existing) => existing.add_scaled(&$delta, 1.0),
+                            slot @ None => *slot = Some($delta),
+                        }
+                    }
+                }};
+            }
+            // Lazily get-or-create a mutable gradient buffer for `v`.
+            macro_rules! buf {
+                ($v:expr) => {{
+                    let v: Var = $v;
+                    grads[v.0].get_or_insert_with(|| {
+                        let (r, c) = nodes[v.0].value.shape();
+                        Matrix::zeros(r, c)
+                    })
+                }};
+            }
+
+            match &node.op {
+                Op::Leaf => {
+                    grads[i] = Some(g);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    acc!(*a, g.clone());
+                    acc!(*b, g);
+                }
+                Op::Sub(a, b) => {
+                    acc!(*b, g.map(|x| -x));
+                    acc!(*a, g);
+                }
+                Op::MulElem(a, b) => {
+                    if nodes[a.0].requires_grad {
+                        acc!(*a, g.zip(&nodes[b.0].value, |gx, bv| gx * bv));
+                    }
+                    if nodes[b.0].requires_grad {
+                        acc!(*b, g.zip(&nodes[a.0].value, |gx, av| gx * av));
+                    }
+                }
+                Op::Scale(a, alpha) => {
+                    let alpha = *alpha;
+                    acc!(*a, g.map(|x| x * alpha));
+                }
+                Op::AddScalar(a, _) => {
+                    acc!(*a, g);
+                }
+                Op::AddBias(a, bias) => {
+                    if nodes[bias.0].requires_grad {
+                        let mut gb = Matrix::zeros(1, g.cols());
+                        for r in 0..g.rows() {
+                            for (o, &x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                                *o += x;
+                            }
+                        }
+                        acc!(*bias, gb);
+                    }
+                    acc!(*a, g);
+                }
+                Op::MatMul(a, b) => {
+                    if nodes[a.0].requires_grad {
+                        acc!(*a, g.matmul_nt(&nodes[b.0].value));
+                    }
+                    if nodes[b.0].requires_grad {
+                        acc!(*b, nodes[a.0].value.matmul_tn(&g));
+                    }
+                }
+                Op::Transpose(a) => {
+                    acc!(*a, g.transpose());
+                }
+                Op::Relu(a) => {
+                    acc!(*a, g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 }));
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let s = *slope;
+                    acc!(
+                        *a,
+                        g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { s * gx })
+                    );
+                }
+                Op::Sigmoid(a) => {
+                    acc!(*a, g.zip(out, |gx, y| gx * y * (1.0 - y)));
+                }
+                Op::Tanh(a) => {
+                    acc!(*a, g.zip(out, |gx, y| gx * (1.0 - y * y)));
+                }
+                Op::SoftmaxRows(a) => {
+                    let mut gx = Matrix::zeros(out.rows(), out.cols());
+                    for r in 0..out.rows() {
+                        let y = out.row(r);
+                        let gr = g.row(r);
+                        let dot: f64 = y.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                        for (o, (&yv, &gv)) in gx.row_mut(r).iter_mut().zip(y.iter().zip(gr)) {
+                            *o = yv * (gv - dot);
+                        }
+                    }
+                    acc!(*a, gx);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    // d/dx = g - softmax(x) * rowsum(g); softmax(x) = exp(out)
+                    let mut gx = Matrix::zeros(out.rows(), out.cols());
+                    for r in 0..out.rows() {
+                        let gr = g.row(r);
+                        let gsum: f64 = gr.iter().sum();
+                        for ((o, &lp), &gv) in
+                            gx.row_mut(r).iter_mut().zip(out.row(r)).zip(gr)
+                        {
+                            *o = gv - lp.exp() * gsum;
+                        }
+                    }
+                    acc!(*a, gx);
+                }
+                Op::Spmm { csr, values, dense } => {
+                    let x = &nodes[dense.0].value;
+                    if nodes[values.0].requires_grad {
+                        let mut gv = Matrix::zeros(1, csr.nnz());
+                        for (r, c, k) in csr.iter() {
+                            gv[(0, k)] = g.row(r).iter().zip(x.row(c)).map(|(&a, &b)| a * b).sum();
+                        }
+                        acc!(*values, gv);
+                    }
+                    if nodes[dense.0].requires_grad {
+                        let vals = &nodes[values.0].value;
+                        // gX = Aᵀ g
+                        acc!(*dense, csr.spmm_t(vals.data(), &g));
+                    }
+                }
+                Op::SpmmT { csr, values, dense } => {
+                    let x = &nodes[dense.0].value;
+                    if nodes[values.0].requires_grad {
+                        let mut gv = Matrix::zeros(1, csr.nnz());
+                        for (r, c, k) in csr.iter() {
+                            // out[c,:] += v_k x[r,:]  =>  dv_k = g[c,:].x[r,:]
+                            gv[(0, k)] = g.row(c).iter().zip(x.row(r)).map(|(&a, &b)| a * b).sum();
+                        }
+                        acc!(*values, gv);
+                    }
+                    if nodes[dense.0].requires_grad {
+                        let vals = &nodes[values.0].value;
+                        // gX = A g
+                        acc!(*dense, csr.spmm(vals.data(), &g));
+                    }
+                }
+                Op::GatherRows { src, idx } => {
+                    let gsrc = buf!(*src);
+                    for (r, &i_src) in idx.iter().enumerate() {
+                        let grow = g.row(r);
+                        for (o, &x) in gsrc.row_mut(i_src).iter_mut().zip(grow) {
+                            *o += x;
+                        }
+                    }
+                }
+                Op::SegmentSum { src, seg, .. } => {
+                    let gsrc = buf!(*src);
+                    for (r, &s) in seg.iter().enumerate() {
+                        let grow = g.row(s);
+                        for (o, &x) in gsrc.row_mut(r).iter_mut().zip(grow) {
+                            *o += x;
+                        }
+                    }
+                }
+                Op::SegmentSoftmax { scores, seg, n_seg } => {
+                    // gx_e = y_e (g_e - Σ_{e' in seg} y_e' g_e')
+                    let mut dots = vec![0.0f64; *n_seg];
+                    for (e, &s) in seg.iter().enumerate() {
+                        dots[s] += out[(e, 0)] * g[(e, 0)];
+                    }
+                    let mut gx = Matrix::zeros(out.rows(), 1);
+                    for (e, &s) in seg.iter().enumerate() {
+                        gx[(e, 0)] = out[(e, 0)] * (g[(e, 0)] - dots[s]);
+                    }
+                    acc!(*scores, gx);
+                }
+                Op::RowDot(a, b) => {
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    if nodes[a.0].requires_grad {
+                        let mut ga = Matrix::zeros(av.rows(), av.cols());
+                        for r in 0..av.rows() {
+                            let gr = g[(r, 0)];
+                            for (o, &x) in ga.row_mut(r).iter_mut().zip(bv.row(r)) {
+                                *o = gr * x;
+                            }
+                        }
+                        acc!(*a, ga);
+                    }
+                    if nodes[b.0].requires_grad {
+                        let mut gb = Matrix::zeros(bv.rows(), bv.cols());
+                        for r in 0..bv.rows() {
+                            let gr = g[(r, 0)];
+                            for (o, &x) in gb.row_mut(r).iter_mut().zip(av.row(r)) {
+                                *o = gr * x;
+                            }
+                        }
+                        acc!(*b, gb);
+                    }
+                }
+                Op::MulCol { a, col } => {
+                    let (av, cv) = (&nodes[a.0].value, &nodes[col.0].value);
+                    if nodes[a.0].requires_grad {
+                        let mut ga = Matrix::zeros(av.rows(), av.cols());
+                        for r in 0..av.rows() {
+                            let c = cv[(r, 0)];
+                            for (o, &x) in ga.row_mut(r).iter_mut().zip(g.row(r)) {
+                                *o = c * x;
+                            }
+                        }
+                        acc!(*a, ga);
+                    }
+                    if nodes[col.0].requires_grad {
+                        let mut gc = Matrix::zeros(cv.rows(), 1);
+                        for r in 0..av.rows() {
+                            gc[(r, 0)] =
+                                g.row(r).iter().zip(av.row(r)).map(|(&gx, &x)| gx * x).sum();
+                        }
+                        acc!(*col, gc);
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for v in parts {
+                        let w = nodes[v.0].value.cols();
+                        if nodes[v.0].requires_grad {
+                            let part = Matrix::from_fn(g.rows(), w, |r, c| g[(r, off + c)]);
+                            acc!(*v, part);
+                        }
+                        off += w;
+                    }
+                }
+                Op::SliceCols { src, start, end } => {
+                    let (rows, cols) = nodes[src.0].value.shape();
+                    let mut gs = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        for c in *start..*end {
+                            gs[(r, c)] = g[(r, c - start)];
+                        }
+                    }
+                    acc!(*src, gs);
+                }
+                Op::SumAll(a) => {
+                    let gs = g.scalar();
+                    let (r, c) = nodes[a.0].value.shape();
+                    acc!(*a, Matrix::full(r, c, gs));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = nodes[a.0].value.shape();
+                    let gs = g.scalar() / (r * c) as f64;
+                    acc!(*a, Matrix::full(r, c, gs));
+                }
+                Op::MeanRows(a) => {
+                    let (r, c) = nodes[a.0].value.shape();
+                    let inv = 1.0 / r as f64;
+                    acc!(*a, Matrix::from_fn(r, c, |_, j| g[(0, j)] * inv));
+                }
+                Op::SumRows(a) => {
+                    let (r, c) = nodes[a.0].value.shape();
+                    acc!(*a, Matrix::from_fn(r, c, |_, j| g[(0, j)]));
+                }
+                Op::MaxRows { src, argmax } => {
+                    let (r, c) = nodes[src.0].value.shape();
+                    let mut gs = Matrix::zeros(r, c);
+                    for (j, &arg) in argmax.iter().enumerate() {
+                        gs[(arg, j)] = g[(0, j)];
+                    }
+                    acc!(*src, gs);
+                }
+                Op::NllLoss { logp, targets, nodes: node_set } => {
+                    let gs = g.scalar() / node_set.len() as f64;
+                    let (r, c) = nodes[logp.0].value.shape();
+                    let mut gl = Matrix::zeros(r, c);
+                    for &row in node_set.iter() {
+                        gl[(row, targets[row])] -= gs;
+                    }
+                    acc!(*logp, gl);
+                }
+                Op::BcePairs { h, pairs, labels, cache } => {
+                    let hv = &nodes[h.0].value;
+                    let gs = g.scalar() / pairs.len() as f64;
+                    let mut gh = Matrix::zeros(hv.rows(), hv.cols());
+                    for ((&(pi, pj), &y), &z) in
+                        pairs.iter().zip(labels.iter()).zip(cache.logits.iter())
+                    {
+                        let dz = (sigmoid(z) - y) * gs;
+                        for (o, &x) in gh.row_mut(pi).iter_mut().zip(hv.row(pj)) {
+                            *o += dz * x;
+                        }
+                        for (o, &x) in gh.row_mut(pj).iter_mut().zip(hv.row(pi)) {
+                            *o += dz * x;
+                        }
+                    }
+                    acc!(*h, gh);
+                }
+                Op::StudentTKl { h, egos, cache } => {
+                    let hv = &nodes[h.0].value;
+                    let (n, d) = hv.shape();
+                    let t = &cache.t;
+                    let (q, p) = kl_distributions(t);
+                    let gs = g.scalar() / n as f64;
+                    let mut gh = Matrix::zeros(n, d);
+                    for j in 0..n {
+                        let t_row_sum: f64 = t.row(j).iter().sum();
+                        for (c, &e) in egos.iter().enumerate() {
+                            // dL/dt_jc with P detached:
+                            //   (1/T_j) (1 - p/q) -- scaled by gs (mean over n)
+                            let qv = q[(j, c)];
+                            if qv <= 0.0 {
+                                continue;
+                            }
+                            let dl_dt = gs * (1.0 - p[(j, c)] / qv) / t_row_sum;
+                            let tv = t[(j, c)];
+                            let coef = dl_dt * (-tv * tv) * 2.0;
+                            for k in 0..d {
+                                let diff = hv[(j, k)] - hv[(e, k)];
+                                gh[(j, k)] += coef * diff;
+                                gh[(e, k)] -= coef * diff;
+                            }
+                        }
+                    }
+                    acc!(*h, gh);
+                }
+                Op::Exp(a) => {
+                    // d exp(x) = exp(x) dx; out already holds exp(x)
+                    acc!(*a, g.zip(out, |gx, y| gx * y));
+                }
+                Op::Ln(a) => {
+                    acc!(*a, g.zip(&nodes[a.0].value, |gx, x| gx / x));
+                }
+                Op::ColNormalize { src, inv_std } => {
+                    // y = (x - mu) * inv_std; with batch statistics:
+                    // dx_ij = inv_std_j * (g_ij - mean_i(g_.j) - y_ij * mean_i(g_.j * y_.j))
+                    let (n, d) = out.shape();
+                    let mut g_mean = vec![0.0f64; d];
+                    let mut gy_mean = vec![0.0f64; d];
+                    for i in 0..n {
+                        for j in 0..d {
+                            g_mean[j] += g[(i, j)];
+                            gy_mean[j] += g[(i, j)] * out[(i, j)];
+                        }
+                    }
+                    for j in 0..d {
+                        g_mean[j] /= n as f64;
+                        gy_mean[j] /= n as f64;
+                    }
+                    let gx = Matrix::from_fn(n, d, |i, j| {
+                        inv_std[j] * (g[(i, j)] - g_mean[j] - out[(i, j)] * gy_mean[j])
+                    });
+                    acc!(*src, gx);
+                }
+                Op::Reshape(src) => {
+                    let (r, c) = nodes[src.0].value.shape();
+                    acc!(*src, Matrix::from_vec(r, c, g.data().to_vec()));
+                }
+                Op::Dropout { src, mask } => {
+                    let mut gsrc = g.clone();
+                    for (o, &m) in gsrc.data_mut().iter_mut().zip(mask.iter()) {
+                        *o *= m;
+                    }
+                    acc!(*src, gsrc);
+                }
+            }
+            // Intermediate gradients are dropped once consumed to bound memory.
+        }
+        Gradients { grads }
+    }
+}
+
+/// Numerically stable softmax re-export used by the backward pass tests.
+#[allow(dead_code)]
+pub(crate) fn softmax_reference(m: &Matrix) -> Matrix {
+    softmax_rows(m)
+}

@@ -1,0 +1,331 @@
+//! Compressed-sparse-row structure.
+//!
+//! The *structure* (sparsity pattern) is separated from the *values* so
+//! that values can live on the autograd tape as a `1 x nnz` variable —
+//! AdamGNN's hyper-node formation matrix `S_k` carries learnable fitness
+//! scores in its entries, and gradients must reach them.
+
+use crate::matrix::Matrix;
+
+/// Sparsity pattern of a sparse matrix in CSR layout, without values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from COO triplet positions (duplicates are merged — the
+    /// caller's values for duplicated positions must be pre-summed, so we
+    /// forbid duplicates instead).
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or duplicate `(row, col)` entries.
+    pub fn from_coo(rows: usize, cols: usize, entries: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c) in entries {
+            assert!((r as usize) < rows && (c as usize) < cols, "coo entry out of range");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; entries.len()];
+        let mut cursor = indptr.clone();
+        for &(r, c) in entries {
+            let pos = cursor[r as usize];
+            indices[pos] = c;
+            cursor[r as usize] += 1;
+        }
+        // Sort column indices within each row for deterministic layout.
+        for r in 0..rows {
+            indices[indptr[r]..indptr[r + 1]].sort_unstable();
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] != w[1], "duplicate coo entry at row {r}, col {}", w[0]);
+            }
+        }
+        Csr { rows, cols, indptr, indices }
+    }
+
+    /// Build directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent.
+    pub fn from_parts(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr/indices mismatch");
+        for w in indptr.windows(2) {
+            assert!(w[0] <= w[1], "indptr must be non-decreasing");
+        }
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
+        Csr { rows, cols, indptr, indices }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices, grouped by row.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Column indices of one row.
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Range of value positions belonging to one row.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.indptr[r]..self.indptr[r + 1]
+    }
+
+    /// Iterate `(row, col, value_position)` over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_range(r).map(move |k| (r, self.indices[k] as usize, k))
+        })
+    }
+
+    /// Dense product `C = A * X` where `A` is this structure with `values`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn spmm(&self, values: &[f64], x: &Matrix) -> Matrix {
+        assert_eq!(values.len(), self.nnz(), "spmm: values length");
+        assert_eq!(self.cols, x.rows(), "spmm: inner dimension");
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let v = values[k];
+                if v == 0.0 {
+                    continue;
+                }
+                let x_row = x.row(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product with the transpose: `C = Aᵀ * X`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn spmm_t(&self, values: &[f64], x: &Matrix) -> Matrix {
+        assert_eq!(values.len(), self.nnz(), "spmm_t: values length");
+        assert_eq!(self.rows, x.rows(), "spmm_t: inner dimension");
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        for r in 0..self.rows {
+            let x_row = x.row(r);
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let v = values[k];
+                if v == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialise as a dense matrix (tests / small graphs only).
+    pub fn to_dense(&self, values: &[f64]) -> Matrix {
+        assert_eq!(values.len(), self.nnz());
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, k) in self.iter() {
+            m[(r, c)] = values[k];
+        }
+        m
+    }
+
+    /// Transposed structure together with the permutation `perm` such that
+    /// `values_t[k_new] = values[perm[k_new]]`.
+    pub fn transpose_struct(&self) -> (Csr, Vec<usize>) {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut perm = vec![0usize; self.nnz()];
+        let mut cursor = indptr.clone();
+        for (r, c, k) in self.iter() {
+            let pos = cursor[c];
+            indices[pos] = r as u32;
+            perm[pos] = k;
+            cursor[c] += 1;
+        }
+        (
+            Csr { rows: self.cols, cols: self.rows, indptr, indices },
+            perm,
+        )
+    }
+
+    /// Sparse-sparse product `(C, values_c) = (A, va) * (B, vb)`.
+    ///
+    /// Used to maintain hyper-graph connectivity `A_k = S_kᵀ Â_{k-1} S_k`
+    /// (values are detached from the tape — see DESIGN.md).
+    pub fn spgemm(&self, va: &[f64], b: &Csr, vb: &[f64]) -> (Csr, Vec<f64>) {
+        assert_eq!(self.cols, b.rows, "spgemm: inner dimension");
+        assert_eq!(va.len(), self.nnz());
+        assert_eq!(vb.len(), b.nnz());
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        // Gustavson's algorithm with a dense accumulator per row.
+        let mut acc = vec![0.0f64; b.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.rows {
+            for k in self.row_range(r) {
+                let mid = self.indices[k] as usize;
+                let av = va[k];
+                if av == 0.0 {
+                    continue;
+                }
+                for k2 in b.row_range(mid) {
+                    let c = b.indices[k2] as usize;
+                    if acc[c] == 0.0 {
+                        touched.push(c as u32);
+                    }
+                    acc[c] += av * vb[k2];
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c as usize];
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                acc[c as usize] = 0.0;
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        (Csr { rows: self.rows, cols: b.cols, indptr, indices }, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Csr, Vec<f64>) {
+        // [1 0 2]
+        // [0 3 0]
+        let csr = Csr::from_coo(2, 3, &[(0, 0), (0, 2), (1, 1)]);
+        (csr, vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let (csr, _) = sample();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_indices(0), &[0, 2]);
+        assert_eq!(csr.row_indices(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn from_coo_duplicate_panics() {
+        let _ = Csr::from_coo(2, 2, &[(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let (csr, vals) = sample();
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let sparse = csr.spmm(&vals, &x);
+        let dense = csr.to_dense(&vals).matmul(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn spmm_t_matches_dense() {
+        let (csr, vals) = sample();
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let sparse = csr.spmm_t(&vals, &x);
+        let dense = csr.to_dense(&vals).transpose().matmul(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn transpose_struct_roundtrip() {
+        let (csr, vals) = sample();
+        let (t, perm) = csr.transpose_struct();
+        let tvals: Vec<f64> = perm.iter().map(|&k| vals[k]).collect();
+        assert_eq!(t.to_dense(&tvals), csr.to_dense(&vals).transpose());
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = Csr::from_coo(2, 3, &[(0, 0), (0, 2), (1, 1)]);
+        let va = vec![1.0, 2.0, 3.0];
+        let b = Csr::from_coo(3, 2, &[(0, 1), (1, 0), (2, 0), (2, 1)]);
+        let vb = vec![4.0, 5.0, 6.0, 7.0];
+        let (c, vc) = a.spgemm(&va, &b, &vb);
+        let dense = a.to_dense(&va).matmul(&b.to_dense(&vb));
+        assert_eq!(c.to_dense(&vc), dense);
+    }
+
+    #[test]
+    fn spgemm_drops_exact_zeros() {
+        // values that cancel out should not be stored
+        let a = Csr::from_coo(1, 2, &[(0, 0), (0, 1)]);
+        let b = Csr::from_coo(2, 1, &[(0, 0), (1, 0)]);
+        let (c, vc) = a.spgemm(&[1.0, -1.0], &b, &[1.0, 1.0]);
+        assert_eq!(c.nnz(), 0);
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let csr = Csr::from_coo(3, 3, &[(2, 0)]);
+        let x = Matrix::eye(3);
+        let out = csr.spmm(&[5.0], &x);
+        assert_eq!(out[(2, 0)], 5.0);
+        assert_eq!(out[(0, 0)], 0.0);
+    }
+}

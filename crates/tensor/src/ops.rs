@@ -1,0 +1,783 @@
+//! Forward op constructors on [`Tape`].
+//!
+//! Every method computes its result eagerly, validates shapes with
+//! assertions (shape bugs should fail loudly at the call site, not three
+//! ops later), and records the op for the backward pass in
+//! [`crate::backward`].
+
+use std::rc::Rc;
+
+use crate::csr::Csr;
+use crate::matrix::Matrix;
+use crate::tape::{BceCache, KlCache, Op, Tape, Var};
+
+impl Tape {
+    /// Elementwise sum `a + b`.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x + y)
+        };
+        let rg = self.rg2(a, b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x - y)
+        };
+        let rg = self.rg2(a, b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul_elem(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x * y)
+        };
+        let rg = self.rg2(a, b);
+        self.push(value, Op::MulElem(a, b), rg)
+    }
+
+    /// Multiply by a compile-time constant scalar.
+    pub fn scale(&self, a: Var, alpha: f64) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| x * alpha);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a, alpha), rg)
+    }
+
+    /// Add a constant scalar to every element.
+    pub fn add_scalar(&self, a: Var, c: f64) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| x + c);
+        let rg = self.rg(a);
+        self.push(value, Op::AddScalar(a, c), rg)
+    }
+
+    /// Broadcast-add a `1 x d` bias row to every row of `a (n x d)`.
+    pub fn add_bias(&self, a: Var, bias: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.0].value, &nodes[bias.0].value);
+            assert_eq!(bv.rows(), 1, "add_bias: bias must be 1 x d");
+            assert_eq!(av.cols(), bv.cols(), "add_bias: width mismatch");
+            let brow = bv.row(0).to_vec();
+            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] + brow[j])
+        };
+        let rg = self.rg2(a, bias);
+        self.push(value, Op::AddBias(a, bias), rg)
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.matmul(&nodes[b.0].value)
+        };
+        let rg = self.rg2(a, b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.transpose();
+        let rg = self.rg(a);
+        self.push(value, Op::Transpose(a), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&self, a: Var, slope: f64) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let rg = self.rg(a);
+        self.push(value, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(sigmoid);
+        let rg = self.rg(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f64::tanh);
+        let rg = self.rg(a);
+        self.push(value, Op::Tanh(a), rg)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let value = {
+            let av = &self.nodes.borrow()[a.0].value;
+            softmax_rows(av)
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::SoftmaxRows(a), rg)
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&self, a: Var) -> Var {
+        let value = {
+            let av = &self.nodes.borrow()[a.0].value;
+            let mut out = Matrix::zeros(av.rows(), av.cols());
+            for i in 0..av.rows() {
+                let row = av.row(i);
+                let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln();
+                for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
+                    *o = x - lse;
+                }
+            }
+            out
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::LogSoftmaxRows(a), rg)
+    }
+
+    /// Sparse-dense product `csr(values) * dense`.
+    ///
+    /// `values` must be a `1 x nnz` variable; gradients reach both the
+    /// sparse values and the dense operand.
+    pub fn spmm(&self, csr: Rc<Csr>, values: Var, dense: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let vv = &nodes[values.0].value;
+            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm: values must be 1 x nnz");
+            csr.spmm(vv.data(), &nodes[dense.0].value)
+        };
+        let rg = self.rg2(values, dense);
+        self.push(value, Op::Spmm { csr, values, dense }, rg)
+    }
+
+    /// Sparse-dense product with the structural transpose: `csr(values)ᵀ * dense`.
+    pub fn spmm_t(&self, csr: Rc<Csr>, values: Var, dense: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let vv = &nodes[values.0].value;
+            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm_t: values must be 1 x nnz");
+            csr.spmm_t(vv.data(), &nodes[dense.0].value)
+        };
+        let rg = self.rg2(values, dense);
+        self.push(value, Op::SpmmT { csr, values, dense }, rg)
+    }
+
+    /// Select rows by index (with repetition allowed).
+    pub fn gather_rows(&self, src: Var, idx: Rc<Vec<usize>>) -> Var {
+        let value = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            let mut out = Matrix::zeros(idx.len(), sv.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                assert!(i < sv.rows(), "gather_rows: index {i} out of range");
+                out.row_mut(r).copy_from_slice(sv.row(i));
+            }
+            out
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::GatherRows { src, idx }, rg)
+    }
+
+    /// Sum rows of `src` into `n_seg` buckets given per-row segment ids.
+    pub fn segment_sum(&self, src: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
+        let value = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            assert_eq!(sv.rows(), seg.len(), "segment_sum: length mismatch");
+            let mut out = Matrix::zeros(n_seg, sv.cols());
+            for (r, &s) in seg.iter().enumerate() {
+                assert!(s < n_seg, "segment_sum: segment {s} out of range");
+                let src_row = sv.row(r);
+                for (o, &x) in out.row_mut(s).iter_mut().zip(src_row) {
+                    *o += x;
+                }
+            }
+            out
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::SegmentSum { src, seg, n_seg }, rg)
+    }
+
+    /// Softmax over entries sharing a segment id. `scores` is `n_e x 1`.
+    ///
+    /// Segments need not be contiguous. Empty segments are fine.
+    pub fn segment_softmax(&self, scores: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
+        let value = {
+            let sv = &self.nodes.borrow()[scores.0].value;
+            assert_eq!(sv.cols(), 1, "segment_softmax: scores must be n x 1");
+            assert_eq!(sv.rows(), seg.len(), "segment_softmax: length mismatch");
+            segment_softmax(sv.data(), &seg, n_seg)
+        };
+        let rg = self.rg(scores);
+        self.push(value, Op::SegmentSoftmax { scores, seg, n_seg }, rg)
+    }
+
+    /// Per-row dot product `out[i] = a[i,:] . b[i,:]`, yielding `n x 1`.
+    pub fn row_dot(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+            assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
+            Matrix::from_fn(av.rows(), 1, |i, _| av.row_dot(i, bv, i))
+        };
+        let rg = self.rg2(a, b);
+        self.push(value, Op::RowDot(a, b), rg)
+    }
+
+    /// Scale row `i` of `a` by `col[i]` (`col` is `n x 1`).
+    pub fn mul_col(&self, a: Var, col: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (av, cv) = (&nodes[a.0].value, &nodes[col.0].value);
+            assert_eq!(cv.cols(), 1, "mul_col: col must be n x 1");
+            assert_eq!(av.rows(), cv.rows(), "mul_col: height mismatch");
+            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] * cv[(i, 0)])
+        };
+        let rg = self.rg2(a, col);
+        self.push(value, Op::MulCol { a, col }, rg)
+    }
+
+    /// Concatenate matrices along columns (all must share row count).
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: no inputs");
+        let value = {
+            let nodes = self.nodes.borrow();
+            let rows = nodes[parts[0].0].value.rows();
+            let total: usize = parts.iter().map(|v| nodes[v.0].value.cols()).sum();
+            let mut out = Matrix::zeros(rows, total);
+            let mut off = 0;
+            for v in parts {
+                let pv = &nodes[v.0].value;
+                assert_eq!(pv.rows(), rows, "concat_cols: row mismatch");
+                for i in 0..rows {
+                    out.row_mut(i)[off..off + pv.cols()].copy_from_slice(pv.row(i));
+                }
+                off += pv.cols();
+            }
+            out
+        };
+        let rg = parts.iter().any(|&v| self.rg(v));
+        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Take the column slice `[start, end)`.
+    pub fn slice_cols(&self, src: Var, start: usize, end: usize) -> Var {
+        let value = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            assert!(start < end && end <= sv.cols(), "slice_cols: bad range");
+            Matrix::from_fn(sv.rows(), end - start, |i, j| sv[(i, start + j)])
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::SliceCols { src, start, end }, rg)
+    }
+
+    /// Sum of all elements, as a `1 x 1` matrix.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes.borrow()[a.0].value.sum()]);
+        let rg = self.rg(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements, as a `1 x 1` matrix.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let value = {
+            let av = &self.nodes.borrow()[a.0].value;
+            Matrix::from_vec(1, 1, vec![av.sum() / av.len() as f64])
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Column-wise mean over rows: `n x d -> 1 x d`.
+    pub fn mean_rows(&self, a: Var) -> Var {
+        let value = {
+            let av = &self.nodes.borrow()[a.0].value;
+            assert!(av.rows() > 0, "mean_rows of empty matrix");
+            let mut out = Matrix::zeros(1, av.cols());
+            for i in 0..av.rows() {
+                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
+            }
+            let n = av.rows() as f64;
+            for o in out.data_mut() {
+                *o /= n;
+            }
+            out
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::MeanRows(a), rg)
+    }
+
+    /// Column-wise sum over rows: `n x d -> 1 x d`.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let value = {
+            let av = &self.nodes.borrow()[a.0].value;
+            let mut out = Matrix::zeros(1, av.cols());
+            for i in 0..av.rows() {
+                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
+            }
+            out
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::SumRows(a), rg)
+    }
+
+    /// Column-wise max over rows: `n x d -> 1 x d` (subgradient to argmax row).
+    pub fn max_rows(&self, a: Var) -> Var {
+        let (value, argmax) = {
+            let av = &self.nodes.borrow()[a.0].value;
+            assert!(av.rows() > 0, "max_rows of empty matrix");
+            let mut out = Matrix::full(1, av.cols(), f64::NEG_INFINITY);
+            let mut argmax = vec![0usize; av.cols()];
+            for i in 0..av.rows() {
+                for (j, &x) in av.row(i).iter().enumerate() {
+                    if x > out[(0, j)] {
+                        out[(0, j)] = x;
+                        argmax[j] = i;
+                    }
+                }
+            }
+            (out, argmax)
+        };
+        let rg = self.rg(a);
+        self.push(value, Op::MaxRows { src: a, argmax: Rc::new(argmax) }, rg)
+    }
+
+    /// Mean negative log-likelihood over the node subset `nodes`:
+    /// `-(1/|nodes|) Σ_{i∈nodes} logp[i, targets[i]]`.
+    ///
+    /// `targets` is indexed by absolute row, so it must cover every row
+    /// mentioned in `nodes`.
+    pub fn nll_loss(&self, logp: Var, targets: Rc<Vec<usize>>, nodes: Rc<Vec<usize>>) -> Var {
+        let value = {
+            let lv = &self.nodes.borrow()[logp.0].value;
+            assert!(!nodes.is_empty(), "nll_loss: empty node set");
+            let mut acc = 0.0;
+            for &i in nodes.iter() {
+                let t = targets[i];
+                assert!(t < lv.cols(), "nll_loss: target {t} out of range");
+                acc -= lv[(i, t)];
+            }
+            Matrix::from_vec(1, 1, vec![acc / nodes.len() as f64])
+        };
+        let rg = self.rg(logp);
+        self.push(value, Op::NllLoss { logp, targets, nodes }, rg)
+    }
+
+    /// Mean BCE-with-logits over inner-product pair scores
+    /// `z_k = h[i_k,:] . h[j_k,:]` with binary labels.
+    ///
+    /// This implements both the link-prediction decoder and AdamGNN's
+    /// negative-sampled reconstruction loss (Eq. 6).
+    pub fn bce_pairs(
+        &self,
+        h: Var,
+        pairs: Rc<Vec<(usize, usize)>>,
+        labels: Rc<Vec<f64>>,
+    ) -> Var {
+        assert_eq!(pairs.len(), labels.len(), "bce_pairs: length mismatch");
+        assert!(!pairs.is_empty(), "bce_pairs: empty pair set");
+        let (value, logits) = {
+            let hv = &self.nodes.borrow()[h.0].value;
+            let mut logits = Vec::with_capacity(pairs.len());
+            let mut acc = 0.0;
+            for (&(i, j), &y) in pairs.iter().zip(labels.iter()) {
+                let z = hv.row_dot(i, hv, j);
+                logits.push(z);
+                // numerically stable BCE-with-logits
+                acc += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+            }
+            (
+                Matrix::from_vec(1, 1, vec![acc / pairs.len() as f64]),
+                logits,
+            )
+        };
+        let rg = self.rg(h);
+        self.push(
+            value,
+            Op::BcePairs { h, pairs, labels, cache: Rc::new(BceCache { logits }) },
+            rg,
+        )
+    }
+
+    /// DEC-style Student-t KL clustering loss (AdamGNN Eq. 5), mean over
+    /// nodes. `egos` are the row indices acting as cluster centres; the
+    /// target distribution `P` is treated as constant (standard DEC).
+    pub fn student_t_kl(&self, h: Var, egos: Rc<Vec<usize>>) -> Var {
+        assert!(!egos.is_empty(), "student_t_kl: no egos");
+        let (value, t) = {
+            let hv = &self.nodes.borrow()[h.0].value;
+            let n = hv.rows();
+            let m = egos.len();
+            let mut t = Matrix::zeros(n, m);
+            for j in 0..n {
+                for (c, &e) in egos.iter().enumerate() {
+                    let mut d2 = 0.0;
+                    for (a, b) in hv.row(j).iter().zip(hv.row(e)) {
+                        let diff = a - b;
+                        d2 += diff * diff;
+                    }
+                    t[(j, c)] = 1.0 / (1.0 + d2);
+                }
+            }
+            let (q, p) = kl_distributions(&t);
+            let mut loss = 0.0;
+            for j in 0..n {
+                for c in 0..m {
+                    let (pj, qj) = (p[(j, c)], q[(j, c)]);
+                    if pj > 0.0 {
+                        loss += pj * (pj / qj).ln();
+                    }
+                }
+            }
+            (Matrix::from_vec(1, 1, vec![loss / n as f64]), t)
+        };
+        let rg = self.rg(h);
+        self.push(
+            value,
+            Op::StudentTKl { h, egos, cache: Rc::new(KlCache { t }) },
+            rg,
+        )
+    }
+
+    /// Inverted dropout with keep probability `1 - p`. The mask is drawn
+    /// once at forward time from `rng` and replayed in backward.
+    pub fn dropout(&self, src: Var, p: f64, rng: &mut impl rand::RngExt) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0,1)");
+        if p == 0.0 {
+            return src;
+        }
+        let keep = 1.0 - p;
+        let (value, mask) = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            let mask: Vec<f64> = (0..sv.len())
+                .map(|_| if rng.random::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                .collect();
+            let mut out = sv.clone();
+            for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+                *o *= m;
+            }
+            (out, mask)
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::Dropout { src, mask: Rc::new(mask) }, rg)
+    }
+
+    /// Row-major reshape to `rows x cols` (element count must match).
+    pub fn reshape(&self, src: Var, rows: usize, cols: usize) -> Var {
+        let value = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            assert_eq!(sv.len(), rows * cols, "reshape: element count mismatch");
+            Matrix::from_vec(rows, cols, sv.data().to_vec())
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::Reshape(src), rg)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f64::exp);
+        let rg = self.rg(a);
+        self.push(value, Op::Exp(a), rg)
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// # Panics
+    /// Panics (via the non-finite tape check) if any input is <= 0.
+    pub fn ln(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f64::ln);
+        let rg = self.rg(a);
+        self.push(value, Op::Ln(a), rg)
+    }
+
+    /// Per-column standardisation ("graph norm"): every column is shifted
+    /// to zero mean and scaled to unit variance over the rows. The
+    /// normalisation GIN stacks need in place of batch norm; statistics
+    /// are per-call (per graph), so eval needs no running averages.
+    pub fn col_normalize(&self, src: Var) -> Var {
+        let eps = 1e-5;
+        let (value, inv_std) = {
+            let sv = &self.nodes.borrow()[src.0].value;
+            let (n, d) = sv.shape();
+            assert!(n > 0, "col_normalize of empty matrix");
+            let mut mean = vec![0.0f64; d];
+            for i in 0..n {
+                for (m, &x) in mean.iter_mut().zip(sv.row(i)) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= n as f64;
+            }
+            let mut var = vec![0.0f64; d];
+            for i in 0..n {
+                for ((v, &x), &m) in var.iter_mut().zip(sv.row(i)).zip(&mean) {
+                    *v += (x - m) * (x - m);
+                }
+            }
+            let inv_std: Vec<f64> =
+                var.iter().map(|&v| 1.0 / (v / n as f64 + eps).sqrt()).collect();
+            let out = Matrix::from_fn(n, d, |i, j| (sv[(i, j)] - mean[j]) * inv_std[j]);
+            (out, inv_std)
+        };
+        let rg = self.rg(src);
+        self.push(value, Op::ColNormalize { src, inv_std: Rc::new(inv_std) }, rg)
+    }
+
+    /// Convenience: mean cross-entropy from raw logits over a node subset.
+    pub fn cross_entropy(
+        &self,
+        logits: Var,
+        targets: Rc<Vec<usize>>,
+        nodes: Rc<Vec<usize>>,
+    ) -> Var {
+        let logp = self.log_softmax_rows(logits);
+        self.nll_loss(logp, targets, nodes)
+    }
+}
+
+/// Logistic sigmoid with clamping against overflow.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Row-wise softmax of a dense matrix (shared by op and tests).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for i in 0..m.rows() {
+        let row = m.row(i);
+        let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
+            *o = (x - mx).exp();
+            sum += *o;
+        }
+        for o in out.row_mut(i) {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Segment softmax over a flat score vector (shared by op and backward).
+pub(crate) fn segment_softmax(scores: &[f64], seg: &[usize], n_seg: usize) -> Matrix {
+    let mut maxes = vec![f64::NEG_INFINITY; n_seg];
+    for (&s, &x) in seg.iter().zip(scores) {
+        if x > maxes[s] {
+            maxes[s] = x;
+        }
+    }
+    let mut sums = vec![0.0f64; n_seg];
+    let mut out = Matrix::zeros(scores.len(), 1);
+    for (r, (&s, &x)) in seg.iter().zip(scores).enumerate() {
+        let e = (x - maxes[s]).exp();
+        out[(r, 0)] = e;
+        sums[s] += e;
+    }
+    for (r, &s) in seg.iter().enumerate() {
+        out[(r, 0)] /= sums[s];
+    }
+    out
+}
+
+/// Compute the DEC soft assignment `Q` and target `P` from the Student-t
+/// kernel matrix `t` (`n x m`). Exposed for the backward pass and tests.
+pub(crate) fn kl_distributions(t: &Matrix) -> (Matrix, Matrix) {
+    let (n, m) = t.shape();
+    let mut q = Matrix::zeros(n, m);
+    for j in 0..n {
+        let row_sum: f64 = t.row(j).iter().sum();
+        for c in 0..m {
+            q[(j, c)] = t[(j, c)] / row_sum;
+        }
+    }
+    // soft cluster frequencies g_i = Σ_j q_ij
+    let mut g = vec![0.0f64; m];
+    for j in 0..n {
+        for c in 0..m {
+            g[c] += q[(j, c)];
+        }
+    }
+    let mut p = Matrix::zeros(n, m);
+    for j in 0..n {
+        let mut denom = 0.0;
+        for c in 0..m {
+            denom += q[(j, c)] * q[(j, c)] / g[c];
+        }
+        for c in 0..m {
+            p[(j, c)] = (q[(j, c)] * q[(j, c)] / g[c]) / denom;
+        }
+    }
+    (q, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_sub_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(1, 2, vec![1., 2.]), true);
+        let b = tape.leaf(Matrix::from_vec(1, 2, vec![10., 20.]), true);
+        assert_eq!(tape.value(tape.add(a, b)).data(), &[11., 22.]);
+        assert_eq!(tape.value(tape.sub(b, a)).data(), &[9., 18.]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&m);
+        for i in 0..2 {
+            let sum: f64 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(1, 3, vec![0.5, 1.5, -0.5]), false);
+        let ls = tape.log_softmax_rows(a);
+        let s = tape.softmax_rows(a);
+        for j in 0..3 {
+            assert!((tape.value(ls)[(0, j)].exp() - tape.value(s)[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn segment_softmax_normalises_per_segment() {
+        let out = segment_softmax(&[1.0, 2.0, 3.0, 4.0], &[0, 0, 1, 1], 2);
+        assert!((out[(0, 0)] + out[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((out[(2, 0)] + out[(3, 0)] - 1.0).abs() < 1e-12);
+        assert!(out[(1, 0)] > out[(0, 0)]);
+    }
+
+    #[test]
+    fn segment_softmax_singleton_is_one() {
+        let out = segment_softmax(&[5.0], &[0], 1);
+        assert!((out[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_rows_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]), false);
+        let g = tape.gather_rows(a, Rc::new(vec![2, 0, 2]));
+        assert_eq!(tape.value(g).data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn segment_sum_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]), false);
+        let s = tape.segment_sum(a, Rc::new(vec![1, 0, 1]), 2);
+        assert_eq!(tape.value(s).data(), &[2., 2., 4., 4.]);
+    }
+
+    #[test]
+    fn max_rows_takes_columnwise_max() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(2, 2, vec![1., 9., 5., 2.]), false);
+        let m = tape.max_rows(a);
+        assert_eq!(tape.value(m).data(), &[5., 9.]);
+    }
+
+    #[test]
+    fn nll_loss_value() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Matrix::from_vec(2, 2, vec![10.0, 0.0, 0.0, 10.0]), false);
+        let loss = tape.cross_entropy(logits, Rc::new(vec![0, 1]), Rc::new(vec![0, 1]));
+        assert!(tape.value(loss).scalar() < 1e-3);
+    }
+
+    #[test]
+    fn bce_pairs_confident_correct_is_small() {
+        let tape = Tape::new();
+        // rows engineered so that pair (0,1) has large positive dot, (0,2) negative
+        let h = tape.leaf(
+            Matrix::from_vec(3, 2, vec![3., 0., 3., 0., -3., 0.]),
+            false,
+        );
+        let loss = tape.bce_pairs(
+            h,
+            Rc::new(vec![(0, 1), (0, 2)]),
+            Rc::new(vec![1.0, 0.0]),
+        );
+        assert!(tape.value(loss).scalar() < 1e-3);
+    }
+
+    #[test]
+    fn kl_distributions_are_distributions() {
+        let t = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.5, 0.5]);
+        let (q, p) = kl_distributions(&t);
+        for j in 0..3 {
+            assert!((q.row(j).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!((p.row(j).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // P sharpens Q: the dominant entry grows
+        assert!(p[(0, 0)] > q[(0, 0)]);
+    }
+
+    #[test]
+    fn student_t_kl_is_nonnegative() {
+        let tape = Tape::new();
+        let h = tape.leaf(
+            Matrix::from_vec(4, 2, vec![0., 0., 0.1, 0., 5., 5., 5.1, 5.]),
+            true,
+        );
+        let loss = tape.student_t_kl(h, Rc::new(vec![0, 2]));
+        assert!(tape.value(loss).scalar() >= 0.0);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let tape = Tape::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = tape.leaf(Matrix::from_vec(1, 2, vec![1., 2.]), true);
+        let d = tape.dropout(a, 0.0, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn dropout_scales_kept_entries() {
+        let tape = Tape::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = tape.leaf(Matrix::full(1, 1000, 1.0), true);
+        let d = tape.dropout(a, 0.5, &mut rng);
+        let v = tape.value(d);
+        // kept entries are scaled to 2.0; roughly half survive
+        let kept = v.data().iter().filter(|&&x| x > 0.0).count();
+        assert!(v.data().iter().all(|&x| x == 0.0 || (x - 2.0).abs() < 1e-12));
+        assert!(kept > 350 && kept < 650, "kept = {kept}");
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(2, 1, vec![1., 2.]), false);
+        let b = tape.leaf(Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]), false);
+        let c = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(c).data(), &[1., 3., 4., 2., 5., 6.]);
+        let s = tape.slice_cols(c, 1, 3);
+        assert_eq!(tape.value(s).data(), &[3., 4., 5., 6.]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Reverse-mode autograd tape.
+//!
+//! The tape is an append-only arena of nodes. Forward computation is
+//! eager: every op constructor computes its value immediately and records
+//! the operation, so `backward` only has to walk the arena in reverse.
+//!
+//! Design notes
+//! * Ops are an enum, not boxed closures — cheap to match, easy to test,
+//!   and the whole op set is visible in one place (`Op`).
+//! * Sparse-matrix values are ordinary `1 x nnz` variables, so learnable
+//!   sparse entries (AdamGNN's `S_k` fitness scores) receive gradients.
+//! * Gradients are returned as a separate [`Gradients`] store rather than
+//!   written into nodes, which keeps `backward(&self)` free of interior
+//!   mutability headaches and lets callers run several backward passes.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+use crate::csr::Csr;
+use crate::matrix::Matrix;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+pub(crate) struct Node {
+    pub value: Matrix,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// Cached forward state for the Student-t KL (DEC) loss.
+pub(crate) struct KlCache {
+    /// `t[j, i] = (1 + ||h_j - h_{ego_i}||^2)^{-1}`, shape `n x m`.
+    pub t: Matrix,
+}
+
+/// Cached forward state for edge-pair BCE-with-logits.
+pub(crate) struct BceCache {
+    /// Raw logits `z_k = h_i . h_j` per pair.
+    pub logits: Vec<f64>,
+}
+
+/// The operation that produced a node. Payloads are input handles plus
+/// whatever immutable auxiliary data the backward pass needs.
+#[allow(dead_code)] // some payload fields are forward-only
+pub(crate) enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f64),
+    AddScalar(Var, f64),
+    /// `a (n x d) + bias (1 x d)` broadcast over rows.
+    AddBias(Var, Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Relu(Var),
+    LeakyRelu(Var, f64),
+    Sigmoid(Var),
+    Tanh(Var),
+    SoftmaxRows(Var),
+    LogSoftmaxRows(Var),
+    /// `csr(values) * dense`.
+    Spmm { csr: Rc<Csr>, values: Var, dense: Var },
+    /// `csr(values)^T * dense`.
+    SpmmT { csr: Rc<Csr>, values: Var, dense: Var },
+    GatherRows { src: Var, idx: Rc<Vec<usize>> },
+    /// Sum edge messages into `n_seg` buckets: `out[s] = sum_{e: seg[e]=s} src[e]`.
+    SegmentSum { src: Var, seg: Rc<Vec<usize>>, n_seg: usize },
+    /// Softmax over entries sharing a segment id (`scores` is `n_e x 1`).
+    SegmentSoftmax { scores: Var, seg: Rc<Vec<usize>>, n_seg: usize },
+    /// Per-row dot product of two equally-shaped matrices -> `n x 1`.
+    RowDot(Var, Var),
+    /// Scale each row of `a (n x d)` by `col (n x 1)`.
+    MulCol { a: Var, col: Var },
+    ConcatCols(Vec<Var>),
+    SliceCols { src: Var, start: usize, end: usize },
+    SumAll(Var),
+    MeanAll(Var),
+    /// Column-wise mean over rows: `n x d -> 1 x d`.
+    MeanRows(Var),
+    /// Column-wise sum over rows: `n x d -> 1 x d`.
+    SumRows(Var),
+    /// Column-wise max over rows with recorded argmax rows.
+    MaxRows { src: Var, argmax: Rc<Vec<usize>> },
+    /// Mean negative log likelihood over a node subset.
+    NllLoss { logp: Var, targets: Rc<Vec<usize>>, nodes: Rc<Vec<usize>> },
+    /// Mean BCE-with-logits over inner-product pair scores.
+    BcePairs {
+        h: Var,
+        pairs: Rc<Vec<(usize, usize)>>,
+        labels: Rc<Vec<f64>>,
+        cache: Rc<BceCache>,
+    },
+    /// DEC-style Student-t KL clustering loss (AdamGNN Eq. 5).
+    StudentTKl { h: Var, egos: Rc<Vec<usize>>, cache: Rc<KlCache> },
+    /// Inverted-dropout with a fixed mask (entries are 0 or 1/(1-p)).
+    Dropout { src: Var, mask: Rc<Vec<f64>> },
+    /// Row-major reshape (same element count, data order preserved).
+    Reshape(Var),
+    /// Per-column standardisation (graph-norm): `(x - mean) / std`.
+    ColNormalize { src: Var, inv_std: Rc<Vec<f64>> },
+    /// Elementwise exponential.
+    Exp(Var),
+    /// Elementwise natural logarithm (input must be positive).
+    Ln(Var),
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Gradients {
+    pub(crate) grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `v`, if it was reached and requires grad.
+    pub fn get(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Take ownership of a gradient (e.g. to feed an optimizer).
+    pub fn take(&mut self, v: Var) -> Option<Matrix> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+}
+
+/// Append-only autograd arena. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Fresh, empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a leaf holding `value`. Set `requires_grad` for parameters.
+    pub fn leaf(&self, value: Matrix, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Record a constant (non-differentiable) leaf.
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.leaf(value, false)
+    }
+
+    /// Borrow the value of a node.
+    pub fn value(&self, v: Var) -> Ref<'_, Matrix> {
+        Ref::map(self.nodes.borrow(), |nodes| &nodes[v.0].value)
+    }
+
+    /// Clone the value of a node out of the tape.
+    pub fn value_cloned(&self, v: Var) -> Matrix {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    /// Whether the node participates in gradient computation.
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.0].requires_grad
+    }
+
+    pub(crate) fn push(&self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value pushed to tape");
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op, requires_grad });
+        Var(nodes.len() - 1)
+    }
+
+    pub(crate) fn rg(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.0].requires_grad
+    }
+
+    pub(crate) fn rg2(&self, a: Var, b: Var) -> bool {
+        let nodes = self.nodes.borrow();
+        nodes[a.0].requires_grad || nodes[b.0].requires_grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let tape = Tape::new();
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let v = tape.leaf(m.clone(), true);
+        assert_eq!(*tape.value(v), m);
+        assert!(tape.requires_grad(v));
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn constant_does_not_require_grad() {
+        let tape = Tape::new();
+        let v = tape.constant(Matrix::eye(2));
+        assert!(!tape.requires_grad(v));
+    }
+}

@@ -1,0 +1,471 @@
+//! Central-difference gradient checks for every differentiable op.
+//!
+//! These tests are what make the autograd engine trustworthy: each op's
+//! hand-written backward is validated against a numeric gradient on
+//! random inputs.
+
+use std::rc::Rc;
+
+use mg_tensor::{check_gradients, Csr, Matrix, Tape, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 1e-5;
+const TOL: f64 = 1e-6;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn rand_m(r: usize, c: usize, seed: u64) -> Matrix {
+    Matrix::uniform(r, c, -1.0, 1.0, &mut rng(seed))
+}
+
+/// Reduce any matrix-valued var to a scalar with a fixed random projection
+/// so the gradient exercises every output entry with distinct weights.
+fn project(tape: &Tape, v: Var, seed: u64) -> Var {
+    let (r, c) = tape.shape(v);
+    let w = tape.constant(Matrix::uniform(r, c, -1.0, 1.0, &mut rng(seed ^ 0xabcd)));
+    let prod = tape.mul_elem(v, w);
+    tape.sum_all(prod)
+}
+
+#[test]
+fn grad_add() {
+    let rep = check_gradients(&[rand_m(3, 4, 1), rand_m(3, 4, 2)], EPS, |t, v| {
+        let y = t.add(v[0], v[1]);
+        project(t, y, 3)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_sub() {
+    let rep = check_gradients(&[rand_m(3, 4, 4), rand_m(3, 4, 5)], EPS, |t, v| {
+        let y = t.sub(v[0], v[1]);
+        project(t, y, 6)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_mul_elem() {
+    let rep = check_gradients(&[rand_m(3, 4, 7), rand_m(3, 4, 8)], EPS, |t, v| {
+        let y = t.mul_elem(v[0], v[1]);
+        project(t, y, 9)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_scale_and_add_scalar() {
+    let rep = check_gradients(&[rand_m(2, 3, 10)], EPS, |t, v| {
+        let y = t.scale(v[0], -2.5);
+        let z = t.add_scalar(y, 0.7);
+        project(t, z, 11)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_add_bias() {
+    let rep = check_gradients(&[rand_m(4, 3, 12), rand_m(1, 3, 13)], EPS, |t, v| {
+        let y = t.add_bias(v[0], v[1]);
+        project(t, y, 14)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_matmul_both_sides() {
+    let rep = check_gradients(&[rand_m(3, 4, 15), rand_m(4, 2, 16)], EPS, |t, v| {
+        let y = t.matmul(v[0], v[1]);
+        project(t, y, 17)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_transpose() {
+    let rep = check_gradients(&[rand_m(3, 5, 18)], EPS, |t, v| {
+        let y = t.transpose(v[0]);
+        project(t, y, 19)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_relu() {
+    // shift inputs away from the kink at 0
+    let mut x = rand_m(3, 4, 20);
+    for v in x.data_mut() {
+        if v.abs() < 0.05 {
+            *v += 0.1;
+        }
+    }
+    let rep = check_gradients(&[x], EPS, |t, v| {
+        let y = t.relu(v[0]);
+        project(t, y, 21)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_leaky_relu() {
+    let mut x = rand_m(3, 4, 22);
+    for v in x.data_mut() {
+        if v.abs() < 0.05 {
+            *v += 0.1;
+        }
+    }
+    let rep = check_gradients(&[x], EPS, |t, v| {
+        let y = t.leaky_relu(v[0], 0.2);
+        project(t, y, 23)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_sigmoid() {
+    let rep = check_gradients(&[rand_m(3, 4, 24)], EPS, |t, v| {
+        let y = t.sigmoid(v[0]);
+        project(t, y, 25)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_tanh() {
+    let rep = check_gradients(&[rand_m(3, 4, 26)], EPS, |t, v| {
+        let y = t.tanh(v[0]);
+        project(t, y, 27)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_softmax_rows() {
+    let rep = check_gradients(&[rand_m(3, 5, 28)], EPS, |t, v| {
+        let y = t.softmax_rows(v[0]);
+        project(t, y, 29)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_log_softmax_rows() {
+    let rep = check_gradients(&[rand_m(3, 5, 30)], EPS, |t, v| {
+        let y = t.log_softmax_rows(v[0]);
+        project(t, y, 31)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+fn sample_csr() -> Rc<Csr> {
+    // 4x3 sparse pattern with an empty row
+    Rc::new(Csr::from_coo(4, 3, &[(0, 0), (0, 2), (1, 1), (3, 0), (3, 1), (3, 2)]))
+}
+
+#[test]
+fn grad_spmm_values_and_dense() {
+    let csr = sample_csr();
+    let vals = rand_m(1, csr.nnz(), 32);
+    let dense = rand_m(3, 4, 33);
+    let rep = check_gradients(&[vals, dense], EPS, |t, v| {
+        let y = t.spmm(csr.clone(), v[0], v[1]);
+        project(t, y, 34)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_spmm_t_values_and_dense() {
+    let csr = sample_csr();
+    let vals = rand_m(1, csr.nnz(), 35);
+    let dense = rand_m(4, 4, 36);
+    let rep = check_gradients(&[vals, dense], EPS, |t, v| {
+        let y = t.spmm_t(csr.clone(), v[0], v[1]);
+        project(t, y, 37)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_gather_rows_with_repeats() {
+    let idx = Rc::new(vec![2usize, 0, 2, 1]);
+    let rep = check_gradients(&[rand_m(3, 4, 38)], EPS, move |t, v| {
+        let y = t.gather_rows(v[0], idx.clone());
+        project(t, y, 39)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_segment_sum() {
+    let seg = Rc::new(vec![1usize, 0, 1, 2, 0]);
+    let rep = check_gradients(&[rand_m(5, 3, 40)], EPS, move |t, v| {
+        let y = t.segment_sum(v[0], seg.clone(), 3);
+        project(t, y, 41)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_segment_softmax() {
+    let seg = Rc::new(vec![0usize, 0, 1, 1, 1, 2]);
+    let rep = check_gradients(&[rand_m(6, 1, 42)], EPS, move |t, v| {
+        let y = t.segment_softmax(v[0], seg.clone(), 3);
+        project(t, y, 43)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_row_dot() {
+    let rep = check_gradients(&[rand_m(4, 3, 44), rand_m(4, 3, 45)], EPS, |t, v| {
+        let y = t.row_dot(v[0], v[1]);
+        project(t, y, 46)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_mul_col() {
+    let rep = check_gradients(&[rand_m(4, 3, 47), rand_m(4, 1, 48)], EPS, |t, v| {
+        let y = t.mul_col(v[0], v[1]);
+        project(t, y, 49)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_concat_and_slice() {
+    let rep = check_gradients(&[rand_m(3, 2, 50), rand_m(3, 3, 51)], EPS, |t, v| {
+        let y = t.concat_cols(&[v[0], v[1]]);
+        let s = t.slice_cols(y, 1, 4);
+        project(t, s, 52)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_reductions() {
+    let rep = check_gradients(&[rand_m(4, 3, 53)], EPS, |t, v| {
+        let a = t.sum_all(v[0]);
+        let b = t.mean_all(v[0]);
+        let c = project(t, t.mean_rows(v[0]), 54);
+        let d = project(t, t.sum_rows(v[0]), 55);
+        let ab = t.add(a, b);
+        let cd = t.add(c, d);
+        t.add(ab, cd)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_max_rows() {
+    // well-separated values so the argmax is stable under perturbation
+    let x = Matrix::from_vec(3, 2, vec![0.1, 5.0, 3.0, 0.2, 1.0, 1.5]);
+    let rep = check_gradients(&[x], EPS, |t, v| {
+        let y = t.max_rows(v[0]);
+        project(t, y, 56)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_nll_loss_masked() {
+    let rep = check_gradients(&[rand_m(5, 3, 57)], EPS, |t, v| {
+        let logp = t.log_softmax_rows(v[0]);
+        t.nll_loss(logp, Rc::new(vec![0, 2, 1, 0, 2]), Rc::new(vec![0, 2, 4]))
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_bce_pairs() {
+    let pairs = Rc::new(vec![(0usize, 1usize), (1, 2), (0, 3), (3, 3)]);
+    let labels = Rc::new(vec![1.0, 0.0, 1.0, 0.0]);
+    let rep = check_gradients(&[rand_m(4, 3, 58)], EPS, move |t, v| {
+        t.bce_pairs(v[0], pairs.clone(), labels.clone())
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_dropout_fixed_mask() {
+    // dropout draws its mask from an rng at op-construction time; use a
+    // deterministic seed so analytic and numeric passes share the mask.
+    let rep = check_gradients(&[rand_m(3, 4, 59)], EPS, |t, v| {
+        let mut r = rng(1234);
+        let y = t.dropout(v[0], 0.5, &mut r);
+        project(t, y, 60)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+/// The Student-t KL loss detaches the target distribution P (standard
+/// DEC), so we check the analytic gradient against a numeric gradient of
+/// the *P-frozen* objective, computed by hand here.
+#[test]
+fn grad_student_t_kl_with_frozen_target() {
+    let h0 = rand_m(6, 3, 61);
+    let egos = vec![0usize, 3];
+
+    // frozen P from the unperturbed embedding
+    let frozen_p = {
+        let tape = Tape::new();
+        let h = tape.leaf(h0.clone(), false);
+        // recompute q/p exactly as the op does, via a probe: run the op and
+        // recover p from its definition
+        let _ = h;
+        student_t_p(&h0, &egos)
+    };
+    let loss_frozen = |h: &Matrix| -> f64 {
+        let q = student_t_q(h, &egos);
+        let n = h.rows() as f64;
+        let mut l = 0.0;
+        for j in 0..h.rows() {
+            for c in 0..egos.len() {
+                let p = frozen_p[(j, c)];
+                if p > 0.0 {
+                    l += p * (p / q[(j, c)]).ln();
+                }
+            }
+        }
+        l / n
+    };
+
+    // analytic gradient from the op
+    let tape = Tape::new();
+    let h = tape.leaf(h0.clone(), true);
+    let loss = tape.student_t_kl(h, Rc::new(egos.clone()));
+    let grads = tape.backward(loss);
+    let analytic = grads.get(h).expect("gradient must exist");
+
+    // numeric gradient of the P-frozen objective
+    let mut max_err = 0.0f64;
+    for idx in 0..h0.len() {
+        let mut plus = h0.clone();
+        plus.data_mut()[idx] += EPS;
+        let mut minus = h0.clone();
+        minus.data_mut()[idx] -= EPS;
+        let numeric = (loss_frozen(&plus) - loss_frozen(&minus)) / (2.0 * EPS);
+        max_err = max_err.max((numeric - analytic.data()[idx]).abs());
+    }
+    assert!(max_err < 1e-6, "max_err = {max_err}");
+}
+
+fn student_t_q(h: &Matrix, egos: &[usize]) -> Matrix {
+    let n = h.rows();
+    let mut q = Matrix::zeros(n, egos.len());
+    for j in 0..n {
+        let mut sum = 0.0;
+        for (c, &e) in egos.iter().enumerate() {
+            let mut d2 = 0.0;
+            for (a, b) in h.row(j).iter().zip(h.row(e)) {
+                d2 += (a - b) * (a - b);
+            }
+            q[(j, c)] = 1.0 / (1.0 + d2);
+            sum += q[(j, c)];
+        }
+        for c in 0..egos.len() {
+            q[(j, c)] /= sum;
+        }
+    }
+    q
+}
+
+fn student_t_p(h: &Matrix, egos: &[usize]) -> Matrix {
+    let q = student_t_q(h, egos);
+    let (n, m) = q.shape();
+    let mut g = vec![0.0f64; m];
+    for j in 0..n {
+        for c in 0..m {
+            g[c] += q[(j, c)];
+        }
+    }
+    let mut p = Matrix::zeros(n, m);
+    for j in 0..n {
+        let mut denom = 0.0;
+        for c in 0..m {
+            denom += q[(j, c)] * q[(j, c)] / g[c];
+        }
+        for c in 0..m {
+            p[(j, c)] = (q[(j, c)] * q[(j, c)] / g[c]) / denom;
+        }
+    }
+    p
+}
+
+/// Composite end-to-end check: a two-layer GCN-like computation mixing
+/// spmm, matmul, bias, relu and cross-entropy.
+#[test]
+fn grad_composite_gcn_stack() {
+    let csr = sample_csr();
+    // adjacency values as constants, weights as checked inputs
+    let adj_vals = Matrix::uniform(1, csr.nnz(), 0.1, 1.0, &mut rng(62));
+    let x = rand_m(3, 4, 63);
+    let w1 = rand_m(4, 5, 64);
+    let b1 = rand_m(1, 5, 65);
+    let w2 = rand_m(5, 2, 66);
+    let csr_t = Rc::new(
+        // reuse structure transposed so shapes line up for a second hop
+        {
+            let (t, _) = csr.transpose_struct();
+            t
+        },
+    );
+    let adj_vals_t = Matrix::uniform(1, csr_t.nnz(), 0.1, 1.0, &mut rng(67));
+    let rep = check_gradients(&[x, w1, b1, w2], EPS, move |t, v| {
+        let av = t.constant(adj_vals.clone());
+        let avt = t.constant(adj_vals_t.clone());
+        let xw = t.matmul(v[0], v[1]); // 3x5
+        let agg = t.spmm(csr.clone(), av, xw); // 4x5
+        let h = t.relu(t.add_bias(agg, v[2]));
+        let hw = t.matmul(h, v[3]); // 4x2
+        let out = t.spmm(csr_t.clone(), avt, hw); // 3x2
+        t.cross_entropy(out, Rc::new(vec![0, 1, 0]), Rc::new(vec![0, 1, 2]))
+    });
+    assert!(rep.ok(1e-5), "{rep:?}");
+}
+
+#[test]
+fn grad_col_normalize() {
+    let rep = check_gradients(&[rand_m(5, 3, 70)], EPS, |t, v| {
+        let y = t.col_normalize(v[0]);
+        project(t, y, 71)
+    });
+    assert!(rep.ok(1e-5), "{rep:?}");
+}
+
+#[test]
+fn grad_reshape() {
+    let rep = check_gradients(&[rand_m(3, 4, 72)], EPS, |t, v| {
+        let y = t.reshape(v[0], 2, 6);
+        project(t, y, 73)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+#[test]
+fn grad_exp() {
+    let rep = check_gradients(&[rand_m(3, 4, 80)], EPS, |t, v| {
+        let y = t.exp(v[0]);
+        project(t, y, 81)
+    });
+    assert!(rep.ok(1e-5), "{rep:?}");
+}
+
+#[test]
+fn grad_ln_positive_inputs() {
+    let mut x = rand_m(3, 4, 82);
+    for v in x.data_mut() {
+        *v = v.abs() + 0.5; // keep strictly positive
+    }
+    let rep = check_gradients(&[x], EPS, |t, v| {
+        let y = t.ln(v[0]);
+        project(t, y, 83)
+    });
+    assert!(rep.ok(1e-5), "{rep:?}");
+}

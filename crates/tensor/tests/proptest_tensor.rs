@@ -1,0 +1,154 @@
+//! Property-based tests for `Matrix` and `Csr` invariants.
+
+use mg_tensor::{softmax_rows, Csr, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with bounded shape and values.
+fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: matching pair for matmul (a: r x k, b: k x c).
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..6usize, 1..6usize, 1..6usize).prop_flat_map(|(r, k, c)| {
+        (
+            proptest::collection::vec(-5.0..5.0f64, r * k),
+            proptest::collection::vec(-5.0..5.0f64, k * c),
+        )
+            .prop_map(move |(a, b)| (Matrix::from_vec(r, k, a), Matrix::from_vec(k, c, b)))
+    })
+}
+
+/// Strategy: a random sparse pattern with values.
+fn csr_with_values() -> impl Strategy<Value = (Csr, Vec<f64>)> {
+    (2..8usize, 2..8usize).prop_flat_map(|(r, c)| {
+        proptest::collection::btree_set((0..r as u32, 0..c as u32), 0..(r * c).min(12))
+            .prop_flat_map(move |set| {
+                let entries: Vec<(u32, u32)> = set.into_iter().collect();
+                let nnz = entries.len();
+                proptest::collection::vec(-5.0..5.0f64, nnz).prop_map(move |vals| {
+                    (Csr::from_coo(r, c, &entries), vals)
+                })
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix(8, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left(m in matrix(6, 6)) {
+        let id = Matrix::eye(m.rows());
+        let out = id.matmul(&m);
+        for i in 0..m.len() {
+            prop_assert!((out.data()[i] - m.data()[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (A B)^T == B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for i in 0..left.len() {
+            prop_assert!((left.data()[i] - right.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_nt_agree_with_naive((a, b) in matmul_pair()) {
+        let tn = a.transpose().matmul_tn(&b); // (A^T)^T B = A B
+        let plain = a.matmul(&b);
+        for i in 0..tn.len() {
+            prop_assert!((tn.data()[i] - plain.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(6, 6)) {
+        let s = softmax_rows(&m);
+        for i in 0..s.rows() {
+            let sum: f64 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn csr_spmm_matches_dense((csr, vals) in csr_with_values(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::uniform(csr.cols(), 3, -2.0, 2.0, &mut rng);
+        let sparse = csr.spmm(&vals, &x);
+        let dense = csr.to_dense(&vals).matmul(&x);
+        for i in 0..sparse.len() {
+            prop_assert!((sparse.data()[i] - dense.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_spmm_t_matches_dense((csr, vals) in csr_with_values(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::uniform(csr.rows(), 3, -2.0, 2.0, &mut rng);
+        let sparse = csr.spmm_t(&vals, &x);
+        let dense = csr.to_dense(&vals).transpose().matmul(&x);
+        for i in 0..sparse.len() {
+            prop_assert!((sparse.data()[i] - dense.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_struct_preserves_entries((csr, vals) in csr_with_values()) {
+        let (t, perm) = csr.transpose_struct();
+        prop_assert_eq!(t.nnz(), csr.nnz());
+        let tvals: Vec<f64> = perm.iter().map(|&k| vals[k]).collect();
+        prop_assert_eq!(t.to_dense(&tvals), csr.to_dense(&vals).transpose());
+    }
+
+    #[test]
+    fn csr_spgemm_matches_dense(
+        (a, va) in csr_with_values(),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // build a compatible random B
+        let bc = 4usize;
+        let mut entries = Vec::new();
+        for r in 0..a.cols() {
+            for c in 0..bc {
+                if rand::RngExt::random::<f64>(&mut rng) < 0.4 {
+                    entries.push((r as u32, c as u32));
+                }
+            }
+        }
+        let vb: Vec<f64> = (0..entries.len())
+            .map(|_| rand::RngExt::random_range(&mut rng, -3.0..3.0))
+            .collect();
+        let b = Csr::from_coo(a.cols(), bc, &entries);
+        let (c, vc) = a.spgemm(&va, &b, &vb);
+        let dense = a.to_dense(&va).matmul(&b.to_dense(&vb));
+        let got = c.to_dense(&vc);
+        for i in 0..dense.len() {
+            prop_assert!((got.data()[i] - dense.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vstack_preserves_rows(m1 in matrix(4, 3), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m2 = Matrix::uniform(2, m1.cols(), -1.0, 1.0, &mut rng);
+        let v = Matrix::vstack(&[&m1, &m2]);
+        prop_assert_eq!(v.rows(), m1.rows() + 2);
+        prop_assert_eq!(v.row(0), m1.row(0));
+        prop_assert_eq!(v.row(m1.rows()), m2.row(0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Node classification on a Cora-like citation network: AdamGNN against
+//! the flat GCN baseline, reproducing the shape of the paper's Table 2.
+//!
+//! Run with: `cargo run --release --example citation_node_classification`
+
+use adamgnn_repro::data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
+use adamgnn_repro::eval::{run_node_classification, NodeModelKind, TrainConfig};
+
+fn main() {
+    // A scaled-down Cora analogue (same class structure; see DESIGN.md for
+    // the synthetic-data substitution rationale).
+    let ds = make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig { scale: 0.25, max_feat_dim: 128, seed: 7 },
+    );
+    println!(
+        "dataset: {} ({} nodes, {} edges, {} classes, {} features)\n",
+        ds.name,
+        ds.n(),
+        ds.graph.num_edges(),
+        ds.num_classes,
+        ds.feat_dim()
+    );
+
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.01,
+        patience: 20,
+        hidden: 32,
+        levels: 3,
+        seed: 1,
+        ..Default::default()
+    };
+    for kind in [NodeModelKind::Gcn, NodeModelKind::Gat, NodeModelKind::AdamGnn] {
+        let started = std::time::Instant::now();
+        let res = run_node_classification(kind, &ds, &cfg);
+        println!(
+            "{:10}  test accuracy = {:5.2}%   (val {:5.2}%, {} epochs, {:.1}s)",
+            kind.name(),
+            100.0 * res.test_metric,
+            100.0 * res.val_metric,
+            res.epochs_run,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nAdamGNN's multi-grained messages typically lift accuracy over");
+    println!("the flat baselines on community-structured citation graphs.");
+}

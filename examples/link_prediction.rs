@@ -1,0 +1,46 @@
+//! Link prediction on a DBLP-like co-authorship network, evaluated with
+//! ROC-AUC on held-out edges — the paper's strongest result (Table 2
+//! reports up to 25% AUC improvement for AdamGNN).
+//!
+//! Run with: `cargo run --release --example link_prediction`
+
+use adamgnn_repro::data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
+use adamgnn_repro::eval::{run_link_prediction, NodeModelKind, TrainConfig};
+
+fn main() {
+    let ds = make_node_dataset(
+        NodeDatasetKind::Dblp,
+        &NodeGenConfig { scale: 0.4, max_feat_dim: 256, seed: 9 },
+    );
+    println!(
+        "dataset: {} ({} nodes, {} edges; 80/10/10 edge split + sampled non-edges)\n",
+        ds.name,
+        ds.n(),
+        ds.graph.num_edges()
+    );
+
+    let cfg = TrainConfig {
+        epochs: 80,
+        lr: 0.01,
+        patience: 80,
+        hidden: 64,
+        levels: 4,
+        seed: 4,
+        ..Default::default()
+    };
+    for kind in [NodeModelKind::Gcn, NodeModelKind::GraphSage, NodeModelKind::AdamGnn] {
+        let started = std::time::Instant::now();
+        let res = run_link_prediction(kind, &ds, &cfg);
+        println!(
+            "{:10}  test ROC-AUC = {:.3}   (val {:.3}, {} epochs, {:.1}s)",
+            kind.name(),
+            res.test_metric,
+            res.val_metric,
+            res.epochs_run,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nFor link prediction AdamGNN trains with L = L_R + γ L_KL: the");
+    println!("reconstruction objective *is* the task, and the KL term sharpens");
+    println!("the ego-network structure the decoder exploits.");
+}

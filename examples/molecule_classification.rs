@@ -1,0 +1,48 @@
+//! Graph classification on a Mutagenicity-like molecule dataset: hierarchical
+//! pooling (AdamGNN, SAGPool) against the flat GIN baseline — the
+//! workload of the paper's Table 1.
+//!
+//! Run with: `cargo run --release --example molecule_classification`
+
+use adamgnn_repro::data::{make_graph_dataset, GraphDatasetKind, GraphGenConfig};
+use adamgnn_repro::eval::{GraphModelKind, TrainConfig};
+use adamgnn_repro::eval::graph_tasks::run_graph_classification;
+
+fn main() {
+    let ds = make_graph_dataset(
+        GraphDatasetKind::Mutagenicity,
+        &GraphGenConfig { scale: 0.1, max_nodes: 40, seed: 5 },
+    );
+    println!(
+        "dataset: {} ({} graphs, avg {:.1} nodes, avg {:.1} edges, {} atom types)\n",
+        ds.name,
+        ds.len(),
+        ds.avg_nodes(),
+        ds.avg_edges(),
+        ds.feat_dim
+    );
+
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.01,
+        patience: 60,
+        hidden: 32,
+        levels: 2,
+        seed: 2,
+        ..Default::default()
+    };
+    for kind in [GraphModelKind::Gin, GraphModelKind::SagPool, GraphModelKind::AdamGnn] {
+        let started = std::time::Instant::now();
+        let res = run_graph_classification(kind, &ds, &cfg);
+        println!(
+            "{:10}  test accuracy = {:5.2}%   ({:.3}s/epoch, total {:.1}s)",
+            kind.name(),
+            100.0 * res.test_accuracy,
+            res.epoch_seconds,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nThe class signal is a planted ring motif over marked atoms — the");
+    println!("meso-level structure hierarchical pooling captures. Single runs at");
+    println!("this scale are noisy; see EXPERIMENTS.md for multi-seed tables.");
+}

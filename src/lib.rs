@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the AdamGNN reproduction workspace for examples and integration tests.
+pub use adamgnn_core as core;
+pub use mg_data as data;
+pub use mg_eval as eval;
+pub use mg_graph as graph;
+pub use mg_nn as nn;
+pub use mg_tensor as tensor;
