@@ -17,7 +17,11 @@ use std::rc::Rc;
 fn bench_epoch(c: &mut Criterion) {
     let ds = make_graph_dataset(
         GraphDatasetKind::Nci1,
-        &GraphGenConfig { scale: 0.01, max_nodes: 40, seed: 1 },
+        &GraphGenConfig {
+            scale: 0.01,
+            max_nodes: 40,
+            seed: 1,
+        },
     );
     let contexts = build_contexts(&ds);
     let mut group = c.benchmark_group("train_epoch_nci1_sample");
@@ -29,7 +33,11 @@ fn bench_epoch(c: &mut Criterion) {
         GraphModelKind::StructPool,
         GraphModelKind::AdamGnn,
     ] {
-        let cfg = TrainConfig { levels: 3, hidden: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            levels: 3,
+            hidden: 32,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let model = kind.build(&mut store, ds.feat_dim, 32, 2, &cfg, &mut rng);
@@ -41,11 +49,8 @@ fn bench_epoch(c: &mut Criterion) {
                 let mut losses = Vec::new();
                 for (ctx, label) in &contexts {
                     let out = model.forward(&tape, &bind, ctx, true, &mut rng);
-                    let ce = tape.cross_entropy(
-                        out.logits,
-                        Rc::new(vec![*label]),
-                        Rc::new(vec![0]),
-                    );
+                    let ce =
+                        tape.cross_entropy(out.logits, Rc::new(vec![*label]), Rc::new(vec![0]));
                     losses.push(match out.aux_loss {
                         Some(aux) => tape.add(ce, aux),
                         None => ce,

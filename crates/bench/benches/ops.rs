@@ -1,14 +1,19 @@
 //! Criterion micro-benchmarks for the autograd substrate: the operations
 //! that dominate AdamGNN training time (spmm, matmul, segment softmax,
-//! fitness scoring, full forward/backward).
+//! fitness scoring, full forward/backward), plus serial-vs-parallel
+//! comparisons of every mg-runtime-dispatched kernel. Finishes by
+//! writing `BENCH_ops.json` (see `mg_bench::opsbench`); set
+//! `MG_BENCH_JSON=<path>` to also dump the raw criterion measurements.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mg_graph::{gcn_norm, Topology};
+use mg_runtime::{with_pool, Pool};
 use mg_tensor::{Matrix, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use std::rc::Rc;
+use std::sync::Arc;
 
 fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -88,8 +93,7 @@ fn bench_fitness(c: &mut Criterion) {
 fn bench_segment_softmax(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let scores = Matrix::uniform(16000, 1, -2.0, 2.0, &mut rng);
-    let seg: Rc<Vec<usize>> =
-        Rc::new((0..16000).map(|_| rng.random_range(0..2000)).collect());
+    let seg: Rc<Vec<usize>> = Rc::new((0..16000).map(|_| rng.random_range(0..2000)).collect());
     c.bench_function("segment_softmax_16k_entries", |bencher| {
         bencher.iter(|| {
             let tape = Tape::new();
@@ -99,10 +103,70 @@ fn bench_segment_softmax(c: &mut Criterion) {
     });
 }
 
+/// Serial vs parallel for the runtime-dispatched dense kernels: the same
+/// closure timed under a one-thread pool (exact serial path) and under
+/// the `MG_NUM_THREADS`-sized pool (default 4). Without the `parallel`
+/// feature both halves run serial — the pair then doubles as a
+/// dispatch-overhead check.
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let b = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let serial = Arc::new(Pool::new(1));
+    let par = Arc::new(Pool::new(mg_bench::opsbench::pool_threads()));
+    c.bench_function("matmul_512x512x512/serial", |bencher| {
+        bencher.iter(|| with_pool(serial.clone(), || black_box(a.matmul(&b))))
+    });
+    let name = format!("matmul_512x512x512/par{}", par.threads());
+    c.bench_function(&name, |bencher| {
+        bencher.iter(|| with_pool(par.clone(), || black_box(a.matmul(&b))))
+    });
+}
+
+/// Serial vs parallel for the sparse kernels (spmm forward and its
+/// transpose), same pool protocol as the matmul pair.
+fn bench_spmm_serial_vs_parallel(c: &mut Criterion) {
+    let g = random_graph(2000, 8000, 9);
+    let norm = gcn_norm(&g);
+    let mut rng = StdRng::seed_from_u64(10);
+    let x = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    let serial = Arc::new(Pool::new(1));
+    let par = Arc::new(Pool::new(mg_bench::opsbench::pool_threads()));
+    c.bench_function("spmm_2k_nodes_8k_edges_d64/serial", |bencher| {
+        bencher.iter(|| {
+            with_pool(serial.clone(), || {
+                black_box(norm.csr.spmm(&norm.values, &x))
+            })
+        })
+    });
+    let name = format!("spmm_2k_nodes_8k_edges_d64/par{}", par.threads());
+    c.bench_function(&name, |bencher| {
+        bencher.iter(|| with_pool(par.clone(), || black_box(norm.csr.spmm(&norm.values, &x))))
+    });
+    c.bench_function("spmm_t_2k_nodes_8k_edges_d64/serial", |bencher| {
+        bencher.iter(|| {
+            with_pool(serial.clone(), || {
+                black_box(norm.csr.spmm_t(&norm.values, &x))
+            })
+        })
+    });
+    let name = format!("spmm_t_2k_nodes_8k_edges_d64/par{}", par.threads());
+    c.bench_function(&name, |bencher| {
+        bencher.iter(|| with_pool(par.clone(), || black_box(norm.csr.spmm_t(&norm.values, &x))))
+    });
+}
+
+/// Not a benchmark: runs the opsbench suite once at the end of the run
+/// and writes `BENCH_ops.json` with serial/parallel ns-per-op medians.
+fn emit_bench_ops_json(_c: &mut Criterion) {
+    mg_bench::opsbench::emit_default();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_matmul, bench_spmm, bench_gcn_forward_backward, bench_fitness,
-              bench_segment_softmax
+              bench_segment_softmax, bench_matmul_serial_vs_parallel,
+              bench_spmm_serial_vs_parallel, emit_bench_ops_json
 }
 criterion_main!(benches);

@@ -65,8 +65,8 @@ fn run_variant(
 fn main() {
     let cfg = BenchConfig::from_env();
     cfg.banner("Design ablations: fitness linearity term and ego radius λ (node classification)");
-    let datasets =
-        [NodeDatasetKind::Cora, NodeDatasetKind::Acm].map(|k| make_node_dataset(k, &cfg.node_gen()));
+    let datasets = [NodeDatasetKind::Cora, NodeDatasetKind::Acm]
+        .map(|k| make_node_dataset(k, &cfg.node_gen()));
 
     let variants: [(&str, usize, bool); 3] = [
         ("full fitness, λ=1 (paper)", 1, true),

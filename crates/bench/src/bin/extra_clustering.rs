@@ -10,11 +10,19 @@ use mg_eval::{run_node_clustering, NodeModelKind, TextTable};
 fn main() {
     let cfg = BenchConfig::from_env();
     cfg.banner("Extension: unsupervised node clustering (NMI)");
-    let datasets = [NodeDatasetKind::Emails, NodeDatasetKind::Cora, NodeDatasetKind::Acm]
-        .map(|k| make_node_dataset(k, &cfg.node_gen()));
+    let datasets = [
+        NodeDatasetKind::Emails,
+        NodeDatasetKind::Cora,
+        NodeDatasetKind::Acm,
+    ]
+    .map(|k| make_node_dataset(k, &cfg.node_gen()));
 
     let mut table = TextTable::new(&["Models", "Emails", "Cora", "ACM"]);
-    for model in [NodeModelKind::Gcn, NodeModelKind::GraphSage, NodeModelKind::AdamGnn] {
+    for model in [
+        NodeModelKind::Gcn,
+        NodeModelKind::GraphSage,
+        NodeModelKind::AdamGnn,
+    ] {
         let mut row = vec![model.name().to_string()];
         for ds in &datasets {
             let scores: Vec<f64> = (0..cfg.seeds)

@@ -1,0 +1,16 @@
+//! Standalone kernel-timing report: times every mg-runtime-dispatched
+//! kernel serial-vs-parallel and writes `BENCH_ops.json`.
+//!
+//! Faster than the full criterion `ops` bench when only the JSON report
+//! is wanted:
+//!
+//! ```text
+//! cargo run --release -p mg-bench --features parallel --bin ops_report
+//! ```
+//!
+//! `MG_NUM_THREADS` sizes the parallel pool (default 4);
+//! `MG_BENCH_OPS_JSON` overrides the output path.
+
+fn main() {
+    mg_bench::opsbench::emit_default();
+}

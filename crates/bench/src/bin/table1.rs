@@ -36,9 +36,7 @@ fn main() {
         let mut row = vec![model.name().to_string()];
         for (_, ds) in &datasets {
             let accs: Vec<f64> = (0..cfg.seeds)
-                .map(|seed| {
-                    run_graph_classification(model, ds, &cfg.train(seed, 3)).test_accuracy
-                })
+                .map(|seed| run_graph_classification(model, ds, &cfg.train(seed, 3)).test_accuracy)
                 .collect();
             row.push(pct(mean(&accs)));
             eprint!(".");
@@ -47,4 +45,7 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
+    // Kernel-level serial-vs-parallel report alongside the table (set
+    // MG_BENCH_OPS_JSON=skip to suppress).
+    mg_bench::opsbench::emit_default();
 }

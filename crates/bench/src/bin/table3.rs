@@ -16,7 +16,10 @@ use adamgnn_core::LossWeights;
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, make_node_dataset, GraphDatasetKind, NodeDatasetKind};
 use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind, TextTable};
+use mg_eval::{
+    auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind,
+    TextTable,
+};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -26,9 +29,27 @@ fn main() {
     let muta = make_graph_dataset(GraphDatasetKind::Mutagenicity, &cfg.graph_gen());
 
     let variants: [(&str, LossWeights); 4] = [
-        ("AdamGNN + L_task", LossWeights { gamma: 0.0, delta: 0.0 }),
-        ("AdamGNN + L_task + L_KL", LossWeights { gamma: 0.1, delta: 0.0 }),
-        ("AdamGNN + L_task + L_R", LossWeights { gamma: 0.0, delta: 0.01 }),
+        (
+            "AdamGNN + L_task",
+            LossWeights {
+                gamma: 0.0,
+                delta: 0.0,
+            },
+        ),
+        (
+            "AdamGNN + L_task + L_KL",
+            LossWeights {
+                gamma: 0.1,
+                delta: 0.0,
+            },
+        ),
+        (
+            "AdamGNN + L_task + L_R",
+            LossWeights {
+                gamma: 0.0,
+                delta: 0.01,
+            },
+        ),
         ("AdamGNN (Full model)", LossWeights::default()),
     ];
 
@@ -50,12 +71,21 @@ fn main() {
             "-".to_string()
         };
         let nc: Vec<f64> = (0..cfg.seeds)
-            .map(|s| run_node_classification(NodeModelKind::AdamGnn, &citeseer, &mk(s, 3)).test_metric)
+            .map(|s| {
+                run_node_classification(NodeModelKind::AdamGnn, &citeseer, &mk(s, 3)).test_metric
+            })
             .collect();
         let gc: Vec<f64> = (0..cfg.seeds)
-            .map(|s| run_graph_classification(GraphModelKind::AdamGnn, &muta, &mk(s, 3)).test_accuracy)
+            .map(|s| {
+                run_graph_classification(GraphModelKind::AdamGnn, &muta, &mk(s, 3)).test_accuracy
+            })
             .collect();
-        table.row(vec![name.to_string(), lp_cell, pct(mean(&nc)), pct(mean(&gc))]);
+        table.row(vec![
+            name.to_string(),
+            lp_cell,
+            pct(mean(&nc)),
+            pct(mean(&gc)),
+        ]);
         eprintln!("done: {name}");
     }
     println!("{}", table.render());

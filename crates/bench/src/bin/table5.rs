@@ -21,8 +21,10 @@ fn main() {
         GraphDatasetKind::Nci109,
         GraphDatasetKind::Mutagenicity,
     ];
-    let ds: Vec<_> =
-        datasets.iter().map(|&k| make_graph_dataset(k, &cfg.graph_gen())).collect();
+    let ds: Vec<_> = datasets
+        .iter()
+        .map(|&k| make_graph_dataset(k, &cfg.graph_gen()))
+        .collect();
 
     let mut table = TextTable::new(&["AdamGNN", "NCI1", "NCI109", "Mutagenicity"]);
     for (name, flyback) in [("No flyback aggregation", false), ("Full model", true)] {

@@ -14,7 +14,10 @@
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, make_node_dataset, GraphDatasetKind, NodeDatasetKind};
 use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind, TextTable};
+use mg_eval::{
+    auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind,
+    TextTable,
+};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -38,7 +41,10 @@ fn main() {
     for levels in 2..=5usize {
         let lp = |ds| {
             let xs: Vec<f64> = (0..cfg.seeds)
-                .map(|s| run_link_prediction(NodeModelKind::AdamGnn, ds, &cfg.train(s, levels)).test_metric)
+                .map(|s| {
+                    run_link_prediction(NodeModelKind::AdamGnn, ds, &cfg.train(s, levels))
+                        .test_metric
+                })
                 .collect();
             auc(mean(&xs))
         };
@@ -52,7 +58,10 @@ fn main() {
             pct(mean(&xs))
         };
         let gc: Vec<f64> = (0..cfg.seeds)
-            .map(|s| run_graph_classification(GraphModelKind::AdamGnn, &muta, &cfg.train(s, levels)).test_accuracy)
+            .map(|s| {
+                run_graph_classification(GraphModelKind::AdamGnn, &muta, &cfg.train(s, levels))
+                    .test_accuracy
+            })
             .collect();
         table.row(vec![
             levels.to_string(),

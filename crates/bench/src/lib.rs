@@ -18,9 +18,14 @@ use adamgnn_core::LossWeights;
 use mg_data::{GraphGenConfig, NodeGenConfig};
 use mg_eval::TrainConfig;
 
+pub mod opsbench;
+
 /// Read an environment variable with a typed default.
 pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Benchmark-wide settings.
@@ -47,12 +52,20 @@ impl BenchConfig {
 
     /// Node-dataset generation options.
     pub fn node_gen(&self) -> NodeGenConfig {
-        NodeGenConfig { scale: self.node_scale, max_feat_dim: 256, seed: 42 }
+        NodeGenConfig {
+            scale: self.node_scale,
+            max_feat_dim: 256,
+            seed: 42,
+        }
     }
 
     /// Graph-dataset generation options.
     pub fn graph_gen(&self) -> GraphGenConfig {
-        GraphGenConfig { scale: self.graph_scale, max_nodes: 60, seed: 42 }
+        GraphGenConfig {
+            scale: self.graph_scale,
+            max_nodes: 60,
+            seed: 42,
+        }
     }
 
     /// Trainer options for one run.

@@ -1,0 +1,209 @@
+//! Serial-vs-parallel kernel timings, exported as `BENCH_ops.json`.
+//!
+//! The suite times each hot kernel twice in one process — under a
+//! one-thread pool (the exact serial path) and under an N-thread pool —
+//! using `mg_runtime::with_pool`, and writes a machine-readable JSON
+//! report. Both the `ops` criterion bench and the `table1` binary call
+//! [`emit_default`], so every benchmark run leaves a fresh report behind.
+//!
+//! Pool size resolution: `MG_NUM_THREADS` if set, else 4 (the paper
+//! repo's reference configuration), regardless of host cores — on a
+//! smaller machine the report then documents the oversubscribed reality
+//! instead of silently shrinking the comparison.
+
+use mg_graph::{gcn_norm, Topology};
+use mg_runtime::{with_pool, Pool};
+use mg_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One kernel's serial and parallel medians.
+#[derive(Clone, Debug)]
+pub struct OpTiming {
+    pub op: &'static str,
+    pub serial_ns: f64,
+    pub parallel_ns: f64,
+}
+
+impl OpTiming {
+    /// Serial / parallel ratio (>1 means the pool helped).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ns > 0.0 {
+            self.serial_ns / self.parallel_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Median of `samples` timed runs of `f`, in ns.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    // one untimed warm-up pass so allocators and the pool are hot
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = times.len();
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        0.5 * (times[n / 2 - 1] + times[n / 2])
+    }
+}
+
+fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m + n);
+    for v in 1..n as u32 {
+        edges.push((rng.random_range(0..v), v));
+    }
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Topology::from_edges(n, &edges)
+}
+
+/// The thread count the parallel half of the comparison uses:
+/// `MG_NUM_THREADS` if set, else 4.
+pub fn pool_threads() -> usize {
+    mg_runtime::parse_threads(std::env::var("MG_NUM_THREADS").ok().as_deref(), 4)
+}
+
+/// Time every hot kernel serial-vs-parallel. `samples` is the number of
+/// timed repetitions per kernel (the median is reported).
+pub fn run_suite(threads: usize, samples: usize) -> Vec<OpTiming> {
+    let serial = Arc::new(Pool::new(1));
+    let pool = Arc::new(Pool::new(threads));
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let a512 = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let b512 = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let g = random_graph(2000, 8000, 1);
+    let norm = gcn_norm(&g);
+    let x = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    let big = Matrix::uniform(1000, 512, -1.0, 1.0, &mut rng);
+
+    let mut out = Vec::new();
+    let mut record = |op: &'static str, f: &dyn Fn()| {
+        let serial_ns = with_pool(serial.clone(), || median_ns(samples, f));
+        let parallel_ns = with_pool(pool.clone(), || median_ns(samples, f));
+        out.push(OpTiming {
+            op,
+            serial_ns,
+            parallel_ns,
+        });
+    };
+
+    record("matmul_512x512x512", &|| {
+        black_box(a512.matmul(&b512));
+    });
+    record("matmul_tn_512", &|| {
+        black_box(a512.matmul_tn(&b512));
+    });
+    record("matmul_nt_512", &|| {
+        black_box(a512.matmul_nt(&b512));
+    });
+    record("spmm_2k_nodes_8k_edges_d64", &|| {
+        black_box(norm.csr.spmm(&norm.values, &x));
+    });
+    record("spmm_t_2k_nodes_8k_edges_d64", &|| {
+        black_box(norm.csr.spmm_t(&norm.values, &x));
+    });
+    record("map_512k_elems", &|| {
+        black_box(big.map(|v| (v * 0.5).tanh()));
+    });
+    record("zip_512k_elems", &|| {
+        black_box(big.zip(&big, |p, q| p * q + 0.5 * p));
+    });
+    out
+}
+
+/// Render the suite results as the `BENCH_ops.json` document.
+pub fn to_json(threads: usize, timings: &[OpTiming]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entries: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"op\": \"{}\", \"serial_ns\": {:.0}, \"parallel_ns\": {:.0}, \
+                 \"speedup\": {:.3}}}",
+                t.op,
+                t.serial_ns,
+                t.parallel_ns,
+                t.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"host_threads\": {host},\n  \"pool_threads\": {threads},\n  \
+         \"parallel_feature\": {},\n  \"ops\": [\n{}\n  ]\n}}\n",
+        cfg!(feature = "parallel"),
+        entries.join(",\n")
+    )
+}
+
+/// Run the suite with default settings and write `BENCH_ops.json` (path
+/// overridable via `MG_BENCH_OPS_JSON`). Prints a short summary table to
+/// stderr. Skips silently when `MG_BENCH_OPS_JSON` is set to `skip`.
+pub fn emit_default() {
+    let path = std::env::var("MG_BENCH_OPS_JSON").unwrap_or_else(|_| "BENCH_ops.json".into());
+    if path == "skip" {
+        return;
+    }
+    let threads = pool_threads();
+    let timings = run_suite(threads, 7);
+    for t in &timings {
+        eprintln!(
+            "ops {:<30} serial {:>12.0} ns   parallel({threads}t) {:>12.0} ns   x{:.2}",
+            t.op,
+            t.serial_ns,
+            t.parallel_ns,
+            t.speedup()
+        );
+    }
+    let json = to_json(threads, &timings);
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_reports_all_ops_and_valid_json_shape() {
+        let timings = run_suite(2, 1);
+        assert!(timings.len() >= 5);
+        assert!(timings
+            .iter()
+            .all(|t| t.serial_ns > 0.0 && t.parallel_ns > 0.0));
+        let json = to_json(2, &timings);
+        assert!(json.contains("\"pool_threads\": 2"));
+        assert!(json.contains("\"op\": \"matmul_512x512x512\""));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn pool_threads_defaults_to_four_without_env() {
+        // MG_NUM_THREADS may be set by the harness; only check the
+        // fallback arithmetic here.
+        assert_eq!(mg_runtime::parse_threads(None, 4), 4);
+        assert_eq!(mg_runtime::parse_threads(Some("6"), 4), 6);
+    }
+}

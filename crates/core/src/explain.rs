@@ -52,14 +52,13 @@ impl AdamGnnOutput {
             let s_vals: Vec<f64> = tape.value(level.s_vals).data().to_vec();
             cum = Some(match cum {
                 None => ((*level.s_csr).clone(), s_vals),
-                Some((prev_csr, prev_vals)) => {
-                    prev_csr.spgemm(&prev_vals, &level.s_csr, &s_vals)
-                }
+                Some((prev_csr, prev_vals)) => prev_csr.spgemm(&prev_vals, &level.s_csr, &s_vals),
             });
             let (csr, vals) = cum.as_ref().expect("just set");
             // strongest hyper-node of `node` at this level
             let range = csr.row_range(node);
-            let (hyper_node, membership) = csr.row_indices(node)
+            let (hyper_node, membership) = csr
+                .row_indices(node)
                 .iter()
                 .zip(&vals[range])
                 .map(|(&c, &v)| (c as usize, v))
@@ -71,7 +70,9 @@ impl AdamGnnOutput {
             } else {
                 (0..csr.rows())
                     .filter(|&r| {
-                        csr.row_indices(r).binary_search(&(hyper_node as u32)).is_ok()
+                        csr.row_indices(r)
+                            .binary_search(&(hyper_node as u32))
+                            .is_ok()
                     })
                     .collect()
             };
@@ -100,7 +101,16 @@ mod tests {
         // two triangles bridged by a path node
         let g = Topology::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+            ],
         );
         let ctx = GraphCtx::new(g, Matrix::eye(7));
         let mut store = ParamStore::new();

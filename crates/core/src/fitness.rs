@@ -70,7 +70,10 @@ impl EgoPairs {
                 }
             }
         }
-        EgoPairs { src: Rc::new(src), dst: Rc::new(dst) }
+        EgoPairs {
+            src: Rc::new(src),
+            dst: Rc::new(dst),
+        }
     }
 
     /// Number of pairs.
@@ -175,8 +178,7 @@ mod tests {
         let (topo, h) = setup();
         let pairs = EgoPairs::build(&topo, 1);
         let mut store = ParamStore::new();
-        let params =
-            AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
+        let params = AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let hv = tape.constant(h);
@@ -193,8 +195,7 @@ mod tests {
         let (topo, h) = setup();
         let pairs = EgoPairs::build(&topo, 1);
         let mut store = ParamStore::new();
-        let params =
-            AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
+        let params = AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let hv = tape.constant(h.clone());
@@ -217,8 +218,7 @@ mod tests {
         let (topo, h) = setup();
         let pairs = EgoPairs::build(&topo, 1);
         let mut store = ParamStore::new();
-        let params =
-            AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
+        let params = AttentionParams::new(&mut store, "fit", 4, &mut StdRng::seed_from_u64(0));
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let hv = tape.leaf(h, true);

@@ -45,7 +45,11 @@ impl AdamGnnGc {
             &[2 * cfg.hidden, cfg.hidden, classes],
             rng,
         );
-        AdamGnnGc { core: AdamGnn::new(store, cfg, rng), head, weights }
+        AdamGnnGc {
+            core: AdamGnn::new(store, cfg, rng),
+            head,
+            weights,
+        }
     }
 
     /// Access the underlying model (for ablations).
@@ -78,7 +82,10 @@ impl GraphClassifier for AdamGnnGc {
             let recon_term = tape.scale(recon, self.weights.delta);
             Some(tape.add(kl_term, recon_term))
         };
-        GcOutput { logits, aux_loss: aux }
+        GcOutput {
+            logits,
+            aux_loss: aux,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -104,7 +111,10 @@ impl AdamGnnNode {
         rng: &mut StdRng,
     ) -> Self {
         let head = Mlp::new(store, "adam.node_head", &[cfg.hidden, out_dim], rng);
-        AdamGnnNode { core: AdamGnn::new(store, cfg, rng), head }
+        AdamGnnNode {
+            core: AdamGnn::new(store, cfg, rng),
+            head,
+        }
     }
 
     /// Access the underlying model.
@@ -149,8 +159,7 @@ impl NodeEncoder for AdamGnnNode {
 mod tests {
     use super::*;
     use mg_nn::testkit::{
-        graph_classifier_accuracy, ring_vs_star_samples, train_graph_classifier,
-        two_community_ctx,
+        graph_classifier_accuracy, ring_vs_star_samples, train_graph_classifier, two_community_ctx,
     };
     use mg_tensor::AdamConfig;
     use rand::SeedableRng;
@@ -188,8 +197,7 @@ mod tests {
             let task = tape.cross_entropy(logits, targets.clone(), nodes.clone());
             let kl = kl_loss(&tape, out.h, &out.egos_l1);
             let recon = reconstruction_loss(&tape, out.h, &ctx.graph, &mut rng);
-            let loss =
-                crate::loss::total_loss(&tape, task, kl, recon, &LossWeights::default());
+            let loss = crate::loss::total_loss(&tape, task, kl, recon, &LossWeights::default());
             last = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);

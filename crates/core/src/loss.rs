@@ -23,7 +23,10 @@ pub struct LossWeights {
 
 impl Default for LossWeights {
     fn default() -> Self {
-        LossWeights { gamma: 0.1, delta: 0.01 }
+        LossWeights {
+            gamma: 0.1,
+            delta: 0.01,
+        }
     }
 }
 
@@ -66,13 +69,7 @@ pub fn reconstruction_loss(tape: &Tape, h: Var, graph: &Topology, rng: &mut StdR
 }
 
 /// Compose `L = L_task + γ L_KL + δ L_R`.
-pub fn total_loss(
-    tape: &Tape,
-    task: Var,
-    kl: Var,
-    recon: Var,
-    weights: &LossWeights,
-) -> Var {
+pub fn total_loss(tape: &Tape, task: Var, kl: Var, recon: Var, weights: &LossWeights) -> Var {
     let with_kl = tape.add(task, tape.scale(kl, weights.gamma));
     tape.add(with_kl, tape.scale(recon, weights.delta))
 }
@@ -127,7 +124,10 @@ mod tests {
             let v = tape.value(loss).scalar();
             v
         };
-        assert!(eval(&good) < eval(&bad), "structured embedding must reconstruct better");
+        assert!(
+            eval(&good) < eval(&bad),
+            "structured embedding must reconstruct better"
+        );
     }
 
     #[test]

@@ -267,7 +267,14 @@ impl AdamGnn {
             (h0, None)
         };
 
-        AdamGnnOutput { h, h0, unpooled, beta, egos_l1, levels }
+        AdamGnnOutput {
+            h,
+            h0,
+            unpooled,
+            beta,
+            egos_l1,
+            levels,
+        }
     }
 
     /// Hyper-node feature initialisation (Eq. 3): ego representation plus
@@ -291,8 +298,12 @@ impl AdamGnn {
             Rc::new(plan.member_pairs.iter().map(|&(_, c, _)| c).collect());
         let pair_ks: Rc<Vec<usize>> =
             Rc::new(plan.member_pairs.iter().map(|&(_, _, k)| k).collect());
-        let ego_nodes: Rc<Vec<usize>> =
-            Rc::new(plan.member_pairs.iter().map(|&(_, c, _)| plan.col_base[c]).collect());
+        let ego_nodes: Rc<Vec<usize>> = Rc::new(
+            plan.member_pairs
+                .iter()
+                .map(|&(_, c, _)| plan.col_base[c])
+                .collect(),
+        );
 
         let h_mem = tape.gather_rows(h_prev, members);
         let phi_sel = tape.gather_rows(phi, pair_ks);
@@ -339,7 +350,11 @@ mod tests {
         assert_eq!(tape.shape(out.h0), (8, 12));
         assert!(!out.unpooled.is_empty(), "at least one level must pool");
         for &up in &out.unpooled {
-            assert_eq!(tape.shape(up), (8, 12), "unpooled must be original-graph sized");
+            assert_eq!(
+                tape.shape(up),
+                (8, 12),
+                "unpooled must be original-graph sized"
+            );
         }
         assert!(!out.egos_l1.is_empty());
     }
@@ -411,7 +426,6 @@ mod tests {
                 "no gradient for {}",
                 store.name(p)
             );
-            assert!(grads.get(bind.var(p)).unwrap().max_abs() > 0.0 || true);
         }
     }
 

@@ -56,7 +56,13 @@ pub fn ego_fitness(pairs: &EgoPairs, phi_pair: &[f64], n: usize) -> Vec<f64> {
         count[ego] += 1;
     }
     (0..n)
-        .map(|i| if count[i] > 0 { sum[i] / count[i] as f64 } else { f64::NEG_INFINITY })
+        .map(|i| {
+            if count[i] > 0 {
+                sum[i] / count[i] as f64
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
         .collect()
 }
 
@@ -113,7 +119,10 @@ pub fn build_s_plan(
         let members: Vec<usize> = if lambda == 1 {
             topo.neighbors(ego).collect()
         } else {
-            topo.khop(ego, lambda).into_iter().filter(|&j| j != ego).collect()
+            topo.khop(ego, lambda)
+                .into_iter()
+                .filter(|&j| j != ego)
+                .collect()
         };
         for j in members {
             covered[j] = true;
@@ -124,8 +133,8 @@ pub fn build_s_plan(
         }
     }
     let num_egos = egos.len();
-    for node in 0..n {
-        if !covered[node] {
+    for (node, &cov) in covered.iter().enumerate() {
+        if !cov {
             let col = col_base.len();
             col_base.push(node);
             raw.push((node as u32, col as u32, ValueSource::One));
@@ -140,9 +149,18 @@ pub fn build_s_plan(
     for (r, c, s) in raw {
         src_of.insert((r, c), s);
     }
-    let sources: Vec<ValueSource> =
-        csr.iter().map(|(r, c, _)| src_of[&(r as u32, c as u32)]).collect();
-    SPlan { csr, sources, col_base, num_egos, egos: egos.to_vec(), member_pairs }
+    let sources: Vec<ValueSource> = csr
+        .iter()
+        .map(|(r, c, _)| src_of[&(r as u32, c as u32)])
+        .collect();
+    SPlan {
+        csr,
+        sources,
+        col_base,
+        num_egos,
+        egos: egos.to_vec(),
+        member_pairs,
+    }
 }
 
 /// Add a unit diagonal to a square sparse matrix (Â = A + I), merging with
@@ -159,7 +177,10 @@ pub fn add_unit_diag(csr: &Csr, values: &[f64]) -> (Csr, Vec<f64>) {
     }
     let entries: Vec<(u32, u32)> = map.keys().copied().collect();
     let out = Csr::from_coo(n, n, &entries);
-    let vals: Vec<f64> = out.iter().map(|(r, c, _)| map[&(r as u32, c as u32)]).collect();
+    let vals: Vec<f64> = out
+        .iter()
+        .map(|(r, c, _)| map[&(r as u32, c as u32)])
+        .collect();
     (out, vals)
 }
 

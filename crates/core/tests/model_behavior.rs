@@ -30,7 +30,7 @@ fn model(levels: usize, lambda: usize) -> (ParamStore, AdamGnn) {
     let mut cfg = AdamGnnConfig::new(11, 8, levels);
     cfg.lambda = lambda;
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
     (store, m)
 }
 
@@ -46,7 +46,10 @@ fn lambda2_ego_networks_pool_more_aggressively() {
     };
     let s1 = sizes(1).expect("lambda=1 must pool");
     let s2 = sizes(2).expect("lambda=2 must pool");
-    assert!(s2 <= s1, "wider ego radius must not coarsen less: {s2} vs {s1}");
+    assert!(
+        s2 <= s1,
+        "wider ego radius must not coarsen less: {s2} vs {s1}"
+    );
 }
 
 #[test]
@@ -71,7 +74,7 @@ fn edgeless_graph_skips_pooling() {
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(5, 8, 3);
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
     let tape = Tape::new();
     let bind = store.bind(&tape);
     let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
@@ -113,8 +116,9 @@ fn unpooled_messages_are_local_to_ego_networks() {
     let up = tape.value_cloned(out.unpooled[0]);
     // every node participates in S (no information loss), so every row of
     // the unpooled message should generally be non-zero
-    let nonzero_rows =
-        (0..up.rows()).filter(|&i| up.row(i).iter().any(|&x| x != 0.0)).count();
+    let nonzero_rows = (0..up.rows())
+        .filter(|&i| up.row(i).iter().any(|&x| x != 0.0))
+        .count();
     assert_eq!(nonzero_rows, 11, "all nodes must receive a message");
 }
 
@@ -151,7 +155,7 @@ fn disconnected_graph_pools_each_component() {
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(6, 8, 1);
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(3));
+    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
     let tape = Tape::new();
     let bind = store.bind(&tape);
     let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));

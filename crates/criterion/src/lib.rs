@@ -1,0 +1,330 @@
+//! Vendored, dependency-free stand-in for the parts of crates.io
+//! `criterion` that this workspace uses (the build environment is
+//! offline).
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples
+//! of an adaptively chosen iteration batch, and reports min / median /
+//! mean ns-per-iteration on stdout. If the `MG_BENCH_JSON` environment
+//! variable names a file, all results of the process are also appended
+//! there as one JSON document (see [`Criterion::write_json_report`]).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (function name, possibly group-prefixed).
+    pub name: String,
+    /// Minimum observed ns per iteration.
+    pub min_ns: f64,
+    /// Median observed ns per iteration.
+    pub median_ns: f64,
+    /// Mean observed ns per iteration.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level harness object handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            result: None,
+        };
+        f(&mut bencher);
+        let m = bencher.finish(name);
+        println!(
+            "bench {:<44} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, n={})",
+            m.name, m.median_ns, m.min_ns, m.mean_ns, m.samples
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// Start a named group; benchmarks inside are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Serialize all measurements as a JSON document.
+    pub fn json_report(&self) -> String {
+        let entries: Vec<String> = self
+            .results
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"name\": {}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                     \"mean_ns\": {:.1}, \"samples\": {}}}",
+                    json_string(&m.name),
+                    m.median_ns,
+                    m.min_ns,
+                    m.mean_ns,
+                    m.samples
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        )
+    }
+
+    /// Write [`Criterion::json_report`] to the path in `MG_BENCH_JSON`,
+    /// if that variable is set. Called automatically by
+    /// [`criterion_main!`].
+    pub fn write_json_report(&self) {
+        if let Ok(path) = std::env::var("MG_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, self.json_report()) {
+                    eprintln!("criterion: failed to write {path}: {e}");
+                } else {
+                    eprintln!("criterion: wrote {path}");
+                }
+            }
+        }
+    }
+}
+
+/// Escape a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A benchmark group sharing a name prefix and optional sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.bench_function(&full, f);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing helper passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    result: Option<Vec<f64>>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, learning how
+        // many iterations fit in ~1/10 of a sample along the way.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters_done.max(1) as f64;
+        // Aim for samples of >= 1ms or a single iteration, whichever is
+        // larger, so cheap ops aren't dominated by timer resolution.
+        let batch = ((1_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.result = Some(samples);
+    }
+
+    fn finish(self, name: &str) -> Measurement {
+        let mut samples = self
+            .result
+            .unwrap_or_else(|| panic!("bench {name}: closure never called Bencher::iter"));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len();
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            0.5 * (samples[n / 2 - 1] + samples[n / 2])
+        };
+        Measurement {
+            name: name.to_string(),
+            min_ns: samples[0],
+            median_ns: median,
+            mean_ns: samples.iter().sum::<f64>() / n as f64,
+            samples: n,
+        }
+    }
+}
+
+/// Define a benchmark group. Both upstream forms are supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(20);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+        #[allow(dead_code)]
+        fn __criterion_config_for(name: &str) -> Option<$crate::Criterion> {
+            if name == stringify!($name) {
+                Some($config)
+            } else {
+                None
+            }
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+        #[allow(dead_code)]
+        fn __criterion_config_for(_name: &str) -> Option<$crate::Criterion> {
+            None
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $(
+                let mut criterion = __criterion_config_for(stringify!($group))
+                    .unwrap_or_default();
+                $group(&mut criterion);
+                criterion.write_json_report();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurement() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("x", |b| b.iter(|| black_box(0)));
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].name, "grp/x");
+        assert_eq!(c.measurements()[0].samples, 2);
+    }
+
+    #[test]
+    fn json_report_is_wellformed_enough() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("a\"b", |b| b.iter(|| black_box(0)));
+        let json = c.json_report();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("a\\\"b"));
+    }
+}

@@ -96,7 +96,10 @@ impl GraphDataset {
 
     /// Average edge count.
     pub fn avg_edges(&self) -> f64 {
-        self.samples.iter().map(|s| s.graph.num_edges() as f64).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|s| s.graph.num_edges() as f64)
+            .sum::<f64>()
             / self.len() as f64
     }
 }
@@ -114,14 +117,21 @@ pub struct GraphGenConfig {
 
 impl Default for GraphGenConfig {
     fn default() -> Self {
-        GraphGenConfig { scale: 1.0, max_nodes: 120, seed: 42 }
+        GraphGenConfig {
+            scale: 1.0,
+            max_nodes: 120,
+            seed: 42,
+        }
     }
 }
 
 impl GraphGenConfig {
     /// Config with a given scale, defaults elsewhere.
     pub fn with_scale(scale: f64) -> Self {
-        GraphGenConfig { scale, ..Default::default() }
+        GraphGenConfig {
+            scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -129,7 +139,11 @@ impl GraphGenConfig {
 pub fn make_graph_dataset(kind: GraphDatasetKind, cfg: &GraphGenConfig) -> GraphDataset {
     let (count0, avg_n, avg_m, feat_dim) = kind.paper_stats();
     let count = ((count0 as f64 * cfg.scale) as usize).max(40);
-    let avg_n = if cfg.max_nodes > 0 { avg_n.min(cfg.max_nodes as f64) } else { avg_n };
+    let avg_n = if cfg.max_nodes > 0 {
+        avg_n.min(cfg.max_nodes as f64)
+    } else {
+        avg_n
+    };
     let avg_m = avg_m.min(avg_n * 2.5);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ fxhash(kind.name()));
     let mut samples = Vec::with_capacity(count);
@@ -142,7 +156,12 @@ pub fn make_graph_dataset(kind: GraphDatasetKind, cfg: &GraphGenConfig) -> Graph
         let j = rng.random_range(0..=i);
         samples.swap(i, j);
     }
-    GraphDataset { name: kind.name().to_string(), samples, feat_dim, num_classes: 2 }
+    GraphDataset {
+        name: kind.name().to_string(),
+        samples,
+        feat_dim,
+        num_classes: 2,
+    }
 }
 
 fn fxhash(s: &str) -> u64 {
@@ -154,7 +173,13 @@ fn fxhash(s: &str) -> u64 {
 /// One labelled graph: a random connected "molecule-like" backbone.
 /// Class 1 graphs contain planted ring motifs whose members carry a
 /// biased node-label distribution; class 0 graphs contain star motifs.
-fn make_sample(avg_n: f64, avg_m: f64, feat_dim: usize, label: usize, rng: &mut StdRng) -> GraphSample {
+fn make_sample(
+    avg_n: f64,
+    avg_m: f64,
+    feat_dim: usize,
+    label: usize,
+    rng: &mut StdRng,
+) -> GraphSample {
     let n = ((avg_n * rng.random_range(0.7..1.3)) as usize).max(8);
     let target_m = ((avg_m / avg_n) * n as f64) as usize;
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_m);
@@ -223,7 +248,11 @@ fn make_sample(avg_n: f64, avg_m: f64, feat_dim: usize, label: usize, rng: &mut 
         };
         features[(i, t)] = 1.0;
     }
-    GraphSample { graph, features, label }
+    GraphSample {
+        graph,
+        features,
+        label,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +260,14 @@ mod tests {
     use super::*;
 
     fn tiny(kind: GraphDatasetKind) -> GraphDataset {
-        make_graph_dataset(kind, &GraphGenConfig { scale: 0.02, max_nodes: 60, seed: 3 })
+        make_graph_dataset(
+            kind,
+            &GraphGenConfig {
+                scale: 0.02,
+                max_nodes: 60,
+                seed: 3,
+            },
+        )
     }
 
     #[test]
@@ -256,10 +292,18 @@ mod tests {
     fn average_sizes_track_paper_stats() {
         let ds = make_graph_dataset(
             GraphDatasetKind::Nci1,
-            &GraphGenConfig { scale: 0.05, max_nodes: 0, seed: 9 },
+            &GraphGenConfig {
+                scale: 0.05,
+                max_nodes: 0,
+                seed: 9,
+            },
         );
         let (_, avg_n, _, _) = GraphDatasetKind::Nci1.paper_stats();
-        assert!((ds.avg_nodes() - avg_n).abs() / avg_n < 0.25, "avg nodes = {}", ds.avg_nodes());
+        assert!(
+            (ds.avg_nodes() - avg_n).abs() / avg_n < 0.25,
+            "avg nodes = {}",
+            ds.avg_nodes()
+        );
     }
 
     #[test]
@@ -296,8 +340,7 @@ mod tests {
             let mut hits = 0.0;
             for i in 0..s.graph.n() {
                 if marked(s, i) {
-                    let m_neigh =
-                        s.graph.neighbors(i).filter(|&j| marked(s, j)).count();
+                    let m_neigh = s.graph.neighbors(i).filter(|&j| marked(s, j)).count();
                     if m_neigh >= 2 {
                         hits += 1.0;
                     }
@@ -306,8 +349,12 @@ mod tests {
             hits / s.graph.n() as f64
         };
         let avg = |label: usize| {
-            let xs: Vec<f64> =
-                ds.samples.iter().filter(|s| s.label == label).map(ringiness).collect();
+            let xs: Vec<f64> = ds
+                .samples
+                .iter()
+                .filter(|s| s.label == label)
+                .map(ringiness)
+                .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         assert!(

@@ -126,14 +126,21 @@ pub struct NodeGenConfig {
 
 impl Default for NodeGenConfig {
     fn default() -> Self {
-        NodeGenConfig { scale: 1.0, max_feat_dim: 512, seed: 42 }
+        NodeGenConfig {
+            scale: 1.0,
+            max_feat_dim: 512,
+            seed: 42,
+        }
     }
 }
 
 impl NodeGenConfig {
     /// Config with a given scale, default elsewhere.
     pub fn with_scale(scale: f64) -> Self {
-        NodeGenConfig { scale, ..Default::default() }
+        NodeGenConfig {
+            scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -190,8 +197,8 @@ fn balanced_labels(n: usize, classes: usize, rng: &mut StdRng) -> Vec<usize> {
         *w /= total;
     }
     let mut labels = Vec::with_capacity(n);
-    for c in 0..classes {
-        let count = (weights[c] * n as f64).round() as usize;
+    for (c, &w) in weights.iter().enumerate() {
+        let count = (w * n as f64).round() as usize;
         labels.extend(std::iter::repeat_n(c, count));
     }
     while labels.len() < n {
@@ -379,7 +386,14 @@ mod tests {
     use super::*;
 
     fn tiny(kind: NodeDatasetKind) -> NodeDataset {
-        make_node_dataset(kind, &NodeGenConfig { scale: 0.05, max_feat_dim: 64, seed: 7 })
+        make_node_dataset(
+            kind,
+            &NodeGenConfig {
+                scale: 0.05,
+                max_feat_dim: 64,
+                seed: 7,
+            },
+        )
     }
 
     #[test]
@@ -398,7 +412,11 @@ mod tests {
     fn full_scale_matches_paper_stats_approximately() {
         let ds = make_node_dataset(
             NodeDatasetKind::Cora,
-            &NodeGenConfig { scale: 1.0, max_feat_dim: 0, seed: 1 },
+            &NodeGenConfig {
+                scale: 1.0,
+                max_feat_dim: 0,
+                seed: 1,
+            },
         );
         let (n0, m0, d0, c0) = NodeDatasetKind::Cora.paper_stats();
         assert_eq!(ds.n(), n0);
@@ -421,11 +439,19 @@ mod tests {
     fn different_seeds_differ() {
         let a = make_node_dataset(
             NodeDatasetKind::Cora,
-            &NodeGenConfig { scale: 0.05, max_feat_dim: 64, seed: 1 },
+            &NodeGenConfig {
+                scale: 0.05,
+                max_feat_dim: 64,
+                seed: 1,
+            },
         );
         let b = make_node_dataset(
             NodeDatasetKind::Cora,
-            &NodeGenConfig { scale: 0.05, max_feat_dim: 64, seed: 2 },
+            &NodeGenConfig {
+                scale: 0.05,
+                max_feat_dim: 64,
+                seed: 2,
+            },
         );
         assert_ne!(a.graph.edges(), b.graph.edges());
     }

@@ -92,7 +92,15 @@ impl LinkSplit {
         let train_neg = sample_non_edges(g, train_pos.len(), &mut rng);
         let val_neg = sample_non_edges(g, val_pos.len(), &mut rng);
         let test_neg = sample_non_edges(g, test_pos.len(), &mut rng);
-        LinkSplit { train_graph, train_pos, train_neg, val_pos, val_neg, test_pos, test_neg }
+        LinkSplit {
+            train_graph,
+            train_pos,
+            train_neg,
+            val_pos,
+            val_neg,
+            test_pos,
+            test_neg,
+        }
     }
 }
 
@@ -140,8 +148,7 @@ mod tests {
     }
 
     fn ring(n: usize) -> Topology {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Topology::from_edges(n, &edges)
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for dataset generation and splits.
 
 use mg_data::{
-    make_graph_dataset, make_node_dataset, sample_non_edges, GraphDatasetKind,
-    GraphGenConfig, LinkSplit, NodeDatasetKind, NodeGenConfig, Split,
+    make_graph_dataset, make_node_dataset, sample_non_edges, GraphDatasetKind, GraphGenConfig,
+    LinkSplit, NodeDatasetKind, NodeGenConfig, Split,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -39,7 +39,7 @@ pub fn kmeans(data: &Matrix, k: usize, iters: usize, rng: &mut StdRng) -> Vec<us
     let mut assign = vec![0usize; n];
     for _ in 0..iters {
         let mut changed = false;
-        for i in 0..n {
+        for (i, a) in assign.iter_mut().enumerate() {
             let (mut best, mut best_d) = (0usize, f64::INFINITY);
             for (c, center) in centers.iter().enumerate() {
                 let dist = sq_dist(data.row(i), center);
@@ -48,8 +48,8 @@ pub fn kmeans(data: &Matrix, k: usize, iters: usize, rng: &mut StdRng) -> Vec<us
                     best = c;
                 }
             }
-            if assign[i] != best {
-                assign[i] = best;
+            if *a != best {
+                *a = best;
                 changed = true;
             }
         }
@@ -99,13 +99,15 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
     for x in 0..ka {
         for y in 0..kb {
             if joint[x][y] > 0.0 {
-                mi += (joint[x][y] / n)
-                    * ((joint[x][y] * n) / (pa[x] * pb[y])).ln();
+                mi += (joint[x][y] / n) * ((joint[x][y] * n) / (pa[x] * pb[y])).ln();
             }
         }
     }
     let h = |p: &[f64]| -> f64 {
-        p.iter().filter(|&&x| x > 0.0).map(|&x| -(x / n) * (x / n).ln()).sum()
+        p.iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| -(x / n) * (x / n).ln())
+            .sum()
     };
     let (ha, hb) = (h(&pa), h(&pb));
     if ha == 0.0 || hb == 0.0 {
@@ -120,7 +122,14 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
-    let model = kind.build(&mut store, ds.feat_dim(), cfg.hidden, cfg.hidden, cfg, &mut rng);
+    let model = kind.build(
+        &mut store,
+        ds.feat_dim(),
+        cfg.hidden,
+        cfg.hidden,
+        cfg,
+        &mut rng,
+    );
     let adam = AdamConfig::with_lr(cfg.lr);
     let n = ds.n();
     let pos: Vec<(usize, usize)> = ds
@@ -193,7 +202,10 @@ mod tests {
         let a = vec![0, 0, 1, 1, 2, 2];
         assert!((nmi(&a, &a) - 1.0).abs() < 1e-12, "identical labelings");
         let b = vec![2, 2, 0, 0, 1, 1];
-        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12, "permuted labels are equivalent");
+        assert!(
+            (nmi(&a, &b) - 1.0).abs() < 1e-12,
+            "permuted labels are equivalent"
+        );
         let c = vec![0, 1, 0, 1, 0, 1];
         assert!(nmi(&a, &c) < 0.5, "orthogonal labelings score low");
     }
@@ -202,7 +214,11 @@ mod tests {
     fn clustering_on_community_graph_beats_random() {
         let ds = make_node_dataset(
             NodeDatasetKind::Emails,
-            &NodeGenConfig { scale: 0.15, max_feat_dim: 32, seed: 4 },
+            &NodeGenConfig {
+                scale: 0.15,
+                max_feat_dim: 32,
+                seed: 4,
+            },
         );
         let cfg = TrainConfig {
             epochs: 30,

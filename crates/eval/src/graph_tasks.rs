@@ -75,11 +75,7 @@ pub fn run_graph_classification_prebuilt(
             for &gi in chunk {
                 let (ctx, label) = &contexts[gi];
                 let out = model.forward(&tape, &bind, ctx, true, &mut rng);
-                let ce = tape.cross_entropy(
-                    out.logits,
-                    Rc::new(vec![*label]),
-                    Rc::new(vec![0]),
-                );
+                let ce = tape.cross_entropy(out.logits, Rc::new(vec![*label]), Rc::new(vec![0]));
                 losses.push(match out.aux_loss {
                     Some(aux) => tape.add(ce, aux),
                     None => ce,
@@ -108,7 +104,11 @@ pub fn run_graph_classification_prebuilt(
         let _ = epoch;
     }
     let (epoch_seconds, _) = mean_std(&epoch_times);
-    GcRunResult { test_accuracy: best_test, val_accuracy: best_val, epoch_seconds }
+    GcRunResult {
+        test_accuracy: best_test,
+        val_accuracy: best_val,
+        epoch_seconds,
+    }
 }
 
 fn eval_accuracy(
@@ -142,7 +142,11 @@ mod tests {
     fn tiny() -> GraphDataset {
         make_graph_dataset(
             GraphDatasetKind::Mutagenicity,
-            &GraphGenConfig { scale: 0.04, max_nodes: 30, seed: 2 },
+            &GraphGenConfig {
+                scale: 0.04,
+                max_nodes: 30,
+                seed: 2,
+            },
         )
     }
 

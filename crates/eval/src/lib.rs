@@ -18,3 +18,18 @@ pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
 pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
 pub use node_tasks::{run_link_prediction, run_node_classification, RunResult, TrainConfig};
 pub use tables::{auc, pct, TextTable};
+
+/// Print the per-kernel timing registry as JSON to stderr when the
+/// `MG_KERNEL_STATS` environment variable is set. No-op in builds
+/// without the `parallel` feature (the registry lives in mg-runtime).
+pub fn maybe_dump_kernel_stats(label: &str) {
+    #[cfg(feature = "parallel")]
+    if std::env::var_os("MG_KERNEL_STATS").is_some() {
+        eprintln!(
+            "MG_KERNEL_STATS [{label}]:\n{}",
+            mg_runtime::KernelStats::to_json()
+        );
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = label;
+}

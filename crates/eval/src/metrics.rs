@@ -59,8 +59,7 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.len() == 1 {
         return (mean, 0.0);
     }
-    let var =
-        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
     (mean, var.sqrt())
 }
 

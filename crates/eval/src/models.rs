@@ -4,8 +4,8 @@
 use crate::node_tasks::TrainConfig;
 use adamgnn_core::{AdamGnnConfig, AdamGnnGc, AdamGnnNode, AdamGnnOutput};
 use mg_nn::{
-    DenseFlavor, DensePoolGc, GatNet, GcnNet, GinGc, GinNet, GraphClassifier, GraphCtx,
-    GraphUNet, NodeEncoder, SageNet, SortPoolGc, ThreeWlGc, TopKFlavor, TopKGc,
+    DenseFlavor, DensePoolGc, GatNet, GcnNet, GinGc, GinNet, GraphClassifier, GraphCtx, GraphUNet,
+    NodeEncoder, SageNet, SortPoolGc, ThreeWlGc, TopKFlavor, TopKGc,
 };
 use mg_tensor::{Binding, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
@@ -128,7 +128,9 @@ impl GraphModelKind {
     /// All eight, in Table 1 row order.
     pub fn all() -> [GraphModelKind; 8] {
         use GraphModelKind::*;
-        [Gin, ThreeWl, SortPool, DiffPool, TopKPool, SagPool, StructPool, AdamGnn]
+        [
+            Gin, ThreeWl, SortPool, DiffPool, TopKPool, SagPool, StructPool, AdamGnn,
+        ]
     }
 
     /// Display name.
@@ -161,7 +163,13 @@ impl GraphModelKind {
             GraphModelKind::ThreeWl => {
                 // PPGN blocks are dense n x n per channel; a narrow channel
                 // budget keeps the baseline tractable, as in the original.
-                Box::new(ThreeWlGc::new(store, in_dim, (hidden / 4).max(4), classes, rng))
+                Box::new(ThreeWlGc::new(
+                    store,
+                    in_dim,
+                    (hidden / 4).max(4),
+                    classes,
+                    rng,
+                ))
             }
             GraphModelKind::SortPool => {
                 Box::new(SortPoolGc::new(store, in_dim, hidden, classes, 10, rng))
@@ -208,7 +216,13 @@ impl GraphModelKind {
                 let mut mcfg = AdamGnnConfig::new(in_dim, hidden, levels);
                 mcfg.dropout = 0.2;
                 mcfg.flyback = cfg.flyback;
-                Box::new(AdamGnnGc::with_weights(store, mcfg, classes, cfg.weights, rng))
+                Box::new(AdamGnnGc::with_weights(
+                    store,
+                    mcfg,
+                    classes,
+                    cfg.weights,
+                    rng,
+                ))
             }
         }
     }
@@ -222,15 +236,16 @@ mod tests {
     #[test]
     fn every_node_model_builds_and_runs() {
         let (ctx, _) = mg_nn::testkit::two_community_ctx();
-        let cfg = TrainConfig { levels: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            levels: 2,
+            ..Default::default()
+        };
         for kind in NodeModelKind::all() {
             let mut store = ParamStore::new();
-            let model =
-                kind.build(&mut store, 8, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
+            let model = kind.build(&mut store, 8, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
             let tape = Tape::new();
             let bind = store.bind(&tape);
-            let (out, _) =
-                model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+            let (out, _) = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
             assert_eq!(tape.shape(out), (8, 2), "{}", kind.name());
         }
     }
@@ -239,11 +254,13 @@ mod tests {
     fn every_graph_model_builds_and_runs() {
         let samples = mg_nn::testkit::ring_vs_star_samples();
         let (ctx, _) = &samples[0];
-        let cfg = TrainConfig { levels: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            levels: 2,
+            ..Default::default()
+        };
         for kind in GraphModelKind::all() {
             let mut store = ParamStore::new();
-            let model =
-                kind.build(&mut store, 3, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
+            let model = kind.build(&mut store, 3, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
             let tape = Tape::new();
             let bind = store.bind(&tape);
             let out = model.forward(&tape, &bind, ctx, false, &mut StdRng::seed_from_u64(1));

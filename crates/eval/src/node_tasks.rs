@@ -65,7 +65,14 @@ pub fn run_node_classification(
     let split = Split::random_80_10_10(ds.n(), cfg.seed ^ 0x5eed);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
-    let model = kind.build(&mut store, ds.feat_dim(), cfg.hidden, ds.num_classes, cfg, &mut rng);
+    let model = kind.build(
+        &mut store,
+        ds.feat_dim(),
+        cfg.hidden,
+        ds.num_classes,
+        cfg,
+        &mut rng,
+    );
     let adam = AdamConfig::with_lr(cfg.lr);
     let weights = cfg.weights;
     let targets = Rc::new(ds.labels.clone());
@@ -119,25 +126,33 @@ pub fn run_node_classification(
             }
         }
     }
-    RunResult { test_metric: best_test, val_metric: best_val, epochs_run }
+    crate::maybe_dump_kernel_stats("node_classification");
+    RunResult {
+        test_metric: best_test,
+        val_metric: best_val,
+        epochs_run,
+    }
 }
 
 /// Train a link-prediction model and report test ROC-AUC at best
 /// validation. The encoder output is an embedding decoded by inner
 /// products; the task loss is the sampled reconstruction BCE (which for
 /// AdamGNN *is* `L_R`, so its total is `L_R + γ L_KL` as in the paper).
-pub fn run_link_prediction(
-    kind: NodeModelKind,
-    ds: &NodeDataset,
-    cfg: &TrainConfig,
-) -> RunResult {
+pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> RunResult {
     let link = LinkSplit::new(&ds.graph, cfg.seed ^ 0x11bb);
     // the encoder sees only the training graph
     let ctx = GraphCtx::new(link.train_graph.clone(), ds.features.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
     let embed_dim = cfg.hidden;
-    let model = kind.build(&mut store, ds.feat_dim(), cfg.hidden, embed_dim, cfg, &mut rng);
+    let model = kind.build(
+        &mut store,
+        ds.feat_dim(),
+        cfg.hidden,
+        embed_dim,
+        cfg,
+        &mut rng,
+    );
     let adam = AdamConfig::with_lr(cfg.lr);
     let weights = cfg.weights;
 
@@ -203,7 +218,12 @@ pub fn run_link_prediction(
             }
         }
     }
-    RunResult { test_metric: best_test, val_metric: best_val, epochs_run }
+    crate::maybe_dump_kernel_stats("link_prediction");
+    RunResult {
+        test_metric: best_test,
+        val_metric: best_val,
+        epochs_run,
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +234,11 @@ mod tests {
     fn tiny_ds() -> NodeDataset {
         make_node_dataset(
             NodeDatasetKind::Cora,
-            &NodeGenConfig { scale: 0.08, max_feat_dim: 48, seed: 11 },
+            &NodeGenConfig {
+                scale: 0.08,
+                max_feat_dim: 48,
+                seed: 11,
+            },
         )
     }
 

@@ -32,7 +32,10 @@ pub fn gcn_norm(g: &Topology) -> NormAdj {
     for (r, c, k) in csr.iter() {
         values[k] = 1.0 / (deg[r] * deg[c]).sqrt();
     }
-    NormAdj { csr: std::rc::Rc::new(csr), values }
+    NormAdj {
+        csr: std::rc::Rc::new(csr),
+        values,
+    }
 }
 
 /// Row-normalised (random-walk) adjacency `D̂^{-1} Â` — used by the
@@ -51,7 +54,10 @@ pub fn rw_norm(g: &Topology) -> NormAdj {
     for (r, _c, k) in csr.iter() {
         values[k] = 1.0 / (g.degree(r) + 1) as f64;
     }
-    NormAdj { csr: std::rc::Rc::new(csr), values }
+    NormAdj {
+        csr: std::rc::Rc::new(csr),
+        values,
+    }
 }
 
 /// Mean-over-neighbours (no self-loop) adjacency — `D^{-1} A`. Rows with
@@ -69,7 +75,10 @@ pub fn neighbor_mean(g: &Topology) -> NormAdj {
     for (r, _c, k) in csr.iter() {
         values[k] = 1.0 / g.degree(r) as f64;
     }
-    NormAdj { csr: std::rc::Rc::new(csr), values }
+    NormAdj {
+        csr: std::rc::Rc::new(csr),
+        values,
+    }
 }
 
 /// Plain (unnormalised) adjacency with unit values and no self-loops —
@@ -84,7 +93,10 @@ pub fn unit_adj(g: &Topology) -> NormAdj {
     }
     let csr = Csr::from_coo(n, n, &entries);
     let values = vec![1.0; csr.nnz()];
-    NormAdj { csr: std::rc::Rc::new(csr), values }
+    NormAdj {
+        csr: std::rc::Rc::new(csr),
+        values,
+    }
 }
 
 /// Symmetric GCN normalisation of a *weighted* adjacency given as
@@ -93,7 +105,11 @@ pub fn unit_adj(g: &Topology) -> NormAdj {
 /// Self-loops of weight 1 are added where missing; weighted degrees are
 /// clamped away from zero for numerical safety.
 pub fn gcn_norm_weighted(csr: &Csr, values: &[f64]) -> NormAdj {
-    assert_eq!(csr.rows(), csr.cols(), "gcn_norm_weighted: square matrix required");
+    assert_eq!(
+        csr.rows(),
+        csr.cols(),
+        "gcn_norm_weighted: square matrix required"
+    );
     let n = csr.rows();
     // union of the pattern with the diagonal
     let mut entries: Vec<(u32, u32)> = Vec::with_capacity(csr.nnz() + n);
@@ -131,7 +147,10 @@ pub fn gcn_norm_weighted(csr: &Csr, values: &[f64]) -> NormAdj {
         let k = out.row_range(r as usize).start + off;
         out_values[k] = v / (deg[r as usize] * deg[c as usize]).sqrt();
     }
-    NormAdj { csr: std::rc::Rc::new(out), values: out_values }
+    NormAdj {
+        csr: std::rc::Rc::new(out),
+        values: out_values,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +165,7 @@ mod tests {
     fn gcn_norm_rows_include_self() {
         let norm = gcn_norm(&triangle());
         assert_eq!(norm.csr.nnz(), 9); // complete + diag
-        // all degrees are 3 (2 neighbours + self), so every value is 1/3
+                                       // all degrees are 3 (2 neighbours + self), so every value is 1/3
         for &v in &norm.values {
             assert!((v - 1.0 / 3.0).abs() < 1e-12);
         }

@@ -28,7 +28,10 @@ impl Topology {
             .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
             .collect();
         for &(u, v) in &edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
         }
         edges.sort_unstable();
         edges.dedup();
@@ -140,7 +143,10 @@ impl Topology {
 
     /// Number of connected components.
     pub fn num_components(&self) -> usize {
-        self.connected_components().iter().max().map_or(0, |m| m + 1)
+        self.connected_components()
+            .iter()
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// Directed edge arrays `(src, dst)` covering both directions of every
@@ -165,7 +171,10 @@ impl Topology {
     pub fn induced_subgraph(&self, nodes: &[usize]) -> (Topology, Vec<usize>) {
         let mut new_of = vec![usize::MAX; self.n];
         for (new, &old) in nodes.iter().enumerate() {
-            assert!(new_of[old] == usize::MAX, "induced_subgraph: duplicate node {old}");
+            assert!(
+                new_of[old] == usize::MAX,
+                "induced_subgraph: duplicate node {old}"
+            );
             new_of[old] = new;
         }
         let mut edges = Vec::new();

@@ -54,7 +54,11 @@ impl GinGc {
             GinLayer::new(store, "GINgc.l3", hidden, hidden, rng),
         ];
         let head = Mlp::new(store, "GINgc.head", &[3 * hidden, hidden, classes], rng);
-        GinGc { layers, head, dropout: 0.3 }
+        GinGc {
+            layers,
+            head,
+            dropout: 0.3,
+        }
     }
 }
 
@@ -82,7 +86,10 @@ impl GraphClassifier for GinGc {
         if train {
             cat = tape.dropout(cat, self.dropout, rng);
         }
-        GcOutput { logits: self.head.forward(tape, bind, cat), aux_loss: None }
+        GcOutput {
+            logits: self.head.forward(tape, bind, cat),
+            aux_loss: None,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -100,8 +107,7 @@ mod tests {
     fn gin_gc_separates_ring_from_star() {
         let mut store = ParamStore::new();
         let model = GinGc::new(&mut store, 3, 16, 2, &mut StdRng::seed_from_u64(0));
-        let loss =
-            train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 200, 0.02);
+        let loss = train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 200, 0.02);
         assert!(loss < 0.1, "final loss = {loss}");
     }
 

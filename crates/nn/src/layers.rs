@@ -90,7 +90,10 @@ impl SageLayer {
         rng: &mut StdRng,
     ) -> Self {
         SageLayer {
-            w: store.add(format!("{name}.w"), Matrix::glorot(2 * in_dim, out_dim, rng)),
+            w: store.add(
+                format!("{name}.w"),
+                Matrix::glorot(2 * in_dim, out_dim, rng),
+            ),
             b: store.add(format!("{name}.b"), Matrix::zeros(1, out_dim)),
             act,
         }
@@ -176,7 +179,12 @@ impl GinLayer {
         rng: &mut StdRng,
     ) -> Self {
         GinLayer {
-            mlp: Mlp::new(store, &format!("{name}.mlp"), &[in_dim, out_dim, out_dim], rng),
+            mlp: Mlp::new(
+                store,
+                &format!("{name}.mlp"),
+                &[in_dim, out_dim, out_dim],
+                rng,
+            ),
         }
     }
 
@@ -247,7 +255,10 @@ mod tests {
         let x = ctx.x_var(&tape);
         let out = layer.forward(&tape, &bind, &ctx, x);
         assert_eq!(tape.shape(out), (5, 3));
-        assert!(tape.value(out).data().iter().all(|&v| v >= 0.0), "relu output");
+        assert!(
+            tape.value(out).data().iter().all(|&v| v >= 0.0),
+            "relu output"
+        );
     }
 
     #[test]

@@ -40,8 +40,11 @@ impl MultiHeadGat {
 
     /// Forward on a graph context; output is `n x (heads * out_dim)`.
     pub fn forward(&self, tape: &Tape, bind: &Binding, ctx: &GraphCtx, h: Var) -> Var {
-        let outs: Vec<Var> =
-            self.heads.iter().map(|head| head.forward(tape, bind, ctx, h)).collect();
+        let outs: Vec<Var> = self
+            .heads
+            .iter()
+            .map(|head| head.forward(tape, bind, ctx, h))
+            .collect();
         if outs.len() == 1 {
             outs[0]
         } else {
@@ -73,8 +76,14 @@ impl SageMaxPool {
         rng: &mut StdRng,
     ) -> Self {
         SageMaxPool {
-            w_pool: store.add(format!("{name}.w_pool"), Matrix::glorot(in_dim, in_dim, rng)),
-            w: store.add(format!("{name}.w"), Matrix::glorot(2 * in_dim, out_dim, rng)),
+            w_pool: store.add(
+                format!("{name}.w_pool"),
+                Matrix::glorot(in_dim, in_dim, rng),
+            ),
+            w: store.add(
+                format!("{name}.w"),
+                Matrix::glorot(2 * in_dim, out_dim, rng),
+            ),
             b: store.add(format!("{name}.b"), Matrix::zeros(1, out_dim)),
             act,
         }
@@ -86,11 +95,7 @@ impl SageMaxPool {
         // tanh keeps messages in [-1, 1] so exp never overflows
         let transformed = tape.tanh(tape.matmul(h, bind.var(self.w_pool)));
         let msg = tape.gather_rows(transformed, ctx.edge_src.clone());
-        let lse = tape.ln(tape.segment_sum(
-            tape.exp(msg),
-            ctx.edge_dst.clone(),
-            ctx.n(),
-        ));
+        let lse = tape.ln(tape.segment_sum(tape.exp(msg), ctx.edge_dst.clone(), ctx.n()));
         let cat = tape.concat_cols(&[h, lse]);
         let z = tape.add_bias(tape.matmul(cat, bind.var(self.w)), bind.var(self.b));
         match self.act {

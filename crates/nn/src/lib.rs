@@ -14,11 +14,11 @@ pub mod testkit;
 
 pub use ctx::GraphCtx;
 pub use encoders::{GatNet, GcnNet, GinNet, NodeEncoder, SageNet};
+pub use gc::{GcOutput, GinGc, GraphClassifier};
 pub use layers::{Activation, GatLayer, GcnLayer, GinLayer, Mlp, SageLayer};
 pub use layers_ext::{MultiHeadGat, SageMaxPool};
-pub use gc::{GcOutput, GinGc, GraphClassifier};
 pub use pool::{
-    dense_adj, top_ratio_indices, topk_coverage, DenseFlavor, DensePoolGc, GraphUNet,
-    SortPoolGc, ThreeWlGc, TopKFlavor, TopKGc,
+    dense_adj, top_ratio_indices, topk_coverage, DenseFlavor, DensePoolGc, GraphUNet, SortPoolGc,
+    ThreeWlGc, TopKFlavor, TopKGc,
 };
 pub use readout::Readout;

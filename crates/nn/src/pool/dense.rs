@@ -53,8 +53,14 @@ impl DensePoolGc {
             DenseFlavor::DiffPool => "DIFF",
             DenseFlavor::StructPool => "STRUCT",
         };
-        let embed =
-            GcnLayer::new(store, &format!("{tag}.embed"), in_dim, hidden, Activation::Relu, rng);
+        let embed = GcnLayer::new(
+            store,
+            &format!("{tag}.embed"),
+            in_dim,
+            hidden,
+            Activation::Relu,
+            rng,
+        );
         let assign = GcnLayer::new(
             store,
             &format!("{tag}.assign"),
@@ -72,8 +78,23 @@ impl DensePoolGc {
             )),
             DenseFlavor::DiffPool => None,
         };
-        let head = Mlp::new(store, &format!("{tag}.head"), &[2 * hidden, hidden, classes], rng);
-        DensePoolGc { embed, assign, w2, b2, head, compat, clusters, mean_field_iters: 2, flavor }
+        let head = Mlp::new(
+            store,
+            &format!("{tag}.head"),
+            &[2 * hidden, hidden, classes],
+            rng,
+        );
+        DensePoolGc {
+            embed,
+            assign,
+            w2,
+            b2,
+            head,
+            compat,
+            clusters,
+            mean_field_iters: 2,
+            flavor,
+        }
     }
 
     /// The soft assignment matrix for a graph (used by tests).
@@ -91,7 +112,9 @@ impl DensePoolGc {
     /// degree (raw-adjacency messages saturate the softmax and kill the
     /// gradient).
     fn refine(&self, tape: &Tape, bind: &Binding, ctx: &GraphCtx, logits0: Var) -> Var {
-        let Some(compat) = self.compat else { return logits0 };
+        let Some(compat) = self.compat else {
+            return logits0;
+        };
         let n = ctx.n();
         let mut a = dense_adj(ctx);
         for i in 0..n {
@@ -147,9 +170,9 @@ impl GraphClassifier for DensePoolGc {
         let x2 = tape.matmul(st, z); // K x hidden
         let a_dense = tape.constant(dense_adj(ctx));
         let a2 = tape.matmul(st, tape.matmul(a_dense, s)); // K x K
-        // coarse dense GCN. A2 entries are sums over O(n) soft memberships,
-        // so they are rescaled by 1/n to keep the pre-activation bounded;
-        // tanh avoids the dead-ReLU collapse an exploding first step causes.
+                                                           // coarse dense GCN. A2 entries are sums over O(n) soft memberships,
+                                                           // so they are rescaled by 1/n to keep the pre-activation bounded;
+                                                           // tanh avoids the dead-ReLU collapse an exploding first step causes.
         let a2n = tape.scale(a2, 1.0 / n as f64);
         let h2 = tape.tanh(tape.add_bias(
             tape.matmul(a2n, tape.matmul(x2, bind.var(self.w2))),
@@ -167,7 +190,10 @@ impl GraphClassifier for DensePoolGc {
         let ent_terms = tape.mul_elem(s, log_s);
         let ent = tape.scale(tape.sum_all(ent_terms), -1.0 / n as f64);
         let aux = tape.add(tape.scale(lp, 0.05), tape.scale(ent, 0.05));
-        GcOutput { logits: logits_out, aux_loss: Some(aux) }
+        GcOutput {
+            logits: logits_out,
+            aux_loss: Some(aux),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -232,8 +258,7 @@ mod tests {
             4,
             &mut StdRng::seed_from_u64(0),
         );
-        let loss =
-            train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 250, 0.02);
+        let loss = train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 250, 0.02);
         // aux loss keeps total above zero; CE should still collapse
         assert!(loss < 0.6, "final loss = {loss}");
     }
@@ -250,8 +275,7 @@ mod tests {
             4,
             &mut StdRng::seed_from_u64(0),
         );
-        let loss =
-            train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 400, 0.02);
+        let loss = train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 400, 0.02);
         assert!(loss < 0.6, "final loss = {loss}");
     }
 
@@ -259,8 +283,7 @@ mod tests {
     fn structpool_refinement_changes_assignment() {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let model =
-            DensePoolGc::new(&mut store, DenseFlavor::StructPool, 3, 8, 2, 4, &mut rng);
+        let model = DensePoolGc::new(&mut store, DenseFlavor::StructPool, 3, 8, 2, 4, &mut rng);
         let samples = ring_vs_star_samples();
         let ctx = &samples[0].0;
         let tape = Tape::new();

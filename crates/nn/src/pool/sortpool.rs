@@ -33,9 +33,13 @@ impl SortPoolGc {
             GcnLayer::new(store, "SORT.conv0", in_dim, hidden, Activation::Tanh, rng),
             GcnLayer::new(store, "SORT.conv1", hidden, hidden, Activation::Tanh, rng),
         ];
-        let head =
-            Mlp::new(store, "SORT.head", &[k * hidden, hidden, classes], rng);
-        SortPoolGc { convs, head, k, hidden }
+        let head = Mlp::new(store, "SORT.head", &[k * hidden, hidden, classes], rng);
+        SortPoolGc {
+            convs,
+            head,
+            k,
+            hidden,
+        }
     }
 }
 
@@ -67,8 +71,7 @@ impl GraphClassifier for SortPoolGc {
         };
         // selection matrix with zero rows as padding when n < k
         let take = self.k.min(n);
-        let entries: Vec<(u32, u32)> =
-            (0..take).map(|i| (i as u32, order[i] as u32)).collect();
+        let entries: Vec<(u32, u32)> = (0..take).map(|i| (i as u32, order[i] as u32)).collect();
         let sel = Rc::new(Csr::from_coo(self.k, n, &entries));
         let ones = tape.constant(Matrix::full(1, take, 1.0));
         let window = tape.spmm(sel, ones, h); // k x hidden, zero-padded
@@ -76,7 +79,10 @@ impl GraphClassifier for SortPoolGc {
         if train {
             flat = tape.dropout(flat, 0.3, rng);
         }
-        GcOutput { logits: self.head.forward(tape, bind, flat), aux_loss: None }
+        GcOutput {
+            logits: self.head.forward(tape, bind, flat),
+            aux_loss: None,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -94,8 +100,7 @@ mod tests {
     fn sortpool_trains() {
         let mut store = ParamStore::new();
         let model = SortPoolGc::new(&mut store, 3, 16, 2, 8, &mut StdRng::seed_from_u64(0));
-        let loss =
-            train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 250, 0.02);
+        let loss = train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 250, 0.02);
         assert!(loss < 0.3, "final loss = {loss}");
     }
 
@@ -107,8 +112,13 @@ mod tests {
         let samples = ring_vs_star_samples();
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out =
-            model.forward(&tape, &bind, &samples[0].0, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(
+            &tape,
+            &bind,
+            &samples[0].0,
+            false,
+            &mut StdRng::seed_from_u64(1),
+        );
         assert_eq!(tape.shape(out.logits), (1, 2));
         assert!(tape.value(out.logits).all_finite());
     }

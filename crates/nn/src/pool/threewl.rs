@@ -32,8 +32,14 @@ impl Block {
         rng: &mut StdRng,
     ) -> Self {
         Block {
-            mix_a: store.add(format!("{name}.mix_a"), Matrix::glorot(in_channels, out_channels, rng)),
-            mix_b: store.add(format!("{name}.mix_b"), Matrix::glorot(in_channels, out_channels, rng)),
+            mix_a: store.add(
+                format!("{name}.mix_a"),
+                Matrix::glorot(in_channels, out_channels, rng),
+            ),
+            mix_b: store.add(
+                format!("{name}.mix_b"),
+                Matrix::glorot(in_channels, out_channels, rng),
+            ),
             out_channels,
         }
     }
@@ -42,8 +48,10 @@ impl Block {
     /// channels (plus the skip connection appended by the caller).
     fn forward(&self, tape: &Tape, bind: &Binding, channels: &[Var], n: usize) -> Vec<Var> {
         // flatten channels into an n² x C matrix for cheap 1x1 mixing
-        let flats: Vec<Var> =
-            channels.iter().map(|&c| tape.reshape(c, n * n, 1)).collect();
+        let flats: Vec<Var> = channels
+            .iter()
+            .map(|&c| tape.reshape(c, n * n, 1))
+            .collect();
         let stack = tape.concat_cols(&flats); // n² x C_in
         let mixed_a = tape.matmul(stack, bind.var(self.mix_a)); // n² x C_out
         let mixed_b = tape.matmul(stack, bind.var(self.mix_b));
@@ -83,8 +91,19 @@ impl ThreeWlGc {
         let block2 = Block::new(store, "3WL.b2", channels + in_channels, channels, rng);
         // readout: (trace, sum) per channel of block2 output + skips
         let ro_channels = channels + channels + in_channels;
-        let head = Mlp::new(store, "3WL.head", &[2 * ro_channels, channels, classes], rng);
-        ThreeWlGc { block1, block2, head, channels, feat_channels }
+        let head = Mlp::new(
+            store,
+            "3WL.head",
+            &[2 * ro_channels, channels, classes],
+            rng,
+        );
+        ThreeWlGc {
+            block1,
+            block2,
+            head,
+            channels,
+            feat_channels,
+        }
     }
 }
 
@@ -100,10 +119,8 @@ impl GraphClassifier for ThreeWlGc {
         let n = ctx.n();
         let _ = self.channels;
         // input channels
-        let mut channels: Vec<Var> = vec![
-            tape.constant(dense_adj(ctx)),
-            tape.constant(Matrix::eye(n)),
-        ];
+        let mut channels: Vec<Var> =
+            vec![tape.constant(dense_adj(ctx)), tape.constant(Matrix::eye(n))];
         for f in 0..self.feat_channels {
             let mut d = Matrix::zeros(n, n);
             for i in 0..n {
@@ -116,7 +133,7 @@ impl GraphClassifier for ThreeWlGc {
         h.extend_from_slice(&in_channels); // skip
         let mut h2 = self.block2.forward(tape, bind, &h, n);
         h2.extend_from_slice(&h); // skip
-        // readout: trace + total sum per channel
+                                  // readout: trace + total sum per channel
         let eye = tape.constant(Matrix::eye(n));
         let mut feats: Vec<Var> = Vec::with_capacity(2 * h2.len());
         for &c in &h2 {
@@ -128,7 +145,10 @@ impl GraphClassifier for ThreeWlGc {
         if train {
             rep = tape.dropout(rep, 0.2, rng);
         }
-        GcOutput { logits: self.head.forward(tape, bind, rep), aux_loss: None }
+        GcOutput {
+            logits: self.head.forward(tape, bind, rep),
+            aux_loss: None,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -146,8 +166,7 @@ mod tests {
     fn threewl_trains() {
         let mut store = ParamStore::new();
         let model = ThreeWlGc::new(&mut store, 3, 6, 2, &mut StdRng::seed_from_u64(0));
-        let loss =
-            train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 200, 0.02);
+        let loss = train_graph_classifier(&model, &mut store, &ring_vs_star_samples(), 200, 0.02);
         assert!(loss < 0.3, "final loss = {loss}");
     }
 
@@ -158,8 +177,13 @@ mod tests {
         let samples = ring_vs_star_samples();
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out =
-            model.forward(&tape, &bind, &samples[0].0, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(
+            &tape,
+            &bind,
+            &samples[0].0,
+            false,
+            &mut StdRng::seed_from_u64(1),
+        );
         assert_eq!(tape.shape(out.logits), (1, 2));
         assert!(tape.value(out.logits).all_finite());
     }
@@ -172,8 +196,7 @@ mod tests {
         use mg_graph::Topology;
         let two_triangles =
             Topology::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
-        let hexagon =
-            Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let hexagon = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let feat = Matrix::full(6, 3, 1.0);
         let samples = vec![
             (GraphCtx::new(two_triangles, feat.clone()), 0usize),

@@ -70,16 +70,24 @@ impl NodeEncoder for GraphUNet {
         // coarse-level convolution on the induced subgraph
         let (sub, _) = ctx.graph.induced_subgraph(&keep);
         let sub_adj = gcn_norm(&sub);
-        let vals =
-            tape.constant(Matrix::from_vec(1, sub_adj.values.len(), sub_adj.values.clone()));
-        let h2 = self.bottom.forward_adj(tape, bind, sub_adj.csr.clone(), vals, h_kept);
+        let vals = tape.constant(Matrix::from_vec(
+            1,
+            sub_adj.values.len(),
+            sub_adj.values.clone(),
+        ));
+        let h2 = self
+            .bottom
+            .forward_adj(tape, bind, sub_adj.csr.clone(), vals, h_kept);
         // unpool: scatter rows back to their original indices
-        let entries: Vec<(u32, u32)> =
-            keep.iter().enumerate().map(|(i, &node)| (node as u32, i as u32)).collect();
+        let entries: Vec<(u32, u32)> = keep
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| (node as u32, i as u32))
+            .collect();
         let scatter = Rc::new(Csr::from_coo(n, keep.len(), &entries));
         let ones = tape.constant(Matrix::full(1, keep.len(), 1.0));
         let restored = tape.spmm(scatter, ones, h2); // n x hidden, zeros elsewhere
-        // skip connection then decode on the original graph
+                                                     // skip connection then decode on the original graph
         let merged = tape.add(h1, restored);
         self.dec.forward(tape, bind, ctx, merged)
     }

@@ -16,12 +16,19 @@ use rand::SeedableRng;
 pub fn ring_vs_star_samples() -> Vec<(GraphCtx, usize)> {
     let mut out = Vec::new();
     for size in [6usize, 8, 10] {
-        let ring: Vec<(u32, u32)> =
-            (0..size as u32).map(|i| (i, (i + 1) % size as u32)).collect();
+        let ring: Vec<(u32, u32)> = (0..size as u32)
+            .map(|i| (i, (i + 1) % size as u32))
+            .collect();
         let star: Vec<(u32, u32)> = (1..size as u32).map(|i| (0, i)).collect();
         let feat = |n: usize| Matrix::full(n, 3, 1.0);
-        out.push((GraphCtx::new(Topology::from_edges(size, &ring), feat(size)), 1));
-        out.push((GraphCtx::new(Topology::from_edges(size, &star), feat(size)), 0));
+        out.push((
+            GraphCtx::new(Topology::from_edges(size, &ring), feat(size)),
+            1,
+        ));
+        out.push((
+            GraphCtx::new(Topology::from_edges(size, &star), feat(size)),
+            0,
+        ));
     }
     out
 }
@@ -31,7 +38,19 @@ pub fn ring_vs_star_samples() -> Vec<(GraphCtx, usize)> {
 pub fn two_community_ctx() -> (GraphCtx, Vec<usize>) {
     let g = Topology::from_edges(
         8,
-        &[(0, 1), (1, 2), (0, 2), (2, 3), (0, 3), (4, 5), (5, 6), (4, 6), (6, 7), (4, 7), (3, 4)],
+        &[
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (4, 6),
+            (6, 7),
+            (4, 7),
+            (3, 4),
+        ],
     );
     let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
     (GraphCtx::new(g, Matrix::eye(8)), labels)

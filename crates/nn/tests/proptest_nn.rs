@@ -17,7 +17,10 @@ fn graph_and_features() -> impl Strategy<Value = (Topology, Matrix)> {
             proptest::collection::vec(-1.0..1.0f64, n * 4),
         )
             .prop_map(move |(edges, feat)| {
-                (Topology::from_edges(n, &edges), Matrix::from_vec(n, 4, feat))
+                (
+                    Topology::from_edges(n, &edges),
+                    Matrix::from_vec(n, 4, feat),
+                )
             })
     })
 }
@@ -46,8 +49,8 @@ fn permute_graph(g: &Topology, p: &[usize]) -> Topology {
 /// `out[p[i]] = in[i]`: node `i` moves to position `p[i]`.
 fn permute_rows(m: &Matrix, p: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), m.cols());
-    for i in 0..m.rows() {
-        out.row_mut(p[i]).copy_from_slice(m.row(i));
+    for (i, &pi) in p.iter().enumerate() {
+        out.row_mut(pi).copy_from_slice(m.row(i));
     }
     out
 }

@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Anything usable as a collection size: a fixed `usize`, `a..b`, or
+/// `a..=b`.
+pub trait IntoSizeRange {
+    /// Sample a concrete size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "collection size: empty range");
+        rng.rng.random_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+/// Strategy for a `Vec` whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample_size(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for a `BTreeSet` with a target size drawn from `size`.
+///
+/// If the element space is too small to reach the target size, the set
+/// saturates after a bounded number of attempts rather than looping
+/// forever (mirroring upstream proptest's behaviour of giving up on
+/// duplicate insertions).
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: IntoSizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: IntoSizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample_size(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        let max_attempts = 16 * (target + 1);
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_length_from_range() {
+        let mut rng = TestRng::deterministic(0);
+        let s = vec(0..100u32, 2..5);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_small_space() {
+        let mut rng = TestRng::deterministic(1);
+        // only 2 possible elements, but we ask for up to 10
+        let s = btree_set(0..2u32, 10);
+        let set = s.new_value(&mut rng);
+        assert!(set.len() <= 2);
+    }
+
+    #[test]
+    fn btree_set_of_tuples() {
+        let mut rng = TestRng::deterministic(2);
+        let s = btree_set((0..5u32, 0..5u32), 0..12);
+        for _ in 0..50 {
+            let set = s.new_value(&mut rng);
+            assert!(set.len() < 12);
+            assert!(set.iter().all(|&(a, b)| a < 5 && b < 5));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Vendored, dependency-free stand-in for the parts of crates.io
+//! `proptest` that this workspace uses (the build environment is offline).
+//!
+//! Semantics: each `#[test]` inside [`proptest!`] runs
+//! [`ProptestConfig::cases`] times with freshly generated inputs from a
+//! deterministic per-test RNG stream. `prop_assume!` rejects a case and
+//! regenerates it; `prop_assert*!` failures panic with the message.
+//! There is **no shrinking** — failures report the assertion message and
+//! case number, and the deterministic seeding makes every failure exactly
+//! reproducible by rerunning the test.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))] // optional
+///     #[test]
+///     fn my_prop(x in 0..100usize, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `fn name(pat in strategy, ...) { body }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(
+                &__pt_config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__pt_rng| {
+                    $(let $pat =
+                        $crate::strategy::Strategy::new_value(&($strat), __pt_rng);)*
+                    let __pt_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    __pt_result
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                $crate::prop_assert!(
+                    *__pt_l == *__pt_r,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __pt_l,
+                    __pt_r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                $crate::prop_assert!(
+                    *__pt_l != *__pt_r,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    __pt_l,
+                    __pt_r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                $crate::prop_assert!(*__pt_l != *__pt_r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Discard the current case (it is regenerated, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,161 @@
+//! The case runner: configuration, RNG, and the reject/fail protocol.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections across the run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; 64 keeps this repo's heavier
+        // graph-construction properties fast while still exploring widely.
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — regenerate, don't count the case.
+    Reject,
+    /// `prop_assert*!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// RNG handed to strategies. Wraps the workspace [`StdRng`] so every
+/// generated input is a pure function of `(test name, case index,
+/// reject count)` — failures reproduce exactly on rerun.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic stream for a given 64-bit label.
+    pub fn deterministic(label: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(0x70726F_70746573 ^ label),
+        }
+    }
+}
+
+/// Hash a test name to a stable 64-bit stream label (FNV-1a).
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: run until `config.cases` cases pass, regenerating
+/// rejected cases. Panics on the first failing case.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = name_hash(name);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::deterministic(base.wrapping_add(stream));
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejects} rejects, {passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed at case {passed} (stream {}): {msg}",
+                    stream - 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            calls += 1;
+            if calls.is_multiple_of(3) {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume!")]
+    fn reject_storm_panics() {
+        run_cases(
+            &ProptestConfig {
+                cases: 1,
+                max_global_rejects: 10,
+            },
+            "t",
+            |_| Err(TestCaseError::Reject),
+        );
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::strategy::Strategy;
+        let s = 0..1000u32;
+        let a = s.new_value(&mut TestRng::deterministic(5));
+        let b = s.new_value(&mut TestRng::deterministic(5));
+        assert_eq!(a, b);
+    }
+}

@@ -108,7 +108,10 @@ impl Tape {
                     acc!(*a, g.transpose());
                 }
                 Op::Relu(a) => {
-                    acc!(*a, g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 }));
+                    acc!(
+                        *a,
+                        g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 })
+                    );
                 }
                 Op::LeakyRelu(a, slope) => {
                     let s = *slope;
@@ -141,9 +144,7 @@ impl Tape {
                     for r in 0..out.rows() {
                         let gr = g.row(r);
                         let gsum: f64 = gr.iter().sum();
-                        for ((o, &lp), &gv) in
-                            gx.row_mut(r).iter_mut().zip(out.row(r)).zip(gr)
-                        {
+                        for ((o, &lp), &gv) in gx.row_mut(r).iter_mut().zip(out.row(r)).zip(gr) {
                             *o = gv - lp.exp() * gsum;
                         }
                     }
@@ -152,11 +153,7 @@ impl Tape {
                 Op::Spmm { csr, values, dense } => {
                     let x = &nodes[dense.0].value;
                     if nodes[values.0].requires_grad {
-                        let mut gv = Matrix::zeros(1, csr.nnz());
-                        for (r, c, k) in csr.iter() {
-                            gv[(0, k)] = g.row(r).iter().zip(x.row(c)).map(|(&a, &b)| a * b).sum();
-                        }
-                        acc!(*values, gv);
+                        acc!(*values, csr.spmm_grad_values(&g, x));
                     }
                     if nodes[dense.0].requires_grad {
                         let vals = &nodes[values.0].value;
@@ -167,12 +164,8 @@ impl Tape {
                 Op::SpmmT { csr, values, dense } => {
                     let x = &nodes[dense.0].value;
                     if nodes[values.0].requires_grad {
-                        let mut gv = Matrix::zeros(1, csr.nnz());
-                        for (r, c, k) in csr.iter() {
-                            // out[c,:] += v_k x[r,:]  =>  dv_k = g[c,:].x[r,:]
-                            gv[(0, k)] = g.row(c).iter().zip(x.row(r)).map(|(&a, &b)| a * b).sum();
-                        }
-                        acc!(*values, gv);
+                        // out[c,:] += v_k x[r,:]  =>  dv_k = g[c,:].x[r,:]
+                        acc!(*values, csr.spmm_t_grad_values(&g, x));
                     }
                     if nodes[dense.0].requires_grad {
                         let vals = &nodes[values.0].value;
@@ -302,7 +295,11 @@ impl Tape {
                     }
                     acc!(*src, gs);
                 }
-                Op::NllLoss { logp, targets, nodes: node_set } => {
+                Op::NllLoss {
+                    logp,
+                    targets,
+                    nodes: node_set,
+                } => {
                     let gs = g.scalar() / node_set.len() as f64;
                     let (r, c) = nodes[logp.0].value.shape();
                     let mut gl = Matrix::zeros(r, c);
@@ -311,7 +308,12 @@ impl Tape {
                     }
                     acc!(*logp, gl);
                 }
-                Op::BcePairs { h, pairs, labels, cache } => {
+                Op::BcePairs {
+                    h,
+                    pairs,
+                    labels,
+                    cache,
+                } => {
                     let hv = &nodes[h.0].value;
                     let gs = g.scalar() / pairs.len() as f64;
                     let mut gh = Matrix::zeros(hv.rows(), hv.cols());

@@ -6,6 +6,7 @@
 //! scores in its entries, and gradients must reach them.
 
 use crate::matrix::Matrix;
+use crate::par;
 
 /// Sparsity pattern of a sparse matrix in CSR layout, without values.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,7 +27,10 @@ impl Csr {
     pub fn from_coo(rows: usize, cols: usize, entries: &[(u32, u32)]) -> Self {
         let mut counts = vec![0usize; rows + 1];
         for &(r, c) in entries {
-            assert!((r as usize) < rows && (c as usize) < cols, "coo entry out of range");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "coo entry out of range"
+            );
             counts[r as usize + 1] += 1;
         }
         for i in 0..rows {
@@ -48,7 +52,12 @@ impl Csr {
                 assert!(w[0] != w[1], "duplicate coo entry at row {r}, col {}", w[0]);
             }
         }
-        Csr { rows, cols, indptr, indices }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+        }
     }
 
     /// Build directly from CSR arrays.
@@ -57,12 +66,24 @@ impl Csr {
     /// Panics if the arrays are inconsistent.
     pub fn from_parts(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr/indices mismatch");
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "indptr/indices mismatch"
+        );
         for w in indptr.windows(2) {
             assert!(w[0] <= w[1], "indptr must be non-decreasing");
         }
-        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
-        Csr { rows, cols, indptr, indices }
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+        }
     }
 
     /// Number of rows.
@@ -110,24 +131,25 @@ impl Csr {
     /// Iterate `(row, col, value_position)` over all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_range(r).map(move |k| (r, self.indices[k] as usize, k))
+            self.row_range(r)
+                .map(move |k| (r, self.indices[k] as usize, k))
         })
     }
 
-    /// Dense product `C = A * X` where `A` is this structure with `values`.
-    ///
-    /// # Panics
-    /// Panics on shape mismatch.
-    pub fn spmm(&self, values: &[f64], x: &Matrix) -> Matrix {
-        assert_eq!(values.len(), self.nnz(), "spmm: values length");
-        assert_eq!(self.cols, x.rows(), "spmm: inner dimension");
+    /// Compute output rows `range` of `A * X` into `block`.
+    fn spmm_rows(
+        &self,
+        values: &[f64],
+        x: &Matrix,
+        range: std::ops::Range<usize>,
+        block: &mut [f64],
+    ) {
         let d = x.cols();
-        let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
-            for k in self.indptr[r]..self.indptr[r + 1] {
-                let c = self.indices[k] as usize;
-                let v = values[k];
+        for (br, r) in range.enumerate() {
+            let out_row = &mut block[br * d..(br + 1) * d];
+            let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+            for (&ci, &v) in self.indices[lo..hi].iter().zip(&values[lo..hi]) {
+                let c = ci as usize;
                 if v == 0.0 {
                     continue;
                 }
@@ -137,23 +159,102 @@ impl Csr {
                 }
             }
         }
+    }
+
+    /// Dense product `C = A * X` where `A` is this structure with
+    /// `values`. Row-partitioned across the ambient thread pool under
+    /// the `parallel` feature; bitwise identical to
+    /// [`Csr::spmm_serial`] for any thread count.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn spmm(&self, values: &[f64], x: &Matrix) -> Matrix {
+        assert_eq!(values.len(), self.nnz(), "spmm: values length");
+        assert_eq!(self.cols, x.rows(), "spmm: inner dimension");
+        par::timed("spmm", || {
+            let mut out = Matrix::zeros(self.rows, x.cols());
+            let (rows, d) = (self.rows, x.cols());
+            par::for_each_row_block(
+                out.data_mut(),
+                rows,
+                d,
+                par::MIN_SPARSE_ROWS,
+                |range, block| self.spmm_rows(values, x, range, block),
+            );
+            out
+        })
+    }
+
+    /// [`Csr::spmm`] on the calling thread only.
+    pub fn spmm_serial(&self, values: &[f64], x: &Matrix) -> Matrix {
+        assert_eq!(values.len(), self.nnz(), "spmm: values length");
+        assert_eq!(self.cols, x.rows(), "spmm: inner dimension");
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_rows(values, x, 0..self.rows, out.data_mut());
         out
     }
 
     /// Dense product with the transpose: `C = Aᵀ * X`.
+    ///
+    /// The serial loop scatters each entry into its output row. The
+    /// parallel path instead scan-filters: every chunk walks all stored
+    /// entries in the serial order but only accumulates output rows in
+    /// its range, preserving the per-element addition order exactly (at
+    /// the cost of re-scanning the index arrays per chunk).
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn spmm_t(&self, values: &[f64], x: &Matrix) -> Matrix {
         assert_eq!(values.len(), self.nnz(), "spmm_t: values length");
         assert_eq!(self.rows, x.rows(), "spmm_t: inner dimension");
+        par::timed("spmm_t", || {
+            #[cfg(feature = "parallel")]
+            if par::use_parallel(self.cols, par::MIN_SPARSE_ROWS) {
+                let d = x.cols();
+                let mut out = Matrix::zeros(self.cols, d);
+                par::for_each_row_block(
+                    out.data_mut(),
+                    self.cols,
+                    d,
+                    par::MIN_SPARSE_ROWS,
+                    |range, block| {
+                        for r in 0..self.rows {
+                            let x_row = x.row(r);
+                            let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+                            for (&ci, &v) in self.indices[lo..hi].iter().zip(&values[lo..hi]) {
+                                let c = ci as usize;
+                                if c < range.start || c >= range.end {
+                                    continue;
+                                }
+                                if v == 0.0 {
+                                    continue;
+                                }
+                                let b = c - range.start;
+                                let out_row = &mut block[b * d..(b + 1) * d];
+                                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                                    *o += v * xv;
+                                }
+                            }
+                        }
+                    },
+                );
+                return out;
+            }
+            self.spmm_t_serial(values, x)
+        })
+    }
+
+    /// [`Csr::spmm_t`] on the calling thread only.
+    pub fn spmm_t_serial(&self, values: &[f64], x: &Matrix) -> Matrix {
+        assert_eq!(values.len(), self.nnz(), "spmm_t: values length");
+        assert_eq!(self.rows, x.rows(), "spmm_t: inner dimension");
         let d = x.cols();
         let mut out = Matrix::zeros(self.cols, d);
         for r in 0..self.rows {
             let x_row = x.row(r);
-            for k in self.indptr[r]..self.indptr[r + 1] {
-                let c = self.indices[k] as usize;
-                let v = values[k];
+            let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+            for (&ci, &v) in self.indices[lo..hi].iter().zip(&values[lo..hi]) {
+                let c = ci as usize;
                 if v == 0.0 {
                     continue;
                 }
@@ -164,6 +265,66 @@ impl Csr {
             }
         }
         out
+    }
+
+    /// Gradient of [`Csr::spmm`] with respect to `values`: a `1 x nnz`
+    /// matrix with `gv[k] = g[r,:] . x[c,:]` for each stored `(r, c, k)`.
+    /// Each entry is one independent dot product, so row partitioning is
+    /// trivially bitwise exact.
+    pub fn spmm_grad_values(&self, g: &Matrix, x: &Matrix) -> Matrix {
+        assert_eq!(g.rows(), self.rows, "spmm_grad_values: g rows");
+        assert_eq!(x.rows(), self.cols, "spmm_grad_values: x rows");
+        assert_eq!(g.cols(), x.cols(), "spmm_grad_values: inner dimension");
+        par::timed("spmm_grad_values", || {
+            let mut gv = Matrix::zeros(1, self.nnz());
+            par::for_each_row_segments(
+                gv.data_mut(),
+                &self.indptr,
+                self.rows,
+                par::MIN_SPARSE_ROWS,
+                |range, block| {
+                    let base = self.indptr[range.start];
+                    for r in range {
+                        let g_row = g.row(r);
+                        for k in self.indptr[r]..self.indptr[r + 1] {
+                            let c = self.indices[k] as usize;
+                            block[k - base] =
+                                g_row.iter().zip(x.row(c)).map(|(&a, &b)| a * b).sum();
+                        }
+                    }
+                },
+            );
+            gv
+        })
+    }
+
+    /// Gradient of [`Csr::spmm_t`] with respect to `values`: a `1 x nnz`
+    /// matrix with `gv[k] = g[c,:] . x[r,:]` for each stored `(r, c, k)`.
+    pub fn spmm_t_grad_values(&self, g: &Matrix, x: &Matrix) -> Matrix {
+        assert_eq!(g.rows(), self.cols, "spmm_t_grad_values: g rows");
+        assert_eq!(x.rows(), self.rows, "spmm_t_grad_values: x rows");
+        assert_eq!(g.cols(), x.cols(), "spmm_t_grad_values: inner dimension");
+        par::timed("spmm_t_grad_values", || {
+            let mut gv = Matrix::zeros(1, self.nnz());
+            par::for_each_row_segments(
+                gv.data_mut(),
+                &self.indptr,
+                self.rows,
+                par::MIN_SPARSE_ROWS,
+                |range, block| {
+                    let base = self.indptr[range.start];
+                    for r in range {
+                        let x_row = x.row(r);
+                        for k in self.indptr[r]..self.indptr[r + 1] {
+                            let c = self.indices[k] as usize;
+                            block[k - base] =
+                                g.row(c).iter().zip(x_row).map(|(&a, &b)| a * b).sum();
+                        }
+                    }
+                },
+            );
+            gv
+        })
     }
 
     /// Materialise as a dense matrix (tests / small graphs only).
@@ -197,7 +358,12 @@ impl Csr {
             cursor[c] += 1;
         }
         (
-            Csr { rows: self.cols, cols: self.rows, indptr, indices },
+            Csr {
+                rows: self.cols,
+                cols: self.rows,
+                indptr,
+                indices,
+            },
             perm,
         )
     }
@@ -244,7 +410,15 @@ impl Csr {
             touched.clear();
             indptr.push(indices.len());
         }
-        (Csr { rows: self.rows, cols: b.cols, indptr, indices }, values)
+        (
+            Csr {
+                rows: self.rows,
+                cols: b.cols,
+                indptr,
+                indices,
+            },
+            values,
+        )
     }
 }
 

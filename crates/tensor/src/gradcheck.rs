@@ -65,7 +65,10 @@ pub fn check_gradients(
             max_rel = max_rel.max(rel);
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 fn eval_scalar(inputs: &[Matrix], f: &impl Fn(&Tape, &[Var]) -> Var) -> f64 {

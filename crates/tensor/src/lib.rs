@@ -36,6 +36,7 @@ pub mod gradcheck;
 mod matrix;
 mod ops;
 mod optim;
+mod par;
 mod tape;
 
 pub use csr::Csr;

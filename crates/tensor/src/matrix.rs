@@ -5,7 +5,8 @@
 //! hidden dims) that a straightforward dense matrix with cache-friendly
 //! `ikj` matmul is the right tool; no BLAS dependency is needed.
 
-use rand::{Rng, RngExt};
+use crate::par;
+use rand::Rng;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -28,12 +29,20 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, v: f64) -> Self {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Create an identity matrix.
@@ -148,22 +157,16 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Matrix product `self * rhs`.
-    ///
-    /// # Panics
-    /// Panics on inner-dimension mismatch.
-    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+    /// Compute output rows `range` of `self * rhs` into `block` (the
+    /// rows' contiguous storage). Shared by the serial and parallel
+    /// paths so both produce bitwise-identical rows.
+    fn matmul_rows(&self, rhs: &Matrix, range: std::ops::Range<usize>, block: &mut [f64]) {
+        let w = rhs.cols;
         // ikj loop order: the inner loop walks contiguous rows of `rhs`
         // and `out`, which is the cache-friendly ordering for row-major data.
-        for i in 0..self.rows {
+        for (bi, i) in range.enumerate() {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            let out_row = &mut block[bi * w..(bi + 1) * w];
             for (k, &a_ik) in a_row.iter().enumerate() {
                 if a_ik == 0.0 {
                     continue;
@@ -174,11 +177,100 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// Matrix product `self * rhs`, row-partitioned across the ambient
+    /// thread pool when the `parallel` feature is enabled (bitwise
+    /// identical to [`Matrix::matmul_serial`] for any thread count).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        par::timed("matmul", || {
+            let mut out = Matrix::zeros(self.rows, rhs.cols);
+            par::for_each_row_block(
+                &mut out.data,
+                self.rows,
+                rhs.cols,
+                par::MIN_ROWS,
+                |range, block| self.matmul_rows(rhs, range, block),
+            );
+            out
+        })
+    }
+
+    /// [`Matrix::matmul`] on the calling thread only — the reference
+    /// implementation parallel runs must match bitwise.
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_rows(rhs, 0..self.rows, &mut out.data);
         out
+    }
+
+    /// Compute output rows `range` of `selfᵀ * rhs` into `block`.
+    ///
+    /// For output row `i` the accumulation over `k` is ascending with
+    /// the same `a_ki == 0.0` skip as the serial k-outer loop, so each
+    /// output element sees the identical addition order.
+    #[cfg(feature = "parallel")]
+    fn matmul_tn_rows(&self, rhs: &Matrix, range: std::ops::Range<usize>, block: &mut [f64]) {
+        let w = rhs.cols;
+        for (bi, i) in range.enumerate() {
+            let out_row = &mut block[bi * w..(bi + 1) * w];
+            for k in 0..self.rows {
+                let a_ki = self.data[k * self.cols + i];
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ki * b;
+                }
+            }
+        }
     }
 
     /// `selfᵀ * rhs` without materialising the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        par::timed("matmul_tn", || {
+            // The serial loop is k-outer (contiguous reads of `self`);
+            // the parallel loop must be i-outer to own whole output
+            // rows. Both accumulate each element in ascending-k order,
+            // so they agree bitwise — but only split when the pool will
+            // actually parallelise, keeping the fast shape otherwise.
+            #[cfg(feature = "parallel")]
+            if par::use_parallel(self.cols, par::MIN_ROWS) {
+                let mut out = Matrix::zeros(self.cols, rhs.cols);
+                par::for_each_row_block(
+                    &mut out.data,
+                    self.cols,
+                    rhs.cols,
+                    par::MIN_ROWS,
+                    |range, block| self.matmul_tn_rows(rhs, range, block),
+                );
+                return out;
+            }
+            self.matmul_tn_serial(rhs)
+        })
+    }
+
+    /// [`Matrix::matmul_tn`] on the calling thread only.
+    pub fn matmul_tn_serial(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: ({}x{})ᵀ * {}x{}",
@@ -201,6 +293,23 @@ impl Matrix {
         out
     }
 
+    /// Compute output rows `range` of `self * rhsᵀ` into `block`.
+    fn matmul_nt_rows(&self, rhs: &Matrix, range: std::ops::Range<usize>, block: &mut [f64]) {
+        let w = rhs.rows;
+        for (bi, i) in range.enumerate() {
+            let a_row = self.row(i);
+            let out_row = &mut block[bi * w..(bi + 1) * w];
+            for (o, j) in out_row.iter_mut().zip(0..rhs.rows) {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
     /// `self * rhsᵀ` without materialising the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
@@ -208,18 +317,28 @@ impl Matrix {
             "matmul_nt: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        par::timed("matmul_nt", || {
+            let mut out = Matrix::zeros(self.rows, rhs.rows);
+            par::for_each_row_block(
+                &mut out.data,
+                self.rows,
+                rhs.rows,
+                par::MIN_ROWS,
+                |range, block| self.matmul_nt_rows(rhs, range, block),
+            );
+            out
+        })
+    }
+
+    /// [`Matrix::matmul_nt`] on the calling thread only.
+    pub fn matmul_nt_serial(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        self.matmul_nt_rows(rhs, 0..self.rows, &mut out.data);
         out
     }
 
@@ -234,26 +353,69 @@ impl Matrix {
         out
     }
 
-    /// Elementwise map.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+    /// Elementwise map. `f` must be `Sync` so large matrices can be
+    /// chunked across threads under the `parallel` feature (elementwise
+    /// ops have no reductions, so any partition is bitwise exact).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        par::timed("map", || {
+            #[cfg(feature = "parallel")]
+            if par::use_parallel(self.data.len(), par::MIN_ELEMS) {
+                let mut out = Matrix::zeros(self.rows, self.cols);
+                par::for_each_row_block(
+                    &mut out.data,
+                    self.data.len(),
+                    1,
+                    par::MIN_ELEMS,
+                    |range, block| {
+                        for (o, i) in block.iter_mut().zip(range) {
+                            *o = f(self.data[i]);
+                        }
+                    },
+                );
+                return out;
+            }
+            Matrix {
+                rows: self.rows,
+                cols: self.cols,
+                data: self.data.iter().map(|&x| f(x)).collect(),
+            }
+        })
     }
 
-    /// Elementwise binary zip.
+    /// Elementwise binary zip (see [`Matrix::map`] for the `Sync` bound).
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        par::timed("zip", || {
+            #[cfg(feature = "parallel")]
+            if par::use_parallel(self.data.len(), par::MIN_ELEMS) {
+                let mut out = Matrix::zeros(self.rows, self.cols);
+                par::for_each_row_block(
+                    &mut out.data,
+                    self.data.len(),
+                    1,
+                    par::MIN_ELEMS,
+                    |range, block| {
+                        for (o, i) in block.iter_mut().zip(range) {
+                            *o = f(self.data[i], rhs.data[i]);
+                        }
+                    },
+                );
+                return out;
+            }
+            Matrix {
+                rows: self.rows,
+                cols: self.cols,
+                data: self
+                    .data
+                    .iter()
+                    .zip(&rhs.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            }
+        })
     }
 
     /// `self += alpha * rhs`, in place.
@@ -262,9 +424,14 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, rhs: &Matrix, alpha: f64) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        par::timed("add_scaled", || {
+            let len = self.data.len();
+            par::for_each_row_block(&mut self.data, len, 1, par::MIN_ELEMS, |range, block| {
+                for (o, i) in block.iter_mut().zip(range) {
+                    *o += alpha * rhs.data[i];
+                }
+            });
+        })
     }
 
     /// Sum of all elements.
@@ -285,7 +452,11 @@ impl Matrix {
     /// Dot product between two rows of (possibly different) matrices.
     pub fn row_dot(&self, i: usize, other: &Matrix, j: usize) -> f64 {
         debug_assert_eq!(self.cols, other.cols);
-        self.row(i).iter().zip(other.row(j)).map(|(&a, &b)| a * b).sum()
+        self.row(i)
+            .iter()
+            .zip(other.row(j))
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Index of the maximum element in a row (first on ties).

@@ -96,7 +96,9 @@ impl Tape {
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&self, a: Var, slope: f64) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let value = self.nodes.borrow()[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         let rg = self.rg(a);
         self.push(value, Op::LeakyRelu(a, slope), rg)
     }
@@ -350,7 +352,14 @@ impl Tape {
             (out, argmax)
         };
         let rg = self.rg(a);
-        self.push(value, Op::MaxRows { src: a, argmax: Rc::new(argmax) }, rg)
+        self.push(
+            value,
+            Op::MaxRows {
+                src: a,
+                argmax: Rc::new(argmax),
+            },
+            rg,
+        )
     }
 
     /// Mean negative log-likelihood over the node subset `nodes`:
@@ -371,7 +380,15 @@ impl Tape {
             Matrix::from_vec(1, 1, vec![acc / nodes.len() as f64])
         };
         let rg = self.rg(logp);
-        self.push(value, Op::NllLoss { logp, targets, nodes }, rg)
+        self.push(
+            value,
+            Op::NllLoss {
+                logp,
+                targets,
+                nodes,
+            },
+            rg,
+        )
     }
 
     /// Mean BCE-with-logits over inner-product pair scores
@@ -379,12 +396,7 @@ impl Tape {
     ///
     /// This implements both the link-prediction decoder and AdamGNN's
     /// negative-sampled reconstruction loss (Eq. 6).
-    pub fn bce_pairs(
-        &self,
-        h: Var,
-        pairs: Rc<Vec<(usize, usize)>>,
-        labels: Rc<Vec<f64>>,
-    ) -> Var {
+    pub fn bce_pairs(&self, h: Var, pairs: Rc<Vec<(usize, usize)>>, labels: Rc<Vec<f64>>) -> Var {
         assert_eq!(pairs.len(), labels.len(), "bce_pairs: length mismatch");
         assert!(!pairs.is_empty(), "bce_pairs: empty pair set");
         let (value, logits) = {
@@ -405,7 +417,12 @@ impl Tape {
         let rg = self.rg(h);
         self.push(
             value,
-            Op::BcePairs { h, pairs, labels, cache: Rc::new(BceCache { logits }) },
+            Op::BcePairs {
+                h,
+                pairs,
+                labels,
+                cache: Rc::new(BceCache { logits }),
+            },
             rg,
         )
     }
@@ -445,7 +462,11 @@ impl Tape {
         let rg = self.rg(h);
         self.push(
             value,
-            Op::StudentTKl { h, egos, cache: Rc::new(KlCache { t }) },
+            Op::StudentTKl {
+                h,
+                egos,
+                cache: Rc::new(KlCache { t }),
+            },
             rg,
         )
     }
@@ -461,7 +482,13 @@ impl Tape {
         let (value, mask) = {
             let sv = &self.nodes.borrow()[src.0].value;
             let mask: Vec<f64> = (0..sv.len())
-                .map(|_| if rng.random::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.random::<f64>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let mut out = sv.clone();
             for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
@@ -470,7 +497,14 @@ impl Tape {
             (out, mask)
         };
         let rg = self.rg(src);
-        self.push(value, Op::Dropout { src, mask: Rc::new(mask) }, rg)
+        self.push(
+            value,
+            Op::Dropout {
+                src,
+                mask: Rc::new(mask),
+            },
+            rg,
+        )
     }
 
     /// Row-major reshape to `rows x cols` (element count must match).
@@ -526,13 +560,22 @@ impl Tape {
                     *v += (x - m) * (x - m);
                 }
             }
-            let inv_std: Vec<f64> =
-                var.iter().map(|&v| 1.0 / (v / n as f64 + eps).sqrt()).collect();
+            let inv_std: Vec<f64> = var
+                .iter()
+                .map(|&v| 1.0 / (v / n as f64 + eps).sqrt())
+                .collect();
             let out = Matrix::from_fn(n, d, |i, j| (sv[(i, j)] - mean[j]) * inv_std[j]);
             (out, inv_std)
         };
         let rg = self.rg(src);
-        self.push(value, Op::ColNormalize { src, inv_std: Rc::new(inv_std) }, rg)
+        self.push(
+            value,
+            Op::ColNormalize {
+                src,
+                inv_std: Rc::new(inv_std),
+            },
+            rg,
+        )
     }
 
     /// Convenience: mean cross-entropy from raw logits over a node subset.
@@ -713,15 +756,8 @@ mod tests {
     fn bce_pairs_confident_correct_is_small() {
         let tape = Tape::new();
         // rows engineered so that pair (0,1) has large positive dot, (0,2) negative
-        let h = tape.leaf(
-            Matrix::from_vec(3, 2, vec![3., 0., 3., 0., -3., 0.]),
-            false,
-        );
-        let loss = tape.bce_pairs(
-            h,
-            Rc::new(vec![(0, 1), (0, 2)]),
-            Rc::new(vec![1.0, 0.0]),
-        );
+        let h = tape.leaf(Matrix::from_vec(3, 2, vec![3., 0., 3., 0., -3., 0.]), false);
+        let loss = tape.bce_pairs(h, Rc::new(vec![(0, 1), (0, 2)]), Rc::new(vec![1.0, 0.0]));
         assert!(tape.value(loss).scalar() < 1e-3);
     }
 
@@ -766,7 +802,10 @@ mod tests {
         let v = tape.value(d);
         // kept entries are scaled to 2.0; roughly half survive
         let kept = v.data().iter().filter(|&&x| x > 0.0).count();
-        assert!(v.data().iter().all(|&x| x == 0.0 || (x - 2.0).abs() < 1e-12));
+        assert!(v
+            .data()
+            .iter()
+            .all(|&x| x == 0.0 || (x - 2.0).abs() < 1e-12));
         assert!(kept > 350 && kept < 650, "kept = {kept}");
     }
 

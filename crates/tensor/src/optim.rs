@@ -57,7 +57,10 @@ impl Default for AdamConfig {
 impl AdamConfig {
     /// Config with the given learning rate and defaults elsewhere.
     pub fn with_lr(lr: f64) -> Self {
-        AdamConfig { lr, ..Default::default() }
+        AdamConfig {
+            lr,
+            ..Default::default()
+        }
     }
 }
 
@@ -124,7 +127,11 @@ impl ParamStore {
     /// Copy every parameter onto `tape` as a differentiable leaf.
     pub fn bind(&self, tape: &Tape) -> Binding {
         Binding {
-            vars: self.params.iter().map(|p| tape.leaf(p.value.clone(), true)).collect(),
+            vars: self
+                .params
+                .iter()
+                .map(|p| tape.leaf(p.value.clone(), true))
+                .collect(),
         }
     }
 
@@ -138,7 +145,9 @@ impl ParamStore {
         let bc1 = 1.0 - cfg.beta1.powi(t);
         let bc2 = 1.0 - cfg.beta2.powi(t);
         for (param, &var) in self.params.iter_mut().zip(&binding.vars) {
-            let Some(mut grad) = grads.take(var) else { continue };
+            let Some(mut grad) = grads.take(var) else {
+                continue;
+            };
             debug_assert_eq!(grad.shape(), param.value.shape(), "gradient shape mismatch");
             if cfg.grad_clip > 0.0 {
                 let clip = cfg.grad_clip;
@@ -172,7 +181,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the snapshot does not match the current parameter list.
     pub fn restore(&mut self, snapshot: &[Matrix]) {
-        assert_eq!(snapshot.len(), self.params.len(), "snapshot length mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot length mismatch"
+        );
         for (p, s) in self.params.iter_mut().zip(snapshot) {
             assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
             p.value = s.clone();
@@ -241,7 +254,11 @@ mod tests {
         let scaled = tape.scale(binding.var(w), 1e6);
         let loss = tape.sum_all(scaled);
         let mut grads = tape.backward(loss);
-        let cfg = AdamConfig { lr: 0.1, grad_clip: 5.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            grad_clip: 5.0,
+            ..Default::default()
+        };
         store.step(&mut grads, &binding, &cfg);
         // single Adam step magnitude is ~lr regardless, but m/v reflect the clip
         assert!(store.value(w).scalar().abs() <= 0.11);

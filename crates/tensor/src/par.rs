@@ -1,0 +1,119 @@
+//! Dispatch layer between the tensor kernels and `mg-runtime`.
+//!
+//! With the `parallel` feature enabled, kernels partition their output
+//! rows across the ambient thread pool and record per-kernel timings in
+//! [`mg_runtime::KernelStats`]; without it every helper here degrades to
+//! a single plain call with zero overhead, so serial builds compile the
+//! exact seed code paths.
+//!
+//! ## Determinism contract
+//!
+//! Every helper hands `body` contiguous, disjoint ranges whose union is
+//! `0..rows`, and kernels compute each output row entirely inside one
+//! invocation using the serial inner-loop order. The floating-point
+//! reduction order per output element is therefore independent of thread
+//! count and scheduling, making parallel results bitwise identical to
+//! serial ones.
+
+use std::ops::Range;
+
+/// Minimum output rows per chunk for dense row-partitioned kernels.
+pub(crate) const MIN_ROWS: usize = 8;
+/// Minimum rows per chunk for sparse kernels (cheap per-row work).
+pub(crate) const MIN_SPARSE_ROWS: usize = 64;
+/// Minimum elements per chunk for flat elementwise kernels.
+pub(crate) const MIN_ELEMS: usize = 4096;
+
+/// True when the ambient pool would actually split `rows` into more than
+/// one chunk — kernels with a distinct (faster) serial loop shape branch
+/// on this so that one thread always runs the exact serial code.
+#[cfg(feature = "parallel")]
+#[inline]
+pub(crate) fn use_parallel(rows: usize, min_rows: usize) -> bool {
+    mg_runtime::current_threads() > 1 && rows / min_rows.max(1) > 1
+}
+
+/// Run `body(range, block)` over disjoint contiguous row ranges covering
+/// `0..rows`, where `block` is the mutable sub-slice of `out` holding
+/// exactly those rows (`width` elements each).
+#[cfg(feature = "parallel")]
+pub(crate) fn for_each_row_block(
+    out: &mut [f64],
+    rows: usize,
+    width: usize,
+    min_rows: usize,
+    body: impl Fn(Range<usize>, &mut [f64]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * width);
+    let ptr = mg_runtime::SendPtr::new(out.as_mut_ptr());
+    mg_runtime::parallel_rows(rows, min_rows, &|range: Range<usize>| {
+        let len = (range.end - range.start) * width;
+        // SAFETY: ranges from parallel_rows are disjoint, so the blocks
+        // are non-overlapping sub-slices of `out`.
+        let block =
+            unsafe { std::slice::from_raw_parts_mut(ptr.get().add(range.start * width), len) };
+        body(range, block);
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn for_each_row_block(
+    out: &mut [f64],
+    rows: usize,
+    width: usize,
+    _min_rows: usize,
+    body: impl Fn(Range<usize>, &mut [f64]),
+) {
+    debug_assert_eq!(out.len(), rows * width);
+    body(0..rows, out);
+}
+
+/// Like [`for_each_row_block`] for CSR-shaped outputs: chunking by row,
+/// where row `r` owns the variable-length segment
+/// `out[indptr[r]..indptr[r + 1]]`. The block passed to `body` covers
+/// `out[indptr[range.start]..indptr[range.end]]`.
+#[cfg(feature = "parallel")]
+pub(crate) fn for_each_row_segments(
+    out: &mut [f64],
+    indptr: &[usize],
+    rows: usize,
+    min_rows: usize,
+    body: impl Fn(Range<usize>, &mut [f64]) + Sync,
+) {
+    debug_assert_eq!(indptr.len(), rows + 1);
+    debug_assert_eq!(out.len(), indptr[rows]);
+    let ptr = mg_runtime::SendPtr::new(out.as_mut_ptr());
+    mg_runtime::parallel_rows(rows, min_rows, &|range: Range<usize>| {
+        let (s, e) = (indptr[range.start], indptr[range.end]);
+        // SAFETY: row ranges are disjoint and indptr is non-decreasing,
+        // so the segments are non-overlapping sub-slices of `out`.
+        let block = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
+        body(range, block);
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn for_each_row_segments(
+    out: &mut [f64],
+    indptr: &[usize],
+    rows: usize,
+    _min_rows: usize,
+    body: impl Fn(Range<usize>, &mut [f64]),
+) {
+    debug_assert_eq!(indptr.len(), rows + 1);
+    debug_assert_eq!(out.len(), indptr[rows]);
+    body(0..rows, out);
+}
+
+/// Time `f` under `name` in the kernel-stats registry.
+#[cfg(feature = "parallel")]
+#[inline]
+pub(crate) fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    mg_runtime::timed(name, f)
+}
+
+#[cfg(not(feature = "parallel"))]
+#[inline]
+pub(crate) fn timed<R>(_name: &'static str, f: impl FnOnce() -> R) -> R {
+    f()
+}

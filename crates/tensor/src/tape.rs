@@ -62,20 +62,46 @@ pub(crate) enum Op {
     SoftmaxRows(Var),
     LogSoftmaxRows(Var),
     /// `csr(values) * dense`.
-    Spmm { csr: Rc<Csr>, values: Var, dense: Var },
+    Spmm {
+        csr: Rc<Csr>,
+        values: Var,
+        dense: Var,
+    },
     /// `csr(values)^T * dense`.
-    SpmmT { csr: Rc<Csr>, values: Var, dense: Var },
-    GatherRows { src: Var, idx: Rc<Vec<usize>> },
+    SpmmT {
+        csr: Rc<Csr>,
+        values: Var,
+        dense: Var,
+    },
+    GatherRows {
+        src: Var,
+        idx: Rc<Vec<usize>>,
+    },
     /// Sum edge messages into `n_seg` buckets: `out[s] = sum_{e: seg[e]=s} src[e]`.
-    SegmentSum { src: Var, seg: Rc<Vec<usize>>, n_seg: usize },
+    SegmentSum {
+        src: Var,
+        seg: Rc<Vec<usize>>,
+        n_seg: usize,
+    },
     /// Softmax over entries sharing a segment id (`scores` is `n_e x 1`).
-    SegmentSoftmax { scores: Var, seg: Rc<Vec<usize>>, n_seg: usize },
+    SegmentSoftmax {
+        scores: Var,
+        seg: Rc<Vec<usize>>,
+        n_seg: usize,
+    },
     /// Per-row dot product of two equally-shaped matrices -> `n x 1`.
     RowDot(Var, Var),
     /// Scale each row of `a (n x d)` by `col (n x 1)`.
-    MulCol { a: Var, col: Var },
+    MulCol {
+        a: Var,
+        col: Var,
+    },
     ConcatCols(Vec<Var>),
-    SliceCols { src: Var, start: usize, end: usize },
+    SliceCols {
+        src: Var,
+        start: usize,
+        end: usize,
+    },
     SumAll(Var),
     MeanAll(Var),
     /// Column-wise mean over rows: `n x d -> 1 x d`.
@@ -83,9 +109,16 @@ pub(crate) enum Op {
     /// Column-wise sum over rows: `n x d -> 1 x d`.
     SumRows(Var),
     /// Column-wise max over rows with recorded argmax rows.
-    MaxRows { src: Var, argmax: Rc<Vec<usize>> },
+    MaxRows {
+        src: Var,
+        argmax: Rc<Vec<usize>>,
+    },
     /// Mean negative log likelihood over a node subset.
-    NllLoss { logp: Var, targets: Rc<Vec<usize>>, nodes: Rc<Vec<usize>> },
+    NllLoss {
+        logp: Var,
+        targets: Rc<Vec<usize>>,
+        nodes: Rc<Vec<usize>>,
+    },
     /// Mean BCE-with-logits over inner-product pair scores.
     BcePairs {
         h: Var,
@@ -94,13 +127,23 @@ pub(crate) enum Op {
         cache: Rc<BceCache>,
     },
     /// DEC-style Student-t KL clustering loss (AdamGNN Eq. 5).
-    StudentTKl { h: Var, egos: Rc<Vec<usize>>, cache: Rc<KlCache> },
+    StudentTKl {
+        h: Var,
+        egos: Rc<Vec<usize>>,
+        cache: Rc<KlCache>,
+    },
     /// Inverted-dropout with a fixed mask (entries are 0 or 1/(1-p)).
-    Dropout { src: Var, mask: Rc<Vec<f64>> },
+    Dropout {
+        src: Var,
+        mask: Rc<Vec<f64>>,
+    },
     /// Row-major reshape (same element count, data order preserved).
     Reshape(Var),
     /// Per-column standardisation (graph-norm): `(x - mean) / std`.
-    ColNormalize { src: Var, inv_std: Rc<Vec<f64>> },
+    ColNormalize {
+        src: Var,
+        inv_std: Rc<Vec<f64>>,
+    },
     /// Elementwise exponential.
     Exp(Var),
     /// Elementwise natural logarithm (input must be positive).
@@ -133,7 +176,9 @@ pub struct Tape {
 impl Tape {
     /// Fresh, empty tape.
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::new()) }
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+        }
     }
 
     /// Number of recorded nodes.
@@ -179,7 +224,11 @@ impl Tape {
     pub(crate) fn push(&self, value: Matrix, op: Op, requires_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value pushed to tape");
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, op, requires_grad });
+        nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(nodes.len() - 1)
     }
 

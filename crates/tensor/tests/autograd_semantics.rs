@@ -51,7 +51,10 @@ fn constants_block_gradient_flow() {
     let loss = tape.sum_all(y);
     let grads = tape.backward(loss);
     assert_eq!(grads.get(x).unwrap().data(), &[5.0, 5.0]);
-    assert!(grads.get(c).is_none(), "constants must not receive gradients");
+    assert!(
+        grads.get(c).is_none(),
+        "constants must not receive gradients"
+    );
 }
 
 #[test]
@@ -90,7 +93,11 @@ fn deep_chain_gradient_is_stable() {
 fn weight_decay_shrinks_parameters() {
     let mut store = ParamStore::new();
     let w = store.add("w", Matrix::full(1, 1, 10.0));
-    let cfg = AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() };
+    let cfg = AdamConfig {
+        lr: 0.1,
+        weight_decay: 0.1,
+        ..Default::default()
+    };
     for _ in 0..50 {
         let tape = Tape::new();
         let bind = store.bind(&tape);
@@ -99,7 +106,10 @@ fn weight_decay_shrinks_parameters() {
         let mut grads = tape.backward(loss);
         store.step(&mut grads, &bind, &cfg);
     }
-    assert!(store.value(w).scalar() < 10.0, "decay must shrink the weight");
+    assert!(
+        store.value(w).scalar() < 10.0,
+        "decay must shrink the weight"
+    );
 }
 
 #[test]

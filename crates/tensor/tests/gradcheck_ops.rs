@@ -163,7 +163,11 @@ fn grad_log_softmax_rows() {
 
 fn sample_csr() -> Rc<Csr> {
     // 4x3 sparse pattern with an empty row
-    Rc::new(Csr::from_coo(4, 3, &[(0, 0), (0, 2), (1, 1), (3, 0), (3, 1), (3, 2)]))
+    Rc::new(Csr::from_coo(
+        4,
+        3,
+        &[(0, 0), (0, 2), (1, 1), (3, 0), (3, 1), (3, 2)],
+    ))
 }
 
 #[test]

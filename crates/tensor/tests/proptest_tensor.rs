@@ -29,9 +29,8 @@ fn csr_with_values() -> impl Strategy<Value = (Csr, Vec<f64>)> {
             .prop_flat_map(move |set| {
                 let entries: Vec<(u32, u32)> = set.into_iter().collect();
                 let nnz = entries.len();
-                proptest::collection::vec(-5.0..5.0f64, nnz).prop_map(move |vals| {
-                    (Csr::from_coo(r, c, &entries), vals)
-                })
+                proptest::collection::vec(-5.0..5.0f64, nnz)
+                    .prop_map(move |vals| (Csr::from_coo(r, c, &entries), vals))
             })
     })
 }

@@ -11,7 +11,11 @@ fn main() {
     // the synthetic-data substitution rationale).
     let ds = make_node_dataset(
         NodeDatasetKind::Cora,
-        &NodeGenConfig { scale: 0.25, max_feat_dim: 128, seed: 7 },
+        &NodeGenConfig {
+            scale: 0.25,
+            max_feat_dim: 128,
+            seed: 7,
+        },
     );
     println!(
         "dataset: {} ({} nodes, {} edges, {} classes, {} features)\n",
@@ -31,7 +35,11 @@ fn main() {
         seed: 1,
         ..Default::default()
     };
-    for kind in [NodeModelKind::Gcn, NodeModelKind::Gat, NodeModelKind::AdamGnn] {
+    for kind in [
+        NodeModelKind::Gcn,
+        NodeModelKind::Gat,
+        NodeModelKind::AdamGnn,
+    ] {
         let started = std::time::Instant::now();
         let res = run_node_classification(kind, &ds, &cfg);
         println!(

@@ -57,7 +57,10 @@ fn main() {
     let tape = Tape::new();
     let bind = store.bind(&tape);
     let (_, out) = model.forward_full(&tape, &bind, &ctx, false, &mut rng);
-    println!("multi-grained structure: {} levels pooled\n", out.levels.len());
+    println!(
+        "multi-grained structure: {} levels pooled\n",
+        out.levels.len()
+    );
     for node in [0usize, 7, 10] {
         let exp = out.explain(&tape, node);
         println!("node {node}:");

@@ -10,7 +10,11 @@ use adamgnn_repro::eval::{run_link_prediction, NodeModelKind, TrainConfig};
 fn main() {
     let ds = make_node_dataset(
         NodeDatasetKind::Dblp,
-        &NodeGenConfig { scale: 0.4, max_feat_dim: 256, seed: 9 },
+        &NodeGenConfig {
+            scale: 0.4,
+            max_feat_dim: 256,
+            seed: 9,
+        },
     );
     println!(
         "dataset: {} ({} nodes, {} edges; 80/10/10 edge split + sampled non-edges)\n",
@@ -28,7 +32,11 @@ fn main() {
         seed: 4,
         ..Default::default()
     };
-    for kind in [NodeModelKind::Gcn, NodeModelKind::GraphSage, NodeModelKind::AdamGnn] {
+    for kind in [
+        NodeModelKind::Gcn,
+        NodeModelKind::GraphSage,
+        NodeModelKind::AdamGnn,
+    ] {
         let started = std::time::Instant::now();
         let res = run_link_prediction(kind, &ds, &cfg);
         println!(

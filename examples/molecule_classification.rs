@@ -5,13 +5,17 @@
 //! Run with: `cargo run --release --example molecule_classification`
 
 use adamgnn_repro::data::{make_graph_dataset, GraphDatasetKind, GraphGenConfig};
-use adamgnn_repro::eval::{GraphModelKind, TrainConfig};
 use adamgnn_repro::eval::graph_tasks::run_graph_classification;
+use adamgnn_repro::eval::{GraphModelKind, TrainConfig};
 
 fn main() {
     let ds = make_graph_dataset(
         GraphDatasetKind::Mutagenicity,
-        &GraphGenConfig { scale: 0.1, max_nodes: 40, seed: 5 },
+        &GraphGenConfig {
+            scale: 0.1,
+            max_nodes: 40,
+            seed: 5,
+        },
     );
     println!(
         "dataset: {} ({} graphs, avg {:.1} nodes, avg {:.1} edges, {} atom types)\n",
@@ -31,7 +35,11 @@ fn main() {
         seed: 2,
         ..Default::default()
     };
-    for kind in [GraphModelKind::Gin, GraphModelKind::SagPool, GraphModelKind::AdamGnn] {
+    for kind in [
+        GraphModelKind::Gin,
+        GraphModelKind::SagPool,
+        GraphModelKind::AdamGnn,
+    ] {
         let started = std::time::Instant::now();
         let res = run_graph_classification(kind, &ds, &cfg);
         println!(

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use adamgnn_repro::core::{AdamGnnConfig, AdamGnnNode};
 use adamgnn_repro::core::{kl_loss, reconstruction_loss, total_loss, LossWeights};
+use adamgnn_repro::core::{AdamGnnConfig, AdamGnnNode};
 use adamgnn_repro::graph::Topology;
 use adamgnn_repro::nn::GraphCtx;
 use adamgnn_repro::tensor::{AdamConfig, Matrix, ParamStore, Tape};
@@ -65,8 +65,10 @@ fn main() {
     let lv = tape.value_cloned(logits);
     let correct = (0..n).filter(|&i| lv.row_argmax(i) == labels[i]).count();
     println!("\ntrain accuracy: {}/{n}", correct);
-    println!("level-1 egos (adaptively selected, no ratio hyper-parameter): {:?}",
-        internals.egos_l1);
+    println!(
+        "level-1 egos (adaptively selected, no ratio hyper-parameter): {:?}",
+        internals.egos_l1
+    );
     for (k, level) in internals.levels.iter().enumerate() {
         println!("level {}: {} hyper-nodes", k + 1, level.size);
     }

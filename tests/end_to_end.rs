@@ -12,11 +12,24 @@ use adamgnn_repro::eval::{
 };
 
 fn node_cfg() -> TrainConfig {
-    TrainConfig { epochs: 25, patience: 25, hidden: 24, levels: 2, ..Default::default() }
+    TrainConfig {
+        epochs: 25,
+        patience: 25,
+        hidden: 24,
+        levels: 2,
+        ..Default::default()
+    }
 }
 
 fn tiny_node(kind: NodeDatasetKind) -> adamgnn_repro::data::NodeDataset {
-    make_node_dataset(kind, &NodeGenConfig { scale: 0.1, max_feat_dim: 64, seed: 5 })
+    make_node_dataset(
+        kind,
+        &NodeGenConfig {
+            scale: 0.1,
+            max_feat_dim: 64,
+            seed: 5,
+        },
+    )
 }
 
 #[test]
@@ -37,7 +50,11 @@ fn every_node_model_trains_on_cora_like_data() {
 #[test]
 fn every_node_model_runs_link_prediction() {
     let ds = tiny_node(NodeDatasetKind::Cora);
-    for kind in [NodeModelKind::Gcn, NodeModelKind::TopKPool, NodeModelKind::AdamGnn] {
+    for kind in [
+        NodeModelKind::Gcn,
+        NodeModelKind::TopKPool,
+        NodeModelKind::AdamGnn,
+    ] {
         let res = run_link_prediction(kind, &ds, &node_cfg());
         assert!(
             res.test_metric > 0.5,
@@ -52,10 +69,24 @@ fn every_node_model_runs_link_prediction() {
 fn graph_classifiers_beat_chance_on_mutag_like_data() {
     let ds = make_graph_dataset(
         GraphDatasetKind::Mutagenicity,
-        &GraphGenConfig { scale: 0.05, max_nodes: 30, seed: 6 },
+        &GraphGenConfig {
+            scale: 0.05,
+            max_nodes: 30,
+            seed: 6,
+        },
     );
-    let cfg = TrainConfig { epochs: 30, patience: 30, hidden: 32, levels: 2, ..Default::default() };
-    for kind in [GraphModelKind::Gin, GraphModelKind::SagPool, GraphModelKind::AdamGnn] {
+    let cfg = TrainConfig {
+        epochs: 30,
+        patience: 30,
+        hidden: 32,
+        levels: 2,
+        ..Default::default()
+    };
+    for kind in [
+        GraphModelKind::Gin,
+        GraphModelKind::SagPool,
+        GraphModelKind::AdamGnn,
+    ] {
         let res = run_graph_classification(kind, &ds, &cfg);
         assert!(
             res.test_accuracy > 0.5,
