@@ -8,8 +8,10 @@
 //! cargo run --release -p mg-bench --features parallel --bin ops_report
 //! ```
 //!
-//! `MG_NUM_THREADS` sizes the parallel pool (default 4);
-//! `MG_BENCH_OPS_JSON` overrides the output path.
+//! `MG_NUM_THREADS` sizes the parallel pool (default: the host's
+//! available parallelism); `MG_BENCH_OPS_JSON` overrides the output
+//! path. When the pool is wider than the host the report suppresses
+//! speedup claims — see `mg_bench::opsbench`.
 
 fn main() {
     mg_bench::opsbench::emit_default();

@@ -6,10 +6,13 @@
 //! report. Both the `ops` criterion bench and the `table1` binary call
 //! [`emit_default`], so every benchmark run leaves a fresh report behind.
 //!
-//! Pool size resolution: `MG_NUM_THREADS` if set, else 4 (the paper
-//! repo's reference configuration), regardless of host cores — on a
-//! smaller machine the report then documents the oversubscribed reality
-//! instead of silently shrinking the comparison.
+//! Pool size resolution: `MG_NUM_THREADS` if set, else the host's
+//! available parallelism. A pool wider than the host cannot measure
+//! parallel speedup — its threads time-slice the same cores, which
+//! manufactures slowdowns — so when `pool_threads > host_threads` the
+//! report records both fields, carries a top-level `warning`, and emits
+//! `"speedup": null` for every op rather than claiming numbers the
+//! hardware cannot support.
 
 use mg_graph::{gcn_norm, Topology};
 use mg_runtime::{with_pool, Pool};
@@ -75,10 +78,21 @@ fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
     Topology::from_edges(n, &edges)
 }
 
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The thread count the parallel half of the comparison uses:
-/// `MG_NUM_THREADS` if set, else 4.
+/// `MG_NUM_THREADS` if set, else [`host_threads`] — never oversubscribed
+/// by default, so the checked-in report's speedups are real.
 pub fn pool_threads() -> usize {
-    mg_runtime::parse_threads(std::env::var("MG_NUM_THREADS").ok().as_deref(), 4)
+    mg_runtime::parse_threads(
+        std::env::var("MG_NUM_THREADS").ok().as_deref(),
+        host_threads(),
+    )
 }
 
 /// Time every hot kernel serial-vs-parallel. `samples` is the number of
@@ -130,27 +144,46 @@ pub fn run_suite(threads: usize, samples: usize) -> Vec<OpTiming> {
     out
 }
 
+/// The oversubscription warning for a given configuration, if any.
+pub fn oversubscription_warning(pool: usize, host: usize) -> Option<String> {
+    (pool > host).then(|| {
+        format!(
+            "pool_threads ({pool}) > host_threads ({host}): pool threads time-slice \
+             the same cores, so these timings measure oversubscription, not parallel \
+             speedup; speedups are suppressed. Regenerate on a host with >= {pool} cores."
+        )
+    })
+}
+
 /// Render the suite results as the `BENCH_ops.json` document.
+///
+/// When the pool is wider than the host the report refuses to claim
+/// speedups: every op gets `"speedup": null` and a top-level `warning`
+/// explains why (see [`oversubscription_warning`]).
 pub fn to_json(threads: usize, timings: &[OpTiming]) -> String {
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host = host_threads();
+    let warning = oversubscription_warning(threads, host);
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
+            let speedup = match warning {
+                Some(_) => "null".to_string(),
+                None => format!("{:.3}", t.speedup()),
+            };
             format!(
                 "    {{\"op\": \"{}\", \"serial_ns\": {:.0}, \"parallel_ns\": {:.0}, \
-                 \"speedup\": {:.3}}}",
-                t.op,
-                t.serial_ns,
-                t.parallel_ns,
-                t.speedup()
+                 \"speedup\": {speedup}}}",
+                t.op, t.serial_ns, t.parallel_ns,
             )
         })
         .collect();
+    let warning_line = match &warning {
+        Some(w) => format!("  \"warning\": \"{w}\",\n"),
+        None => String::new(),
+    };
     format!(
         "{{\n  \"host_threads\": {host},\n  \"pool_threads\": {threads},\n  \
-         \"parallel_feature\": {},\n  \"ops\": [\n{}\n  ]\n}}\n",
+         \"parallel_feature\": {},\n{warning_line}  \"ops\": [\n{}\n  ]\n}}\n",
         cfg!(feature = "parallel"),
         entries.join(",\n")
     )
@@ -174,6 +207,9 @@ pub fn emit_default() {
             t.parallel_ns,
             t.speedup()
         );
+    }
+    if let Some(w) = oversubscription_warning(threads, host_threads()) {
+        eprintln!("warning: {w}");
     }
     let json = to_json(threads, &timings);
     match std::fs::write(&path, &json) {
@@ -200,10 +236,33 @@ mod tests {
     }
 
     #[test]
-    fn pool_threads_defaults_to_four_without_env() {
+    fn pool_threads_defaults_to_host_without_env() {
         // MG_NUM_THREADS may be set by the harness; only check the
-        // fallback arithmetic here.
-        assert_eq!(mg_runtime::parse_threads(None, 4), 4);
-        assert_eq!(mg_runtime::parse_threads(Some("6"), 4), 6);
+        // fallback arithmetic here. The default must track the host, not
+        // a fixed constant: a 4-thread pool on a 1-core container only
+        // manufactures slowdowns.
+        let host = host_threads();
+        assert_eq!(mg_runtime::parse_threads(None, host), host);
+        assert_eq!(mg_runtime::parse_threads(Some("6"), host), 6);
+    }
+
+    #[test]
+    fn json_refuses_speedup_claims_when_oversubscribed() {
+        let timings = vec![OpTiming {
+            op: "fake_op",
+            serial_ns: 100.0,
+            parallel_ns: 50.0,
+        }];
+        // pool wider than the host: warning present, speedups nulled
+        let over = to_json(host_threads() + 1, &timings);
+        assert!(over.contains("\"warning\""));
+        assert!(over.contains("oversubscription"));
+        assert!(over.contains("\"speedup\": null"));
+        assert!(!over.contains("\"speedup\": 2.000"));
+        // a pool the host can actually run: numeric speedup, no warning
+        let ok = to_json(1, &timings);
+        assert!(!ok.contains("\"warning\""));
+        assert!(ok.contains("\"speedup\": 2.000"));
+        assert!(ok.contains(&format!("\"host_threads\": {}", host_threads())));
     }
 }

@@ -209,7 +209,11 @@ impl AdamGnn {
 
             // hyper-graph connectivity A_k = S_kᵀ Â_{k-1} S_k (detached)
             let s_vals_data: Vec<f64> = tape.value(s_vals).data().to_vec();
-            let (st_csr, perm) = plan.csr.transpose_struct();
+            // Take the transpose from `s_csr` (the Rc instance the tape ops
+            // hold), not `plan.csr`: transpose_struct warms the lazy
+            // transpose cache, and warming the shared instance lets every
+            // spmm_t in this level's backward pass reuse it.
+            let (st_csr, perm) = s_csr.transpose_struct();
             let st_vals: Vec<f64> = perm.iter().map(|&p| s_vals_data[p]).collect();
             let (tmp_csr, tmp_vals) = st_csr.spgemm(&st_vals, &weighted.0, &weighted.1);
             let (ak_csr, ak_vals) = tmp_csr.spgemm(&tmp_vals, &plan.csr, &s_vals_data);

@@ -11,6 +11,11 @@ use mg_tensor::Csr;
 #[derive(Clone, Debug)]
 pub struct NormAdj {
     /// Sparsity pattern including self-loops.
+    ///
+    /// Shared behind an `Rc` so every tape op referencing this adjacency
+    /// points at the *same* `Csr` instance: its lazily-built transpose
+    /// cache (used by the parallel `spmm_t` family) is built once on the
+    /// first backward pass and reused across all subsequent epochs.
     pub csr: std::rc::Rc<Csr>,
     /// Symmetric-normalised values aligned with `csr`.
     pub values: Vec<f64>,

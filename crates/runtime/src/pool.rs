@@ -53,6 +53,11 @@ struct JobState {
 }
 
 struct Shared {
+    /// Serialises job submission: [`Pool::run`] holds this for its whole
+    /// duration, so two threads sharing one pool cannot overwrite each
+    /// other's [`JobState`] (which would lose chunks or hang the first
+    /// caller). Workers never take this lock.
+    job: Mutex<()>,
     state: Mutex<JobState>,
     /// Workers wait here for a new job.
     work_cv: Condvar,
@@ -86,6 +91,7 @@ impl Pool {
             };
         }
         let shared = Arc::new(Shared {
+            job: Mutex::new(()),
             state: Mutex::new(JobState {
                 seq: 0,
                 n_chunks: 0,
@@ -132,6 +138,10 @@ impl Pool {
     /// Chunks must be independent: the task may not call back into the
     /// same pool (parallel regions do not nest; kernels built on this
     /// never invoke other kernels inside a task).
+    ///
+    /// `run` may be called from several threads concurrently — jobs are
+    /// serialised internally, so later callers block until earlier jobs
+    /// complete rather than corrupting them.
     pub fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         let Some(shared) = &self.shared else {
             for chunk in 0..n_chunks {
@@ -145,6 +155,14 @@ impl Pool {
             }
             return;
         }
+
+        // One job at a time: held until the completion barrier passes. A
+        // poisoned guard only means a previous job's task panicked on its
+        // calling thread; the () payload carries no state, so recover.
+        let _job = match shared.job.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
 
         // SAFETY: erase the borrow lifetime; `run` does not return until
         // `completed == n_chunks`, so no worker touches the pointer after
@@ -280,15 +298,17 @@ pub fn parallel_rows_in(
 
 /// [`parallel_rows_in`] on the ambient pool ([`current_threads`]
 /// resolution order: `with_pool` override, then the global pool).
+///
+/// The override stack's `RefCell` borrow is resolved *before* the kernel
+/// body runs: `body` executes on the calling thread too, and may itself
+/// call [`with_pool`] (which needs a mutable borrow) — holding the borrow
+/// across the parallel region would panic on that re-entry.
 pub fn parallel_rows(rows: usize, min_rows: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
-    OVERRIDE.with(|ov| {
-        let stack = ov.borrow();
-        let pool: &Pool = match stack.last() {
-            Some(p) => p,
-            None => global(),
-        };
-        parallel_rows_in(pool, rows, min_rows, body);
-    });
+    let over: Option<Arc<Pool>> = OVERRIDE.with(|ov| ov.borrow().last().cloned());
+    match over {
+        Some(pool) => parallel_rows_in(&pool, rows, min_rows, body),
+        None => parallel_rows_in(global(), rows, min_rows, body),
+    }
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
@@ -471,6 +491,49 @@ mod tests {
             }
         });
         assert!(output.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn with_pool_inside_a_task_body_does_not_panic() {
+        // Regression: parallel_rows used to hold the override stack's
+        // RefCell borrow across the kernel body, so any with_pool call
+        // from a task on the calling thread double-borrowed and panicked.
+        let pool = Arc::new(Pool::new(2));
+        with_pool(pool, || {
+            parallel_rows(8, 1, &|_range| {
+                with_pool(Arc::new(Pool::new(1)), || {
+                    assert_eq!(current_threads(), 1);
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn concurrent_run_callers_are_serialised() {
+        // Two threads hammering one pool: without job serialisation the
+        // second caller's JobState reset loses the first job's chunks.
+        let pool = Arc::new(Pool::new(3));
+        std::thread::scope(|s| {
+            for seed in 0..2usize {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..200usize {
+                        let n = 2 + (round + seed * 7) % 13;
+                        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                        pool.run(n, &|c| {
+                            hits[c].fetch_add(1, Ordering::SeqCst);
+                        });
+                        for (c, h) in hits.iter().enumerate() {
+                            assert_eq!(
+                                h.load(Ordering::SeqCst),
+                                1,
+                                "chunk {c} of round {round} (caller {seed})"
+                            );
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

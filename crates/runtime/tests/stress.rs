@@ -1,0 +1,99 @@
+//! Concurrency stress tests for the shared pool.
+//!
+//! These are the tests CI runs under `MG_NUM_THREADS=4`: they exercise
+//! the one configuration unit tests miss — several *caller* threads
+//! sharing one pool, each submitting jobs while the others' jobs are in
+//! flight. `Pool::run` serialises submissions internally; every chunk of
+//! every job must still execute exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mg_runtime::{current_threads, parallel_rows, with_pool, Pool, SendPtr};
+
+/// Two threads submitting raw `run` jobs to one pool, with chunk counts
+/// that differ per round so job boundaries never line up.
+#[test]
+fn two_threads_share_one_pool_without_losing_chunks() {
+    let pool = Arc::new(Pool::new(4));
+    std::thread::scope(|s| {
+        for seed in 0..2usize {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                for round in 0..500usize {
+                    let n = 2 + (round + seed * 11) % 17;
+                    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    let sum = AtomicUsize::new(0);
+                    pool.run(n, &|c| {
+                        hits[c].fetch_add(1, Ordering::SeqCst);
+                        sum.fetch_add(c + 1, Ordering::SeqCst);
+                    });
+                    for (c, h) in hits.iter().enumerate() {
+                        assert_eq!(
+                            h.load(Ordering::SeqCst),
+                            1,
+                            "chunk {c} of round {round} (caller {seed}) ran wrong number of times"
+                        );
+                    }
+                    assert_eq!(sum.load(Ordering::SeqCst), n * (n + 1) / 2);
+                }
+            });
+        }
+    });
+}
+
+/// Two threads running `parallel_rows` kernels (the shape every tensor
+/// kernel uses) against the same pool via thread-local overrides; each
+/// caller's output buffer must be filled exactly once per row.
+#[test]
+fn concurrent_parallel_rows_fill_disjoint_buffers() {
+    let pool = Arc::new(Pool::new(4));
+    std::thread::scope(|s| {
+        for seed in 0..2usize {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                with_pool(pool, || {
+                    for round in 0..200usize {
+                        let rows = 64 + (round + seed * 31) % 97;
+                        let mut out = vec![0u32; rows];
+                        let ptr = SendPtr::new(out.as_mut_ptr());
+                        parallel_rows(rows, 1, &|range| {
+                            for i in range {
+                                // SAFETY: row ranges are disjoint.
+                                unsafe { *ptr.get().add(i) += 1 };
+                            }
+                        });
+                        assert!(
+                            out.iter().all(|&v| v == 1),
+                            "round {round} (caller {seed}): {out:?}"
+                        );
+                    }
+                });
+            });
+        }
+    });
+}
+
+/// A task body may install its own pool override on whichever thread it
+/// runs on (regression for the `RefCell` double-borrow in
+/// `parallel_rows`), including while another thread drives jobs.
+#[test]
+fn nested_overrides_inside_tasks_under_contention() {
+    let pool = Arc::new(Pool::new(3));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                with_pool(pool, || {
+                    for _ in 0..100 {
+                        parallel_rows(16, 1, &|_range| {
+                            with_pool(Arc::new(Pool::new(1)), || {
+                                assert_eq!(current_threads(), 1);
+                            });
+                        });
+                    }
+                });
+            });
+        }
+    });
+}

@@ -157,7 +157,9 @@ impl Tape {
                     }
                     if nodes[dense.0].requires_grad {
                         let vals = &nodes[values.0].value;
-                        // gX = Aᵀ g
+                        // gX = Aᵀ g — under `parallel`, `spmm_t` builds the
+                        // transpose cache on the shared `Rc<Csr>` the first
+                        // time and reuses it on every later epoch.
                         acc!(*dense, csr.spmm_t(vals.data(), &g));
                     }
                 }

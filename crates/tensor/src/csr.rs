@@ -7,14 +7,78 @@
 
 use crate::matrix::Matrix;
 use crate::par;
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-built transpose of a [`Csr`] pattern, shared between clones.
+///
+/// Within each transposed row `c` the source rows stored in `indices`
+/// are strictly ascending — the same order in which the serial scatter
+/// loop of [`Csr::spmm_t_serial`] visits the entries contributing to
+/// output row `c` — which is what lets the parallel transpose kernels
+/// keep the bitwise-determinism contract of `par`.
+#[derive(Debug)]
+struct TransposeCache {
+    /// Row pointers of the transposed pattern (`cols + 1` entries).
+    indptr: Vec<usize>,
+    /// Source-row indices per transposed row, ascending within each row.
+    indices: Vec<u32>,
+    /// Value permutation: transposed entry `k` reads `values[perm[k]]`
+    /// of the original layout (`perm` is a bijection on `0..nnz`).
+    perm: Vec<usize>,
+}
 
 /// Sparsity pattern of a sparse matrix in CSR layout, without values.
-#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
+    /// Transposed pattern, built on first use (`spmm_t` family,
+    /// [`Csr::transpose_struct`]). The `Arc` is shared by `Clone`, so a
+    /// structure wrapped in `Rc<Csr>` and cloned around a model (e.g.
+    /// `NormAdj`, the `S_k` chain) pays the O(nnz) transpose once and
+    /// amortises it across every epoch's forward and backward passes.
+    tcache: OnceLock<Arc<TransposeCache>>,
+}
+
+impl Clone for Csr {
+    fn clone(&self) -> Self {
+        let tcache = OnceLock::new();
+        if let Some(t) = self.tcache.get() {
+            let _ = tcache.set(Arc::clone(t));
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            tcache,
+        }
+    }
+}
+
+// Equality is structural: the transpose cache is derived data and two
+// patterns must compare equal whether or not either has built it.
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+    }
+}
+
+impl Eq for Csr {}
+
+impl std::fmt::Debug for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Csr")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("indptr", &self.indptr)
+            .field("indices", &self.indices)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Csr {
@@ -57,6 +121,7 @@ impl Csr {
             cols,
             indptr,
             indices,
+            tcache: OnceLock::new(),
         }
     }
 
@@ -83,7 +148,38 @@ impl Csr {
             cols,
             indptr,
             indices,
+            tcache: OnceLock::new(),
         }
+    }
+
+    /// The lazily-built transposed pattern (see [`TransposeCache`]).
+    fn transpose_cache(&self) -> &TransposeCache {
+        self.tcache.get_or_init(|| {
+            let mut counts = vec![0usize; self.cols + 1];
+            for &c in &self.indices {
+                counts[c as usize + 1] += 1;
+            }
+            for i in 0..self.cols {
+                counts[i + 1] += counts[i];
+            }
+            let indptr = counts;
+            let mut indices = vec![0u32; self.nnz()];
+            let mut perm = vec![0usize; self.nnz()];
+            let mut cursor = indptr.clone();
+            // iter() walks rows in ascending order, so the source rows
+            // land in each transposed row in ascending order.
+            for (r, c, k) in self.iter() {
+                let pos = cursor[c];
+                indices[pos] = r as u32;
+                perm[pos] = k;
+                cursor[c] += 1;
+            }
+            Arc::new(TransposeCache {
+                indptr,
+                indices,
+                perm,
+            })
+        })
     }
 
     /// Number of rows.
@@ -197,10 +293,15 @@ impl Csr {
     /// Dense product with the transpose: `C = Aᵀ * X`.
     ///
     /// The serial loop scatters each entry into its output row. The
-    /// parallel path instead scan-filters: every chunk walks all stored
-    /// entries in the serial order but only accumulates output rows in
-    /// its range, preserving the per-element addition order exactly (at
-    /// the cost of re-scanning the index arrays per chunk).
+    /// parallel path gathers instead: it row-partitions the *transposed*
+    /// pattern (built once per structure, cached — see
+    /// [`Csr::transpose_struct`]), so each chunk owns a contiguous range
+    /// of output rows and reads only its own O(nnz/chunks) entries. Per
+    /// output row `c` the cached entries arrive in ascending source row
+    /// `r` — exactly the order in which the serial scatter visits the
+    /// contributions to row `c` — so every output element accumulates in
+    /// the serial order and results stay bitwise identical to
+    /// [`Csr::spmm_t_serial`] for any thread count.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -210,6 +311,7 @@ impl Csr {
         par::timed("spmm_t", || {
             #[cfg(feature = "parallel")]
             if par::use_parallel(self.cols, par::MIN_SPARSE_ROWS) {
+                let t = self.transpose_cache();
                 let d = x.cols();
                 let mut out = Matrix::zeros(self.cols, d);
                 par::for_each_row_block(
@@ -218,19 +320,17 @@ impl Csr {
                     d,
                     par::MIN_SPARSE_ROWS,
                     |range, block| {
-                        for r in 0..self.rows {
-                            let x_row = x.row(r);
-                            let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
-                            for (&ci, &v) in self.indices[lo..hi].iter().zip(&values[lo..hi]) {
-                                let c = ci as usize;
-                                if c < range.start || c >= range.end {
-                                    continue;
-                                }
+                        for (bc, c) in range.enumerate() {
+                            let out_row = &mut block[bc * d..(bc + 1) * d];
+                            for k in t.indptr[c]..t.indptr[c + 1] {
+                                let v = values[t.perm[k]];
+                                // The serial scatter skips exact zeros;
+                                // skip them here too so non-finite x rows
+                                // still match bitwise.
                                 if v == 0.0 {
                                     continue;
                                 }
-                                let b = c - range.start;
-                                let out_row = &mut block[b * d..(b + 1) * d];
+                                let x_row = x.row(t.indices[k] as usize);
                                 for (o, &xv) in out_row.iter_mut().zip(x_row) {
                                     *o += v * xv;
                                 }
@@ -300,31 +400,51 @@ impl Csr {
 
     /// Gradient of [`Csr::spmm_t`] with respect to `values`: a `1 x nnz`
     /// matrix with `gv[k] = g[c,:] . x[r,:]` for each stored `(r, c, k)`.
+    ///
+    /// Each entry is one independent dot product, computed exactly once,
+    /// so any partition is bitwise exact. The parallel path row-partitions
+    /// the cached *transposed* pattern — chunks then read contiguous rows
+    /// of `g` and scatter through `perm` into disjoint `gv` slots.
     pub fn spmm_t_grad_values(&self, g: &Matrix, x: &Matrix) -> Matrix {
         assert_eq!(g.rows(), self.cols, "spmm_t_grad_values: g rows");
         assert_eq!(x.rows(), self.rows, "spmm_t_grad_values: x rows");
         assert_eq!(g.cols(), x.cols(), "spmm_t_grad_values: inner dimension");
         par::timed("spmm_t_grad_values", || {
-            let mut gv = Matrix::zeros(1, self.nnz());
-            par::for_each_row_segments(
-                gv.data_mut(),
-                &self.indptr,
-                self.rows,
-                par::MIN_SPARSE_ROWS,
-                |range, block| {
-                    let base = self.indptr[range.start];
-                    for r in range {
-                        let x_row = x.row(r);
-                        for k in self.indptr[r]..self.indptr[r + 1] {
-                            let c = self.indices[k] as usize;
-                            block[k - base] =
-                                g.row(c).iter().zip(x_row).map(|(&a, &b)| a * b).sum();
-                        }
-                    }
-                },
-            );
-            gv
+            #[cfg(feature = "parallel")]
+            if par::use_parallel(self.cols, par::MIN_SPARSE_ROWS) {
+                let t = self.transpose_cache();
+                let mut gv = Matrix::zeros(1, self.nnz());
+                par::for_each_permuted_value(
+                    gv.data_mut(),
+                    &t.indptr,
+                    self.cols,
+                    &t.perm,
+                    par::MIN_SPARSE_ROWS,
+                    |c, k| {
+                        let x_row = x.row(t.indices[k] as usize);
+                        g.row(c).iter().zip(x_row).map(|(&a, &b)| a * b).sum()
+                    },
+                );
+                return gv;
+            }
+            self.spmm_t_grad_values_serial(g, x)
         })
+    }
+
+    /// [`Csr::spmm_t_grad_values`] on the calling thread only.
+    pub fn spmm_t_grad_values_serial(&self, g: &Matrix, x: &Matrix) -> Matrix {
+        assert_eq!(g.rows(), self.cols, "spmm_t_grad_values: g rows");
+        assert_eq!(x.rows(), self.rows, "spmm_t_grad_values: x rows");
+        assert_eq!(g.cols(), x.cols(), "spmm_t_grad_values: inner dimension");
+        let mut gv = Matrix::zeros(1, self.nnz());
+        for r in 0..self.rows {
+            let x_row = x.row(r);
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                gv.data_mut()[k] = g.row(c).iter().zip(x_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        gv
     }
 
     /// Materialise as a dense matrix (tests / small graphs only).
@@ -339,32 +459,21 @@ impl Csr {
 
     /// Transposed structure together with the permutation `perm` such that
     /// `values_t[k_new] = values[perm[k_new]]`.
+    ///
+    /// The transposed pattern is built once per structure and cached (the
+    /// same cache drives the parallel `spmm_t` kernels); this method only
+    /// pays for copying it out. Clones share the populated cache.
     pub fn transpose_struct(&self) -> (Csr, Vec<usize>) {
-        let mut counts = vec![0usize; self.cols + 1];
-        for &c in &self.indices {
-            counts[c as usize + 1] += 1;
-        }
-        for i in 0..self.cols {
-            counts[i + 1] += counts[i];
-        }
-        let indptr = counts.clone();
-        let mut indices = vec![0u32; self.nnz()];
-        let mut perm = vec![0usize; self.nnz()];
-        let mut cursor = indptr.clone();
-        for (r, c, k) in self.iter() {
-            let pos = cursor[c];
-            indices[pos] = r as u32;
-            perm[pos] = k;
-            cursor[c] += 1;
-        }
+        let t = self.transpose_cache();
         (
             Csr {
                 rows: self.cols,
                 cols: self.rows,
-                indptr,
-                indices,
+                indptr: t.indptr.clone(),
+                indices: t.indices.clone(),
+                tcache: OnceLock::new(),
             },
-            perm,
+            t.perm.clone(),
         )
     }
 
@@ -416,6 +525,7 @@ impl Csr {
                 cols: b.cols,
                 indptr,
                 indices,
+                tcache: OnceLock::new(),
             },
             values,
         )
@@ -471,6 +581,64 @@ mod tests {
         let (t, perm) = csr.transpose_struct();
         let tvals: Vec<f64> = perm.iter().map(|&k| vals[k]).collect();
         assert_eq!(t.to_dense(&tvals), csr.to_dense(&vals).transpose());
+    }
+
+    #[test]
+    fn transpose_cache_rows_ascending_per_row() {
+        // The determinism contract of the parallel spmm_t path: within
+        // each transposed row, source rows are strictly ascending.
+        let csr = Csr::from_coo(
+            5,
+            4,
+            &[(0, 1), (1, 1), (2, 1), (4, 1), (0, 0), (3, 0), (2, 3)],
+        );
+        let t = csr.transpose_cache();
+        for c in 0..4 {
+            let row = &t.indices[t.indptr[c]..t.indptr[c + 1]];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {c}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_transpose_cache() {
+        let (csr, vals) = sample();
+        let cold = csr.clone();
+        assert!(csr.tcache.get().is_none(), "cache must start empty");
+        let (t, perm) = csr.transpose_struct(); // populates the cache
+        assert!(csr.tcache.get().is_some());
+        // structural equality, both directions, regardless of cache state
+        assert_eq!(csr, cold);
+        assert_eq!(cold, csr);
+        // a clone of a warm structure shares the built cache
+        let warm = csr.clone();
+        assert!(warm.tcache.get().is_some());
+        // all three behave identically in the kernels
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let g = Matrix::from_vec(3, 2, vec![0.5, -1., 2., 0.25, -3., 1.5]);
+        assert_eq!(csr.spmm_t(&vals, &x), cold.spmm_t(&vals, &x));
+        assert_eq!(csr.spmm_t(&vals, &x), warm.spmm_t(&vals, &x));
+        assert_eq!(
+            csr.spmm_t_grad_values(&g, &x),
+            cold.spmm_t_grad_values(&g, &x)
+        );
+        // the cached transpose equals a from-scratch rebuild
+        let rebuilt = Csr::from_parts(2, 3, csr.indptr.clone(), csr.indices.clone());
+        let (t2, perm2) = rebuilt.transpose_struct();
+        assert_eq!(t, t2);
+        assert_eq!(perm, perm2);
+    }
+
+    #[test]
+    fn spmm_t_grad_values_serial_matches_dense() {
+        let (csr, _vals) = sample();
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let g = Matrix::from_vec(3, 2, vec![0.5, -1., 2., 0.25, -3., 1.5]);
+        let gv = csr.spmm_t_grad_values_serial(&g, &x);
+        for (r, c, k) in csr.iter() {
+            let want: f64 = g.row(c).iter().zip(x.row(r)).map(|(&a, &b)| a * b).sum();
+            assert_eq!(gv.data()[k], want);
+        }
+        assert_eq!(gv, csr.spmm_t_grad_values(&g, &x));
     }
 
     #[test]

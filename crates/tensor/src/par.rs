@@ -13,7 +13,12 @@
 //! invocation using the serial inner-loop order. The floating-point
 //! reduction order per output element is therefore independent of thread
 //! count and scheduling, making parallel results bitwise identical to
-//! serial ones.
+//! serial ones. [`for_each_permuted_value`] extends the same contract to
+//! permutation-scattered outputs: each output element is computed exactly
+//! once by one invocation, so no reduction order exists to disturb.
+//! Transpose-product kernels (`spmm_t` family) partition over the cached
+//! transposed pattern, whose per-row entries replay the serial scatter
+//! order — see `Csr::transpose_struct`.
 
 use std::ops::Range;
 
@@ -22,7 +27,17 @@ pub(crate) const MIN_ROWS: usize = 8;
 /// Minimum rows per chunk for sparse kernels (cheap per-row work).
 pub(crate) const MIN_SPARSE_ROWS: usize = 64;
 /// Minimum elements per chunk for flat elementwise kernels.
-pub(crate) const MIN_ELEMS: usize = 4096;
+///
+/// Sized for the cheapest elementwise ops, which are memory-bound:
+/// `zip_512k_elems` measures ~0.65 ns/element serial (`BENCH_ops.json`,
+/// 335,805 ns / 512k), so the old 4096-element minimum put only ~2.7 µs
+/// of work in a chunk — the same order as one pool hand-off (mutex +
+/// condvar wake), which made small parallel zips a measured regression.
+/// At 32,768 elements a chunk carries ~21 µs of work, keeping scheduling
+/// overhead in the low single-digit percents; compute-bound maps (tanh is
+/// ~17 ns/element — `map_512k_elems` at 8.9 ms / 512k) clear the bar by a
+/// wide margin at any size that passes it.
+pub(crate) const MIN_ELEMS: usize = 32_768;
 
 /// True when the ambient pool would actually split `rows` into more than
 /// one chunk — kernels with a distinct (faster) serial loop shape branch
@@ -103,6 +118,39 @@ pub(crate) fn for_each_row_segments(
     debug_assert_eq!(indptr.len(), rows + 1);
     debug_assert_eq!(out.len(), indptr[rows]);
     body(0..rows, out);
+}
+
+/// Row-partition a *transposed* CSR pattern (`t_indptr`, `t_rows` rows)
+/// and store `f(c, k)` into `out[perm[k]]` for every entry
+/// `k in t_indptr[c]..t_indptr[c + 1]` of every transposed row `c`.
+///
+/// Used by value-gradient kernels whose output is laid out in the
+/// *original* entry order while the work is partitioned over the
+/// transposed pattern: `perm` must be a bijection onto `0..out.len()`,
+/// which makes the scattered writes disjoint, and each element is
+/// computed exactly once so any partition is trivially bitwise exact.
+#[cfg(feature = "parallel")]
+pub(crate) fn for_each_permuted_value(
+    out: &mut [f64],
+    t_indptr: &[usize],
+    t_rows: usize,
+    perm: &[usize],
+    min_rows: usize,
+    f: impl Fn(usize, usize) -> f64 + Sync,
+) {
+    debug_assert_eq!(t_indptr.len(), t_rows + 1);
+    debug_assert_eq!(out.len(), perm.len());
+    let ptr = mg_runtime::SendPtr::new(out.as_mut_ptr());
+    mg_runtime::parallel_rows(t_rows, min_rows, &|range: Range<usize>| {
+        for c in range {
+            let (s, e) = (t_indptr[c], t_indptr[c + 1]);
+            for (k, &p) in (s..e).zip(&perm[s..e]) {
+                // SAFETY: row ranges are disjoint and `perm` is a
+                // bijection, so each `out` slot is written exactly once.
+                unsafe { *ptr.get().add(p) = f(c, k) };
+            }
+        }
+    });
 }
 
 /// Time `f` under `name` in the kernel-stats registry.

@@ -62,12 +62,18 @@ pub(crate) enum Op {
     SoftmaxRows(Var),
     LogSoftmaxRows(Var),
     /// `csr(values) * dense`.
+    ///
+    /// The `Rc<Csr>` is shared with the caller, so the transpose cache the
+    /// backward pass builds for `spmm_t` persists on the caller's instance
+    /// and is reused by every later tape that records the same structure.
     Spmm {
         csr: Rc<Csr>,
         values: Var,
         dense: Var,
     },
-    /// `csr(values)^T * dense`.
+    /// `csr(values)^T * dense`. Shares `csr` like [`Op::Spmm`], so the
+    /// forward `spmm_t` warms the transpose cache that the backward
+    /// `spmm_t_grad_values` then reuses.
     SpmmT {
         csr: Rc<Csr>,
         values: Var,

@@ -91,8 +91,9 @@ proptest! {
     }
 
     #[test]
-    fn elementwise_parity(m in matrix(80..140, 80..140)) {
-        // 80x80 = 6400+ elements: past MIN_ELEMS so chunking engages.
+    fn elementwise_parity(m in matrix(260..300, 260..300)) {
+        // 260x260 = 67600+ elements: past MIN_ELEMS (32768, so two full
+        // chunks) — the chunked path actually engages.
         let mapped_ref = {
             let serial: Vec<f64> = m.data().iter().map(|&x| (x * 1.5).tanh()).collect();
             serial
@@ -128,6 +129,41 @@ proptest! {
         for pool in pools() {
             let got = with_pool(pool.clone(), || csr.spmm_t(&vals, &x));
             prop_assert_eq!(got.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn spmm_t_transpose_cache_parity((csr, vals) in csr_with_values(90, 200), d in 1..16usize) {
+        // The parallel spmm_t family partitions over the lazily-built
+        // transpose cache. Check both kernels against the serial scatter
+        // reference with a cold cache (first parallel call builds it) and
+        // again with an explicitly warmed cache, across pools 1..=8.
+        let x = Matrix::from_fn(90, d, |i, j| ((i * 3 + j * 13) % 23) as f64 * 0.25 - 2.5);
+        let g = Matrix::from_fn(200, d, |i, j| ((i * 5 + j * 7) % 17) as f64 * 0.5 - 4.0);
+        let f_ref = csr.spmm_t_serial(&vals, &x);
+        let gv_ref = csr.spmm_t_grad_values_serial(&g, &x);
+        // a structurally-equal rebuild whose cache is guaranteed cold
+        let cold = Csr::from_parts(
+            csr.rows(), csr.cols(), csr.indptr().to_vec(), csr.indices().to_vec(),
+        );
+        prop_assert_eq!(&cold, &csr);
+        for pool in pools() {
+            let got = with_pool(pool.clone(), || cold.spmm_t(&vals, &x));
+            prop_assert_eq!(got.data(), f_ref.data());
+            let gv = with_pool(pool.clone(), || cold.spmm_t_grad_values(&g, &x));
+            prop_assert_eq!(gv.data(), gv_ref.data());
+        }
+        // warm the cache through the public API, then re-check; a clone
+        // shares the warm cache and must agree too
+        let _ = csr.transpose_struct();
+        let warm_clone = csr.clone();
+        for pool in pools() {
+            let got = with_pool(pool.clone(), || csr.spmm_t(&vals, &x));
+            prop_assert_eq!(got.data(), f_ref.data());
+            let got_clone = with_pool(pool.clone(), || warm_clone.spmm_t(&vals, &x));
+            prop_assert_eq!(got_clone.data(), f_ref.data());
+            let gv = with_pool(pool.clone(), || csr.spmm_t_grad_values(&g, &x));
+            prop_assert_eq!(gv.data(), gv_ref.data());
         }
     }
 
