@@ -92,10 +92,9 @@ impl AdamGnnOutput {
 mod tests {
     use crate::model::{AdamGnn, AdamGnnConfig};
     use mg_graph::Topology;
+    use mg_nn::testkit::seeds;
     use mg_nn::GraphCtx;
     use mg_tensor::{Matrix, ParamStore, Tape};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn run() -> (Tape, ParamStore, AdamGnn, GraphCtx) {
         // two triangles bridged by a path node
@@ -116,7 +115,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut cfg = AdamGnnConfig::new(7, 8, 2);
         cfg.dropout = 0.0;
-        let model = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
+        let model = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_stable());
         (Tape::new(), store, model, ctx)
     }
 
@@ -124,7 +123,7 @@ mod tests {
     fn explanation_scopes_are_connected_regions() {
         let (tape, store, model, ctx) = run();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng_alt());
         assert!(!out.levels.is_empty());
         for node in 0..7 {
             let exp = out.explain(&tape, node);
@@ -141,7 +140,7 @@ mod tests {
     fn beta_in_explanation_matches_output() {
         let (tape, store, model, ctx) = run();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng_alt());
         let beta = out.beta.expect("flyback on");
         let bv = tape.value_cloned(beta);
         let exp = out.explain(&tape, 3);
@@ -154,7 +153,7 @@ mod tests {
     fn level_scopes_grow_with_depth() {
         let (tape, store, model, ctx) = run();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(2));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng_alt());
         if out.levels.len() >= 2 {
             let exp = out.explain(&tape, 0);
             // deeper levels summarise at least as wide a region

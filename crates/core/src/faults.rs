@@ -1,0 +1,68 @@
+//! Deliberate fault injection for the verification harness.
+//!
+//! mg-verify has to demonstrate that its model-level audit catches real
+//! composition bugs, not just crashes. The only way to prove that is to
+//! *inject* one: this module lets a test flip the sign of `L_R`'s
+//! contribution inside [`crate::loss::total_loss`] and assert the audit
+//! reports the inconsistency. The hook is thread-local so concurrently
+//! running tests cannot poison each other, and it costs one TLS read per
+//! loss composition when disarmed.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FLIP_RECON_SIGN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arm or disarm the `L_R` sign-flip fault for the current thread.
+///
+/// Prefer [`with_flipped_recon_sign`], which disarms on unwind.
+pub fn set_flip_recon_sign(on: bool) {
+    FLIP_RECON_SIGN.with(|f| f.set(on));
+}
+
+/// The sign applied to `δ · L_R` in `total_loss`: `-1.0` while the fault
+/// is armed, `+1.0` otherwise.
+pub fn recon_sign() -> f64 {
+    if FLIP_RECON_SIGN.with(|f| f.get()) {
+        -1.0
+    } else {
+        1.0
+    }
+}
+
+/// Run `body` with the sign-flip fault armed, disarming it afterwards
+/// even if `body` panics.
+pub fn with_flipped_recon_sign<T>(body: impl FnOnce() -> T) -> T {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            set_flip_recon_sign(false);
+        }
+    }
+    let _guard = Disarm;
+    set_flip_recon_sign(true);
+    body()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_defaults_to_positive_and_restores_after_scope() {
+        assert_eq!(recon_sign(), 1.0);
+        let inside = with_flipped_recon_sign(recon_sign);
+        assert_eq!(inside, -1.0);
+        assert_eq!(recon_sign(), 1.0);
+    }
+
+    #[test]
+    fn sign_restores_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_flipped_recon_sign(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(recon_sign(), 1.0);
+    }
+}

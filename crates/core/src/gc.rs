@@ -136,6 +136,42 @@ impl AdamGnnNode {
         let logits = self.head.forward(tape, bind, out.h);
         (logits, out)
     }
+
+    /// Eval-mode forward that also captures the discrete/detached pooling
+    /// structure (see [`crate::model::FrozenStructure`]) for later frozen
+    /// replays.
+    pub fn forward_full_recorded(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+    ) -> (
+        Var,
+        crate::model::AdamGnnOutput,
+        crate::model::FrozenStructure,
+    ) {
+        use rand::SeedableRng;
+        // eval-mode forward draws nothing from the stream
+        let mut rng = StdRng::seed_from_u64(0);
+        let (out, fs) = self.core.forward_recorded(tape, bind, ctx, false, &mut rng);
+        let logits = self.head.forward(tape, bind, out.h);
+        (logits, out, fs)
+    }
+
+    /// Eval-mode forward with the pooling structure pinned to a prior
+    /// recording — the fixed-structure function whose gradient the
+    /// backward pass computes (used by the mg-verify gradient audit).
+    pub fn forward_full_frozen(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        frozen: &crate::model::FrozenStructure,
+    ) -> (Var, crate::model::AdamGnnOutput) {
+        let out = self.core.forward_frozen(tape, bind, ctx, frozen);
+        let logits = self.head.forward(tape, bind, out.h);
+        (logits, out)
+    }
 }
 
 impl NodeEncoder for AdamGnnNode {
@@ -159,10 +195,10 @@ impl NodeEncoder for AdamGnnNode {
 mod tests {
     use super::*;
     use mg_nn::testkit::{
-        graph_classifier_accuracy, ring_vs_star_samples, train_graph_classifier, two_community_ctx,
+        graph_classifier_accuracy, ring_vs_star_samples, seeds, train_graph_classifier,
+        two_community_ctx,
     };
     use mg_tensor::AdamConfig;
-    use rand::SeedableRng;
     use std::rc::Rc;
 
     #[test]
@@ -170,7 +206,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut cfg = AdamGnnConfig::new(3, 16, 2);
         cfg.dropout = 0.0;
-        let model = AdamGnnGc::new(&mut store, cfg, 2, &mut StdRng::seed_from_u64(0));
+        let model = AdamGnnGc::new(&mut store, cfg, 2, &mut seeds::model_init());
         let samples = ring_vs_star_samples();
         let loss = train_graph_classifier(&model, &mut store, &samples, 250, 0.02);
         assert!(loss < 0.4, "final loss = {loss}");
@@ -184,11 +220,11 @@ mod tests {
         let mut store = ParamStore::new();
         let mut cfg = AdamGnnConfig::new(8, 16, 2);
         cfg.dropout = 0.0;
-        let model = AdamGnnNode::new(&mut store, cfg, 2, &mut StdRng::seed_from_u64(0));
+        let model = AdamGnnNode::new(&mut store, cfg, 2, &mut seeds::model_init());
         let targets = Rc::new(labels);
         let nodes = Rc::new((0..8).collect::<Vec<_>>());
         let adam = AdamConfig::with_lr(0.03);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = seeds::forward_rng();
         let mut last = f64::INFINITY;
         for _ in 0..300 {
             let tape = Tape::new();

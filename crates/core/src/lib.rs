@@ -23,16 +23,24 @@
 //! See `DESIGN.md` at the repository root for the substrate inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
 
+pub mod decompose;
 pub mod explain;
+pub mod faults;
 pub mod fitness;
 pub mod gc;
 pub mod loss;
 pub mod model;
 pub mod structure;
 
+pub use decompose::{
+    decomposed_loss, decomposed_loss_frozen, record_loss_freeze, LossBreakdown, LossFreeze,
+};
 pub use explain::{LevelExplanation, NodeExplanation};
 pub use fitness::{pair_fitness, pair_fitness_with, AttentionParams, EgoPairs};
 pub use gc::{AdamGnnGc, AdamGnnNode};
-pub use loss::{kl_loss, reconstruction_loss, total_loss, LossWeights};
-pub use model::{AdamGnn, AdamGnnConfig, AdamGnnOutput, LevelState};
+pub use loss::{
+    kl_loss, kl_loss_with_target, reconstruction_loss, reconstruction_loss_planned, total_loss,
+    LossWeights, ReconPlan,
+};
+pub use model::{AdamGnn, AdamGnnConfig, AdamGnnOutput, FrozenLevel, FrozenStructure, LevelState};
 pub use structure::{build_s_plan, ego_fitness, select_egos, SPlan, ValueSource};

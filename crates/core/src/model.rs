@@ -6,10 +6,11 @@ use crate::fitness::{pair_fitness_with, with_unit_row, AttentionParams, EgoPairs
 use crate::structure::{
     add_unit_diag, build_s_plan, ego_fitness, select_egos, topology_of, SPlan, ValueSource,
 };
-use mg_graph::{gcn_norm_weighted, Topology};
+use mg_graph::{gcn_norm_weighted, NormAdj, Topology};
 use mg_nn::{Activation, GcnLayer, GraphCtx};
 use mg_tensor::{Binding, Csr, Matrix, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::rc::Rc;
 
 /// Hyper-parameters of AdamGNN.
@@ -57,6 +58,35 @@ pub struct LevelState {
     pub egos: Vec<usize>,
     /// Hyper-graph size after this level.
     pub size: usize,
+    /// Anchor of each coarse column in the previous level's indexing:
+    /// the ego for ego columns, the node itself for retained columns.
+    pub col_base: Vec<usize>,
+}
+
+/// The discrete and detached pieces of one pooling level, captured on a
+/// reference forward so a verification re-run can hold them fixed.
+///
+/// Ego selection is piecewise-constant in the parameters and the
+/// hyper-adjacency normalisation `Â_k` is deliberately detached from the
+/// tape, so the gradient the optimiser uses is the gradient *at fixed
+/// structure*. Central-difference gradient checking must difference that
+/// same fixed-structure function — re-selecting egos or re-normalising
+/// `Â_k` under a perturbed parameter would measure paths the backward
+/// pass (correctly) never propagates through.
+#[derive(Clone)]
+pub struct FrozenLevel {
+    /// Selected egos, in the previous level's node indexing.
+    pub egos: Vec<usize>,
+    /// Normalised hyper-graph adjacency fed to the level GCN.
+    pub norm: NormAdj,
+    /// Topology the next level pools.
+    pub next_topo: Rc<Topology>,
+}
+
+/// Per-level [`FrozenLevel`]s from one reference forward pass.
+#[derive(Clone, Default)]
+pub struct FrozenStructure {
+    pub levels: Vec<FrozenLevel>,
 }
 
 /// Everything a task head needs from one AdamGNN forward pass.
@@ -140,6 +170,48 @@ impl AdamGnn {
         train: bool,
         rng: &mut StdRng,
     ) -> AdamGnnOutput {
+        self.forward_inner(tape, bind, ctx, train, rng, None).0
+    }
+
+    /// Forward pass that also captures the discrete/detached structure
+    /// for later frozen replays (see [`FrozenStructure`]).
+    pub fn forward_recorded(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> (AdamGnnOutput, FrozenStructure) {
+        self.forward_inner(tape, bind, ctx, train, rng, None)
+    }
+
+    /// Eval-mode forward with the pooling structure pinned to a prior
+    /// recording: egos are not re-selected and `Â_k` is not re-normalised,
+    /// so the scalar losses built on top are exactly the fixed-structure
+    /// function whose gradient the backward pass computes.
+    pub fn forward_frozen(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        frozen: &FrozenStructure,
+    ) -> AdamGnnOutput {
+        // Eval mode draws nothing; the stream only satisfies signatures.
+        let mut rng = StdRng::seed_from_u64(0);
+        self.forward_inner(tape, bind, ctx, false, &mut rng, Some(frozen))
+            .0
+    }
+
+    fn forward_inner(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        train: bool,
+        rng: &mut StdRng,
+        frozen: Option<&FrozenStructure>,
+    ) -> (AdamGnnOutput, FrozenStructure) {
         // ---- primary node representation (Eq. 1) ----
         let x = ctx.x_var(tape);
         let mut h0 = self.gcn0.forward(tape, bind, ctx, x);
@@ -159,8 +231,14 @@ impl AdamGnn {
         let mut unpooled: Vec<Var> = Vec::new();
         let mut levels: Vec<LevelState> = Vec::new();
         let mut egos_l1: Rc<Vec<usize>> = Rc::new(Vec::new());
+        let mut recorded = FrozenStructure::default();
 
         for (k, level_gcn) in self.level_gcns.iter().enumerate() {
+            if let Some(fs) = frozen {
+                if k >= fs.levels.len() {
+                    break; // the reference run stopped pooling here
+                }
+            }
             if topo.num_edges() == 0 {
                 break; // nothing left to pool
             }
@@ -180,9 +258,14 @@ impl AdamGnn {
                 self.cfg.linearity,
             );
             let phi_data: Vec<f64> = tape.value(phi).data().to_vec();
-            // adaptive ego selection (discrete)
-            let ego_phi = ego_fitness(&pairs, &phi_data, n_prev);
-            let egos = select_egos(&topo, &ego_phi);
+            // adaptive ego selection (discrete; pinned on frozen replays)
+            let egos = match frozen {
+                Some(fs) => fs.levels[k].egos.clone(),
+                None => {
+                    let ego_phi = ego_fitness(&pairs, &phi_data, n_prev);
+                    select_egos(&topo, &ego_phi)
+                }
+            };
             if egos.is_empty() {
                 break; // all-tied fitness: no strict local maximum
             }
@@ -207,18 +290,28 @@ impl AdamGnn {
             // hyper-node features (Eq. 3)
             let x_next = self.hyper_features(tape, bind, &plan, phi, h_prev);
 
-            // hyper-graph connectivity A_k = S_kᵀ Â_{k-1} S_k (detached)
-            let s_vals_data: Vec<f64> = tape.value(s_vals).data().to_vec();
-            // Take the transpose from `s_csr` (the Rc instance the tape ops
-            // hold), not `plan.csr`: transpose_struct warms the lazy
-            // transpose cache, and warming the shared instance lets every
-            // spmm_t in this level's backward pass reuse it.
-            let (st_csr, perm) = s_csr.transpose_struct();
-            let st_vals: Vec<f64> = perm.iter().map(|&p| s_vals_data[p]).collect();
-            let (tmp_csr, tmp_vals) = st_csr.spgemm(&st_vals, &weighted.0, &weighted.1);
-            let (ak_csr, ak_vals) = tmp_csr.spgemm(&tmp_vals, &plan.csr, &s_vals_data);
-            let next_topo = topology_of(&ak_csr);
-            let norm = gcn_norm_weighted(&ak_csr, &ak_vals);
+            // hyper-graph connectivity A_k = S_kᵀ Â_{k-1} S_k (detached;
+            // pinned on frozen replays)
+            let (norm, next_topo) = match frozen {
+                Some(fs) => (fs.levels[k].norm.clone(), fs.levels[k].next_topo.clone()),
+                None => {
+                    let s_vals_data: Vec<f64> = tape.value(s_vals).data().to_vec();
+                    // Take the transpose from `s_csr` (the Rc instance the
+                    // tape ops hold), not `plan.csr`: transpose_struct warms
+                    // the lazy transpose cache, and warming the shared
+                    // instance lets every spmm_t in this level's backward
+                    // pass reuse it.
+                    let (st_csr, perm) = s_csr.transpose_struct();
+                    let st_vals: Vec<f64> = perm.iter().map(|&p| s_vals_data[p]).collect();
+                    let (tmp_csr, tmp_vals) = st_csr.spgemm(&st_vals, &weighted.0, &weighted.1);
+                    let (ak_csr, ak_vals) = tmp_csr.spgemm(&tmp_vals, &plan.csr, &s_vals_data);
+                    let next_topo = Rc::new(topology_of(&ak_csr));
+                    let norm = gcn_norm_weighted(&ak_csr, &ak_vals);
+                    let (next_w_csr, next_w_vals) = add_unit_diag(&ak_csr, &ak_vals);
+                    weighted = (Rc::new(next_w_csr), next_w_vals);
+                    (norm, next_topo)
+                }
+            };
 
             // GCN on the hyper-graph
             let adj_vals =
@@ -238,12 +331,16 @@ impl AdamGnn {
                 s_vals,
                 egos: egos.clone(),
                 size: plan.m(),
+                col_base: plan.col_base.clone(),
+            });
+            recorded.levels.push(FrozenLevel {
+                egos,
+                norm,
+                next_topo: next_topo.clone(),
             });
 
             // advance to the next granularity level
-            let (next_w_csr, next_w_vals) = add_unit_diag(&ak_csr, &ak_vals);
-            weighted = (Rc::new(next_w_csr), next_w_vals);
-            topo = Rc::new(next_topo);
+            topo = next_topo;
             h_prev = h_k;
             let _ = plan;
         }
@@ -271,14 +368,17 @@ impl AdamGnn {
             (h0, None)
         };
 
-        AdamGnnOutput {
-            h,
-            h0,
-            unpooled,
-            beta,
-            egos_l1,
-            levels,
-        }
+        (
+            AdamGnnOutput {
+                h,
+                h0,
+                unpooled,
+                beta,
+                egos_l1,
+                levels,
+            },
+            recorded,
+        )
     }
 
     /// Hyper-node feature initialisation (Eq. 3): ego representation plus
@@ -331,7 +431,7 @@ impl AdamGnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mg_nn::testkit::two_community_ctx;
+    use mg_nn::testkit::{seeds, two_community_ctx};
     use rand::SeedableRng;
 
     fn small_model(levels: usize, flyback: bool) -> (ParamStore, AdamGnn) {
@@ -339,7 +439,7 @@ mod tests {
         let mut cfg = AdamGnnConfig::new(8, 12, levels);
         cfg.flyback = flyback;
         cfg.dropout = 0.0;
-        let model = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(7));
+        let model = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_alt());
         (store, model)
     }
 
@@ -349,7 +449,7 @@ mod tests {
         let (store, model) = small_model(2, true);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         assert_eq!(tape.shape(out.h), (8, 12));
         assert_eq!(tape.shape(out.h0), (8, 12));
         assert!(!out.unpooled.is_empty(), "at least one level must pool");
@@ -369,7 +469,7 @@ mod tests {
         let (store, model) = small_model(3, true);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         let mut prev = ctx.n();
         for level in &out.levels {
             assert!(level.size <= prev, "levels must not grow");
@@ -383,7 +483,7 @@ mod tests {
         let (store, model) = small_model(2, true);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         let beta = out.beta.expect("flyback enabled");
         let bv = tape.value(beta);
         assert_eq!(bv.rows(), 8);
@@ -400,7 +500,7 @@ mod tests {
         let (store, model) = small_model(2, false);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         assert!(out.beta.is_none());
         assert_eq!(out.h, out.h0);
         // multi-grained structure is still built (used by GC readouts)
@@ -413,7 +513,7 @@ mod tests {
         let (store, model) = small_model(2, true);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, true, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, true, &mut seeds::forward_rng());
         let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
         let grads = tape.backward(loss);
         for p in [
@@ -453,7 +553,7 @@ mod tests {
         let (store, model) = small_model(1, true);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
         let grads = tape.backward(loss);
         // the fitness attention params feed φ feed S feed Ĥ feed loss

@@ -3,10 +3,9 @@
 
 use adamgnn_core::{AdamGnn, AdamGnnConfig};
 use mg_graph::Topology;
+use mg_nn::testkit::seeds;
 use mg_nn::GraphCtx;
 use mg_tensor::{Matrix, ParamStore, Tape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A barbell: two 5-cliques joined by a path — strong two-community
 /// structure with an obvious meso level.
@@ -30,7 +29,7 @@ fn model(levels: usize, lambda: usize) -> (ParamStore, AdamGnn) {
     let mut cfg = AdamGnnConfig::new(11, 8, levels);
     cfg.lambda = lambda;
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
+    let m = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_stable());
     (store, m)
 }
 
@@ -41,7 +40,7 @@ fn lambda2_ego_networks_pool_more_aggressively() {
         let (store, m) = model(1, lambda);
         let tape = Tape::new();
         let bind = store.bind(&tape);
-        let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+        let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
         out.levels.first().map(|l| l.size)
     };
     let s1 = sizes(1).expect("lambda=1 must pool");
@@ -59,7 +58,7 @@ fn multi_level_hierarchy_terminates_gracefully() {
     let (store, m) = model(6, 1);
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     assert!(out.levels.len() <= 6);
     assert_eq!(out.unpooled.len(), out.levels.len());
     // whatever was pooled still unpools to the original node count
@@ -74,10 +73,10 @@ fn edgeless_graph_skips_pooling() {
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(5, 8, 3);
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
+    let m = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_stable());
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     assert!(out.levels.is_empty());
     assert!(out.beta.is_none());
     assert_eq!(out.h, out.h0);
@@ -90,7 +89,7 @@ fn s_matrix_values_match_fitness_entries() {
     let (store, m) = model(1, 1);
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     let level = &out.levels[0];
     let vals = tape.value(level.s_vals);
     for &v in vals.data() {
@@ -112,7 +111,7 @@ fn unpooled_messages_are_local_to_ego_networks() {
     let (store, m) = model(1, 1);
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     let up = tape.value_cloned(out.unpooled[0]);
     // every node participates in S (no information loss), so every row of
     // the unpooled message should generally be non-zero
@@ -128,7 +127,7 @@ fn beta_reflects_number_of_levels() {
     let (store, m) = model(3, 1);
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     if let Some(beta) = out.beta {
         assert_eq!(tape.shape(beta), (11, out.unpooled.len()));
     }
@@ -140,7 +139,7 @@ fn hidden_width_is_respected_everywhere() {
     let (store, m) = model(2, 1);
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     assert_eq!(tape.shape(out.h), (11, 8));
     for &up in &out.unpooled {
         assert_eq!(tape.shape(up).1, 8);
@@ -155,10 +154,10 @@ fn disconnected_graph_pools_each_component() {
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(6, 8, 1);
     cfg.dropout = 0.0;
-    let m = AdamGnn::new(&mut store, cfg, &mut StdRng::seed_from_u64(1));
+    let m = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_stable());
     let tape = Tape::new();
     let bind = store.bind(&tape);
-    let out = m.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+    let out = m.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
     if let Some(level) = out.levels.first() {
         // with distinct fitness, each triangle contributes >= 1 ego
         assert!(!level.egos.is_empty());

@@ -5,6 +5,7 @@
 use crate::metrics::mean_std;
 use crate::models::GraphModelKind;
 use crate::node_tasks::TrainConfig;
+use crate::trace::TrainTrace;
 use mg_data::{GraphDataset, Split};
 use mg_nn::{GraphClassifier, GraphCtx};
 use mg_tensor::{AdamConfig, ParamStore, Tape};
@@ -49,6 +50,17 @@ pub fn run_graph_classification_prebuilt(
     feat_dim: usize,
     cfg: &TrainConfig,
 ) -> GcRunResult {
+    run_graph_classification_traced(kind, contexts, feat_dim, cfg).0
+}
+
+/// As [`run_graph_classification_prebuilt`], also returning the per-epoch
+/// trace (epoch loss = mean over mini-batches of the batch-mean loss).
+pub fn run_graph_classification_traced(
+    kind: GraphModelKind,
+    contexts: &[(GraphCtx, usize)],
+    feat_dim: usize,
+    cfg: &TrainConfig,
+) -> (GcRunResult, TrainTrace) {
     let split = Split::random_80_10_10(contexts.len(), cfg.seed ^ 0x9c9c);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
@@ -60,6 +72,7 @@ pub fn run_graph_classification_prebuilt(
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
     let mut epoch_times = Vec::new();
+    let mut trace = TrainTrace::new();
     for epoch in 0..cfg.epochs {
         let started = Instant::now();
         // shuffle training order
@@ -68,6 +81,7 @@ pub fn run_graph_classification_prebuilt(
             let j = rng.random_range(0..=i);
             order.swap(i, j);
         }
+        let mut batch_losses = Vec::new();
         for chunk in order.chunks(batch) {
             let tape = Tape::new();
             let bind = store.bind(&tape);
@@ -86,11 +100,14 @@ pub fn run_graph_classification_prebuilt(
                 sum = tape.add(sum, l);
             }
             let loss = tape.scale(sum, 1.0 / losses.len() as f64);
+            batch_losses.push(tape.value(loss).scalar());
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);
         }
         epoch_times.push(started.elapsed().as_secs_f64());
         let val = eval_accuracy(model.as_ref(), &store, contexts, &split.val, &mut rng);
+        let epoch_loss = batch_losses.iter().sum::<f64>() / batch_losses.len().max(1) as f64;
+        trace.push(epoch, epoch_loss, val);
         if val > best_val {
             best_val = val;
             best_test = eval_accuracy(model.as_ref(), &store, contexts, &split.test, &mut rng);
@@ -104,11 +121,14 @@ pub fn run_graph_classification_prebuilt(
         let _ = epoch;
     }
     let (epoch_seconds, _) = mean_std(&epoch_times);
-    GcRunResult {
-        test_accuracy: best_test,
-        val_accuracy: best_val,
-        epoch_seconds,
-    }
+    (
+        GcRunResult {
+            test_accuracy: best_test,
+            val_accuracy: best_val,
+            epoch_seconds,
+        },
+        trace,
+    )
 }
 
 fn eval_accuracy(

@@ -11,13 +11,20 @@ pub mod metrics;
 pub mod models;
 pub mod node_tasks;
 pub mod tables;
+pub mod trace;
 
 pub use clustering::{kmeans, nmi, run_node_clustering};
-pub use graph_tasks::{build_contexts, run_graph_classification, GcRunResult};
+pub use graph_tasks::{
+    build_contexts, run_graph_classification, run_graph_classification_traced, GcRunResult,
+};
 pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
 pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
-pub use node_tasks::{run_link_prediction, run_node_classification, RunResult, TrainConfig};
+pub use node_tasks::{
+    run_link_prediction, run_link_prediction_traced, run_node_classification,
+    run_node_classification_traced, RunResult, TrainConfig,
+};
 pub use tables::{auc, pct, TextTable};
+pub use trace::{EpochRecord, TrainTrace};
 
 /// Print the per-kernel timing registry as JSON to stderr when the
 /// `MG_KERNEL_STATS` environment variable is set. No-op in builds

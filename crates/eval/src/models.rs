@@ -231,7 +231,7 @@ impl GraphModelKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mg_nn::testkit::seeds;
 
     #[test]
     fn every_node_model_builds_and_runs() {
@@ -242,10 +242,10 @@ mod tests {
         };
         for kind in NodeModelKind::all() {
             let mut store = ParamStore::new();
-            let model = kind.build(&mut store, 8, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
+            let model = kind.build(&mut store, 8, 8, 2, &cfg, &mut seeds::model_init());
             let tape = Tape::new();
             let bind = store.bind(&tape);
-            let (out, _) = model.forward(&tape, &bind, &ctx, false, &mut StdRng::seed_from_u64(1));
+            let (out, _) = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
             assert_eq!(tape.shape(out), (8, 2), "{}", kind.name());
         }
     }
@@ -260,10 +260,10 @@ mod tests {
         };
         for kind in GraphModelKind::all() {
             let mut store = ParamStore::new();
-            let model = kind.build(&mut store, 3, 8, 2, &cfg, &mut StdRng::seed_from_u64(0));
+            let model = kind.build(&mut store, 3, 8, 2, &cfg, &mut seeds::model_init());
             let tape = Tape::new();
             let bind = store.bind(&tape);
-            let out = model.forward(&tape, &bind, ctx, false, &mut StdRng::seed_from_u64(1));
+            let out = model.forward(&tape, &bind, ctx, false, &mut seeds::forward_rng());
             assert_eq!(tape.shape(out.logits), (1, 2), "{}", kind.name());
             assert!(tape.value(out.logits).all_finite(), "{}", kind.name());
         }

@@ -4,6 +4,7 @@
 
 use crate::metrics::{accuracy, pair_scores, roc_auc};
 use crate::models::NodeModelKind;
+use crate::trace::TrainTrace;
 use adamgnn_core::{kl_loss, reconstruction_loss, total_loss, LossWeights};
 use mg_data::{LinkSplit, NodeDataset, Split};
 use mg_nn::GraphCtx;
@@ -61,6 +62,17 @@ pub fn run_node_classification(
     ds: &NodeDataset,
     cfg: &TrainConfig,
 ) -> RunResult {
+    run_node_classification_traced(kind, ds, cfg).0
+}
+
+/// As [`run_node_classification`], also returning the per-epoch
+/// loss/validation trace. Tracing is pure observation — the run is
+/// bit-identical to the untraced trainer.
+pub fn run_node_classification_traced(
+    kind: NodeModelKind,
+    ds: &NodeDataset,
+    cfg: &TrainConfig,
+) -> (RunResult, TrainTrace) {
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
     let split = Split::random_80_10_10(ds.n(), cfg.seed ^ 0x5eed);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -82,10 +94,11 @@ pub fn run_node_classification(
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
     let mut epochs_run = 0;
+    let mut trace = TrainTrace::new();
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         // train step
-        {
+        let train_loss = {
             let tape = Tape::new();
             let bind = store.bind(&tape);
             let (logits, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
@@ -106,15 +119,18 @@ pub fn run_node_classification(
                 }
                 None => task,
             };
+            let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);
-        }
+            loss_value
+        };
         // evaluate
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (logits, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
         let lv = tape.value_cloned(logits);
         let val = accuracy(&lv, &ds.labels, &split.val);
+        trace.push(epoch, train_loss, val);
         if val > best_val {
             best_val = val;
             best_test = accuracy(&lv, &ds.labels, &split.test);
@@ -127,11 +143,14 @@ pub fn run_node_classification(
         }
     }
     crate::maybe_dump_kernel_stats("node_classification");
-    RunResult {
-        test_metric: best_test,
-        val_metric: best_val,
-        epochs_run,
-    }
+    (
+        RunResult {
+            test_metric: best_test,
+            val_metric: best_val,
+            epochs_run,
+        },
+        trace,
+    )
 }
 
 /// Train a link-prediction model and report test ROC-AUC at best
@@ -139,6 +158,15 @@ pub fn run_node_classification(
 /// products; the task loss is the sampled reconstruction BCE (which for
 /// AdamGNN *is* `L_R`, so its total is `L_R + γ L_KL` as in the paper).
 pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> RunResult {
+    run_link_prediction_traced(kind, ds, cfg).0
+}
+
+/// As [`run_link_prediction`], also returning the per-epoch trace.
+pub fn run_link_prediction_traced(
+    kind: NodeModelKind,
+    ds: &NodeDataset,
+    cfg: &TrainConfig,
+) -> (RunResult, TrainTrace) {
     let link = LinkSplit::new(&ds.graph, cfg.seed ^ 0x11bb);
     // the encoder sees only the training graph
     let ctx = GraphCtx::new(link.train_graph.clone(), ds.features.clone());
@@ -163,9 +191,10 @@ pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
     let mut epochs_run = 0;
+    let mut trace = TrainTrace::new();
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
-        {
+        let train_loss = {
             let tape = Tape::new();
             let bind = store.bind(&tape);
             let (h, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
@@ -193,9 +222,11 @@ pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
                 }
                 _ => task,
             };
+            let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);
-        }
+            loss_value
+        };
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (h, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
@@ -204,6 +235,7 @@ pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
             &pair_scores(&hv, &link.val_pos),
             &pair_scores(&hv, &link.val_neg),
         );
+        trace.push(epoch, train_loss, val);
         if val > best_val {
             best_val = val;
             best_test = roc_auc(
@@ -219,11 +251,14 @@ pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
         }
     }
     crate::maybe_dump_kernel_stats("link_prediction");
-    RunResult {
-        test_metric: best_test,
-        val_metric: best_val,
-        epochs_run,
-    }
+    (
+        RunResult {
+            test_metric: best_test,
+            val_metric: best_val,
+            epochs_run,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! Per-epoch training traces — the observation hook mg-verify's golden
+//! and differential tests consume.
+//!
+//! A trace records, for every epoch a trainer actually ran, the training
+//! loss and the validation metric. Recording is pure observation: the
+//! traced trainers read scalars that the training loop already computed
+//! (or that evaluating costs nothing extra to read) and never draw from
+//! the RNG streams, so a traced run is bit-identical to an untraced one.
+
+/// One epoch of a training run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Training loss for the epoch (mean over batches for mini-batch
+    /// trainers).
+    pub loss: f64,
+    /// Validation metric after the epoch's update (accuracy or ROC-AUC).
+    pub val: f64,
+}
+
+/// The full per-epoch history of one training run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrainTrace {
+    pub records: Vec<EpochRecord>,
+}
+
+impl TrainTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one epoch.
+    pub fn push(&mut self, epoch: usize, loss: f64, val: f64) {
+        self.records.push(EpochRecord { epoch, loss, val });
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_compare() {
+        let mut a = TrainTrace::new();
+        a.push(0, 1.5, 0.5);
+        a.push(1, 1.2, 0.75);
+        assert_eq!(a.len(), 2);
+        let mut b = TrainTrace::new();
+        b.push(0, 1.5, 0.5);
+        b.push(1, 1.2, 0.75);
+        assert_eq!(a, b);
+        b.push(2, 1.0, 0.8);
+        assert_ne!(a, b);
+    }
+}

@@ -8,8 +8,60 @@ use crate::ctx::GraphCtx;
 use crate::gc::GraphClassifier;
 use mg_graph::Topology;
 use mg_tensor::{AdamConfig, Matrix, ParamStore, Tape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Named deterministic RNG constructors, one per fixture seed.
+///
+/// Tests across the workspace share a handful of magic seeds; naming them
+/// here records *why* each value is what it is (some were re-tuned when
+/// the vendored xoshiro256++ PRNG replaced upstream `rand`, because the
+/// old seeds produced dead-ReLU initialisations) and gives every fixture
+/// one place to change. New tests should call these instead of writing
+/// `StdRng::seed_from_u64(<literal>)`.
+pub mod seeds {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Default model-initialisation stream (seed 0).
+    pub fn model_init() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// Initialisation stream for fixtures where seed 0 yields degenerate
+    /// (dead-ReLU) weights under the vendored PRNG (seed 7).
+    pub fn model_init_alt() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Initialisation stream re-seeded from 0/3 to 1 when the vendored
+    /// PRNG landed, for the same dead-ReLU reason (seed 1).
+    pub fn model_init_stable() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    /// Forward-pass stream — dropout masks and other in-forward draws
+    /// (seed 1).
+    pub fn forward_rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    /// Second independent forward-pass stream, for tests that need two
+    /// distinct forwards (seed 2).
+    pub fn forward_rng_alt() -> StdRng {
+        StdRng::seed_from_u64(2)
+    }
+
+    /// Training-loop stream used by [`super::train_graph_classifier`]
+    /// (seed 5).
+    pub fn training_rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    /// Evaluation stream used by [`super::graph_classifier_accuracy`]
+    /// (seed 99).
+    pub fn eval_rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+}
 
 /// Rings (label 1) versus stars (label 0) of a few sizes, with constant
 /// node features — separable only through structure.
@@ -66,7 +118,7 @@ pub fn train_graph_classifier(
     lr: f64,
 ) -> f64 {
     let cfg = AdamConfig::with_lr(lr);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = seeds::training_rng();
     let mut last = f64::INFINITY;
     for _ in 0..epochs {
         let tape = Tape::new();
@@ -103,7 +155,7 @@ pub fn graph_classifier_accuracy(
     store: &ParamStore,
     samples: &[(GraphCtx, usize)],
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = seeds::eval_rng();
     let mut correct = 0;
     for (ctx, label) in samples {
         let tape = Tape::new();

@@ -332,11 +332,17 @@ impl Tape {
                     }
                     acc!(*h, gh);
                 }
-                Op::StudentTKl { h, egos, cache } => {
+                Op::StudentTKl {
+                    h,
+                    egos,
+                    cache,
+                    target,
+                } => {
                     let hv = &nodes[h.0].value;
                     let (n, d) = hv.shape();
                     let t = &cache.t;
-                    let (q, p) = kl_distributions(t);
+                    let (q, self_p) = kl_distributions(t);
+                    let p = target.as_deref().unwrap_or(&self_p);
                     let gs = g.scalar() / n as f64;
                     let mut gh = Matrix::zeros(n, d);
                     for j in 0..n {

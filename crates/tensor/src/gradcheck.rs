@@ -2,19 +2,29 @@
 //!
 //! Every op in this crate is validated against a numeric gradient; this is
 //! the module that makes the autograd engine trustworthy without a
-//! reference framework to compare against.
+//! reference framework to compare against. [`check_gradients`] walks every
+//! entry of every input; [`check_gradients_sampled`] central-differences a
+//! seeded subset of entries per input so whole-model audits (thousands of
+//! parameters driven through a full AdamGNN forward) stay tractable.
 
 use crate::matrix::Matrix;
 use crate::tape::{Tape, Var};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// Result of a gradient check: the largest absolute and relative error
 /// found over all checked inputs.
 #[derive(Debug, Clone, Copy)]
 pub struct GradCheckReport {
     /// Maximum absolute difference between analytic and numeric gradient.
+    /// A non-finite analytic or numeric gradient is folded in as
+    /// `f64::INFINITY`, so NaNs fail a check instead of vanishing in the
+    /// NaN-ignoring `f64::max`.
     pub max_abs_err: f64,
     /// Maximum relative difference (normalised by magnitude, floored at 1).
     pub max_rel_err: f64,
+    /// Number of (input, entry) pairs actually differenced.
+    pub entries_checked: usize,
 }
 
 impl GradCheckReport {
@@ -22,6 +32,23 @@ impl GradCheckReport {
     pub fn ok(&self, tol: f64) -> bool {
         self.max_abs_err < tol || self.max_rel_err < tol
     }
+}
+
+/// Fold one analytic/numeric gradient pair into the running error maxima.
+///
+/// Non-finite entries (NaN analytic gradients from a broken backward,
+/// overflowed numeric differences) become `f64::INFINITY` errors rather
+/// than being silently dropped: `f64::max` ignores NaN, so without this a
+/// NaN analytic gradient would vacuously pass every tolerance.
+fn fold_err(max_abs: &mut f64, max_rel: &mut f64, analytic: f64, numeric: f64) {
+    let (abs, rel) = if analytic.is_finite() && numeric.is_finite() {
+        let abs = (analytic - numeric).abs();
+        (abs, abs / analytic.abs().max(numeric.abs()).max(1.0))
+    } else {
+        (f64::INFINITY, f64::INFINITY)
+    };
+    *max_abs = max_abs.max(abs);
+    *max_rel = max_rel.max(rel);
 }
 
 /// Check the analytic gradient of a scalar-valued function of several
@@ -37,6 +64,60 @@ pub fn check_gradients(
     eps: f64,
     f: impl Fn(&Tape, &[Var]) -> Var,
 ) -> GradCheckReport {
+    let all: Vec<Vec<usize>> = inputs.iter().map(|m| (0..m.len()).collect()).collect();
+    check_entries(inputs, eps, &f, &all)
+}
+
+/// As [`check_gradients`], but central-differencing only `per_input`
+/// seeded-random entries of each input (all entries when an input is
+/// smaller than `per_input`).
+///
+/// This is the model-level audit entry point: driving a whole AdamGNN
+/// forward per difference makes exhaustive checking quadratic in model
+/// size, while a sampled subset still pins every parameter matrix with
+/// high probability of catching a wrong backward (sign errors and scale
+/// errors corrupt whole matrices, not single entries).
+pub fn check_gradients_sampled(
+    inputs: &[Matrix],
+    eps: f64,
+    per_input: usize,
+    seed: u64,
+    f: impl Fn(&Tape, &[Var]) -> Var,
+) -> GradCheckReport {
+    assert!(
+        per_input > 0,
+        "check_gradients_sampled: per_input must be > 0"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let picked: Vec<Vec<usize>> = inputs
+        .iter()
+        .map(|m| {
+            let n = m.len();
+            if n <= per_input {
+                (0..n).collect()
+            } else {
+                // Floyd-style distinct sampling without replacement.
+                let mut chosen = Vec::with_capacity(per_input);
+                while chosen.len() < per_input {
+                    let idx = rng.random_range(0..n);
+                    if !chosen.contains(&idx) {
+                        chosen.push(idx);
+                    }
+                }
+                chosen.sort_unstable();
+                chosen
+            }
+        })
+        .collect();
+    check_entries(inputs, eps, &f, &picked)
+}
+
+fn check_entries(
+    inputs: &[Matrix],
+    eps: f64,
+    f: &impl Fn(&Tape, &[Var]) -> Var,
+    entries: &[Vec<usize>],
+) -> GradCheckReport {
     // Analytic pass.
     let tape = Tape::new();
     let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone(), true)).collect();
@@ -45,29 +126,28 @@ pub fn check_gradients(
 
     let mut max_abs: f64 = 0.0;
     let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
     for (which, input) in inputs.iter().enumerate() {
         let analytic = grads
             .get(vars[which])
             .cloned()
             .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
-        for idx in 0..input.len() {
+        for &idx in &entries[which] {
             let numeric = {
                 let mut plus = inputs.to_vec();
                 plus[which].data_mut()[idx] += eps;
                 let mut minus = inputs.to_vec();
                 minus[which].data_mut()[idx] -= eps;
-                (eval_scalar(&plus, &f) - eval_scalar(&minus, &f)) / (2.0 * eps)
+                (eval_scalar(&plus, f) - eval_scalar(&minus, f)) / (2.0 * eps)
             };
-            let a = analytic.data()[idx];
-            let abs = (a - numeric).abs();
-            let rel = abs / a.abs().max(numeric.abs()).max(1.0);
-            max_abs = max_abs.max(abs);
-            max_rel = max_rel.max(rel);
+            fold_err(&mut max_abs, &mut max_rel, analytic.data()[idx], numeric);
+            checked += 1;
         }
     }
     GradCheckReport {
         max_abs_err: max_abs,
         max_rel_err: max_rel,
+        entries_checked: checked,
     }
 }
 
@@ -92,6 +172,7 @@ mod tests {
             tape.sum_all(sq)
         });
         assert!(report.ok(1e-6), "{report:?}");
+        assert_eq!(report.entries_checked, 4);
     }
 
     #[test]
@@ -101,5 +182,93 @@ mod tests {
             tape.constant(Matrix::from_vec(1, 1, vec![7.0]))
         });
         assert!(report.max_abs_err < 1e-12);
+    }
+
+    #[test]
+    fn sampled_check_matches_exhaustive_on_quadratic() {
+        let x = Matrix::from_vec(4, 4, (0..16).map(|i| 0.25 * i as f64 - 1.0).collect());
+        let report = check_gradients_sampled(&[x], 1e-5, 5, 42, |tape, vars| {
+            let sq = tape.mul_elem(vars[0], vars[0]);
+            tape.sum_all(sq)
+        });
+        assert!(report.ok(1e-6), "{report:?}");
+        assert_eq!(report.entries_checked, 5);
+    }
+
+    #[test]
+    fn sampled_check_uses_all_entries_of_small_inputs() {
+        let x = Matrix::from_vec(1, 3, vec![0.5, -0.5, 1.5]);
+        let report =
+            check_gradients_sampled(&[x], 1e-5, 100, 0, |tape, vars| tape.sum_all(vars[0]));
+        assert_eq!(report.entries_checked, 3);
+        assert!(report.ok(1e-8), "{report:?}");
+    }
+
+    #[test]
+    fn sampled_check_is_deterministic_per_seed() {
+        let x = Matrix::from_vec(8, 8, (0..64).map(|i| (i as f64).sin()).collect());
+        let run = |seed| {
+            check_gradients_sampled(std::slice::from_ref(&x), 1e-5, 7, seed, |tape, vars| {
+                let sq = tape.mul_elem(vars[0], vars[0]);
+                tape.sum_all(sq)
+            })
+        };
+        let (a, b) = (run(9), run(9));
+        assert_eq!(a.max_abs_err, b.max_abs_err);
+        assert_eq!(a.entries_checked, b.entries_checked);
+    }
+
+    // --- GradCheckReport::ok edge cases (mg-verify satellite) ---
+
+    #[test]
+    fn ok_accepts_zero_gradients_under_positive_tolerance() {
+        let report = GradCheckReport {
+            max_abs_err: 0.0,
+            max_rel_err: 0.0,
+            entries_checked: 1,
+        };
+        assert!(report.ok(1e-6));
+        // a zero tolerance is unsatisfiable by construction (strict <)
+        assert!(!report.ok(0.0));
+    }
+
+    #[test]
+    fn ok_rejects_nan_and_infinite_errors() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let report = GradCheckReport {
+                max_abs_err: bad,
+                max_rel_err: bad,
+                entries_checked: 1,
+            };
+            assert!(!report.ok(1e-6), "{bad} must fail");
+            assert!(!report.ok(f64::MAX), "{bad} must fail any tolerance");
+        }
+    }
+
+    #[test]
+    fn fold_err_turns_nan_gradients_into_infinite_error() {
+        // f64::max ignores NaN, so a naive `max((a - n).abs())` would let a
+        // NaN analytic gradient pass vacuously; fold_err must not.
+        let (mut abs, mut rel) = (0.0f64, 0.0f64);
+        fold_err(&mut abs, &mut rel, f64::NAN, 1.0);
+        assert_eq!(abs, f64::INFINITY);
+        assert_eq!(rel, f64::INFINITY);
+
+        let (mut abs, mut rel) = (0.0f64, 0.0f64);
+        fold_err(&mut abs, &mut rel, 1.0, f64::NAN);
+        assert_eq!(abs, f64::INFINITY);
+
+        let (mut abs, mut rel) = (0.0f64, 0.0f64);
+        fold_err(&mut abs, &mut rel, f64::INFINITY, 1.0);
+        assert_eq!(abs, f64::INFINITY);
+    }
+
+    #[test]
+    fn fold_err_accumulates_maximum() {
+        let (mut abs, mut rel) = (0.0f64, 0.0f64);
+        fold_err(&mut abs, &mut rel, 1.0, 1.5);
+        fold_err(&mut abs, &mut rel, 2.0, 2.1);
+        assert!((abs - 0.5).abs() < 1e-15);
+        assert!((rel - 0.5 / 1.5).abs() < 1e-15);
     }
 }

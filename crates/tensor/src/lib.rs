@@ -40,8 +40,8 @@ mod par;
 mod tape;
 
 pub use csr::Csr;
-pub use gradcheck::{check_gradients, GradCheckReport};
+pub use gradcheck::{check_gradients, check_gradients_sampled, GradCheckReport};
 pub use matrix::Matrix;
-pub use ops::{sigmoid, softmax_rows};
+pub use ops::{sigmoid, softmax_rows, student_t_target};
 pub use optim::{AdamConfig, Binding, ParamId, ParamStore};
 pub use tape::{Gradients, Tape, Var};

@@ -431,6 +431,28 @@ impl Tape {
     /// nodes. `egos` are the row indices acting as cluster centres; the
     /// target distribution `P` is treated as constant (standard DEC).
     pub fn student_t_kl(&self, h: Var, egos: Rc<Vec<usize>>) -> Var {
+        self.student_t_kl_inner(h, egos, None)
+    }
+
+    /// [`Tape::student_t_kl`] with an explicit constant target `P`
+    /// instead of the self-derived one.
+    ///
+    /// The production loss computes `P` from the current `Q` but treats
+    /// it as constant in backward (standard DEC), so the analytic
+    /// gradient is the gradient of the *P-frozen* objective. A numeric
+    /// gradient check must difference that same function: this entry
+    /// point lets verification pin `P` at the reference parameters (see
+    /// [`student_t_target`]).
+    pub fn student_t_kl_with_target(
+        &self,
+        h: Var,
+        egos: Rc<Vec<usize>>,
+        target: Rc<Matrix>,
+    ) -> Var {
+        self.student_t_kl_inner(h, egos, Some(target))
+    }
+
+    fn student_t_kl_inner(&self, h: Var, egos: Rc<Vec<usize>>, target: Option<Rc<Matrix>>) -> Var {
         assert!(!egos.is_empty(), "student_t_kl: no egos");
         let (value, t) = {
             let hv = &self.nodes.borrow()[h.0].value;
@@ -447,7 +469,14 @@ impl Tape {
                     t[(j, c)] = 1.0 / (1.0 + d2);
                 }
             }
-            let (q, p) = kl_distributions(&t);
+            let (q, self_p) = kl_distributions(&t);
+            let p = match &target {
+                Some(p) => {
+                    assert_eq!(p.shape(), (n, m), "student_t_kl: target shape mismatch");
+                    p.as_ref()
+                }
+                None => &self_p,
+            };
             let mut loss = 0.0;
             for j in 0..n {
                 for c in 0..m {
@@ -466,6 +495,7 @@ impl Tape {
                 h,
                 egos,
                 cache: Rc::new(KlCache { t }),
+                target,
             },
             rg,
         )
@@ -638,6 +668,29 @@ pub(crate) fn segment_softmax(scores: &[f64], seg: &[usize], n_seg: usize) -> Ma
         out[(r, 0)] /= sums[s];
     }
     out
+}
+
+/// The DEC target distribution `P` for embedding `h` and centres `egos`,
+/// derived exactly as [`Tape::student_t_kl`] derives it internally.
+///
+/// Verification records this at a reference parameter point and feeds it
+/// to [`Tape::student_t_kl_with_target`] so central differences measure
+/// the same P-frozen objective the backward pass differentiates.
+pub fn student_t_target(h: &Matrix, egos: &[usize]) -> Matrix {
+    let n = h.rows();
+    let m = egos.len();
+    let mut t = Matrix::zeros(n, m);
+    for j in 0..n {
+        for (c, &e) in egos.iter().enumerate() {
+            let mut d2 = 0.0;
+            for (a, b) in h.row(j).iter().zip(h.row(e)) {
+                let diff = a - b;
+                d2 += diff * diff;
+            }
+            t[(j, c)] = 1.0 / (1.0 + d2);
+        }
+    }
+    kl_distributions(&t).1
 }
 
 /// Compute the DEC soft assignment `Q` and target `P` from the Student-t

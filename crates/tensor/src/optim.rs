@@ -74,6 +74,18 @@ impl Binding {
     pub fn var(&self, id: ParamId) -> Var {
         self.vars[id.0]
     }
+
+    /// Build a binding from externally created leaf variables, one per
+    /// parameter in store-registration order.
+    ///
+    /// This lets verification harnesses (gradcheck drivers) create the
+    /// leaves themselves — e.g. from perturbed copies of the parameter
+    /// values — and still run a model forward that looks up parameters via
+    /// [`Binding::var`]. The caller is responsible for ordering: vars must
+    /// align with [`ParamStore::param_ids`].
+    pub fn from_vars(vars: Vec<Var>) -> Self {
+        Binding { vars }
+    }
 }
 
 impl ParamStore {
@@ -122,6 +134,12 @@ impl ParamStore {
     /// Name of a parameter.
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id.0].name
+    }
+
+    /// All parameter ids in registration order (the order `bind` and
+    /// [`Binding::from_vars`] use).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
     }
 
     /// Copy every parameter onto `tape` as a differentiable leaf.

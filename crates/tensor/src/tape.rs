@@ -137,6 +137,9 @@ pub(crate) enum Op {
         h: Var,
         egos: Rc<Vec<usize>>,
         cache: Rc<KlCache>,
+        /// Explicit constant target `P`; `None` re-derives it from the
+        /// cached kernel (the production self-target).
+        target: Option<Rc<Matrix>>,
     },
     /// Inverted-dropout with a fixed mask (entries are 0 or 1/(1-p)).
     Dropout {

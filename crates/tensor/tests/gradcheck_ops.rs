@@ -452,6 +452,82 @@ fn grad_reshape() {
     assert!(rep.ok(TOL), "{rep:?}");
 }
 
+/// The model's `S_k` assembly idiom: sparse values are not a free leaf but
+/// a gather_rows + reshape view of learned fitness scores, so the
+/// `spmm_grad_values` kernel output must flow back through a scatter-add.
+#[test]
+fn grad_spmm_values_via_gather_reshape_chain() {
+    let csr = sample_csr();
+    let gather_idx = Rc::new(vec![0usize, 2, 1, 0, 3, 2]); // repeats, like shared φ
+    let phi = rand_m(4, 1, 90);
+    let dense = rand_m(3, 3, 91);
+    let rep = check_gradients(&[phi, dense], EPS, move |t, v| {
+        let picked = t.gather_rows(v[0], gather_idx.clone()); // nnz x 1
+        let vals = t.reshape(picked, 1, 6); // 1 x nnz
+        let y = t.spmm(csr.clone(), vals, v[1]);
+        project(t, y, 92)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+/// One values leaf feeding both `spmm` and `spmm_t` (the unpooling chain
+/// uses the same `S_k` values in both directions), so the two backward
+/// kernels (`spmm_grad_values` + `spmm_t_grad_values`) accumulate into one
+/// gradient.
+#[test]
+fn grad_shared_values_through_spmm_and_spmm_t() {
+    let csr = sample_csr();
+    let vals = rand_m(1, csr.nnz(), 93);
+    let down = rand_m(3, 3, 94); // spmm:   (4x3 pattern) * 3x3 -> 4x3
+    let up = rand_m(4, 3, 95); // spmm_t: (3x4 pattern) * 4x3 -> 3x3
+    let rep = check_gradients(&[vals, down, up], EPS, move |t, v| {
+        let a = t.spmm(csr.clone(), v[0], v[1]);
+        let b = t.spmm_t(csr.clone(), v[0], v[2]);
+        let pa = project(t, a, 96);
+        let pb = project(t, b, 97);
+        t.add(pa, pb)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+/// The flyback aggregator's attention path (Eq. 4): per-level score
+/// columns -> concat_cols -> softmax_rows -> slice_cols -> mul_col, summed
+/// over levels.
+#[test]
+fn grad_flyback_attention_softmax_composite() {
+    let s0 = rand_m(5, 1, 100);
+    let s1 = rand_m(5, 1, 101);
+    let h0 = rand_m(5, 3, 102);
+    let h1 = rand_m(5, 3, 103);
+    let rep = check_gradients(&[s0, s1, h0, h1], EPS, |t, v| {
+        let scores = t.concat_cols(&[v[0], v[1]]);
+        let beta = t.softmax_rows(scores);
+        let b0 = t.slice_cols(beta, 0, 1);
+        let b1 = t.slice_cols(beta, 1, 2);
+        let w0 = t.mul_col(v[2], b0);
+        let w1 = t.mul_col(v[3], b1);
+        let sum = t.add(w0, w1);
+        project(t, sum, 104)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+/// The hyper-node feature path (Eq. 3): member scores -> segment_softmax
+/// -> mul_col -> segment_sum, i.e. attention-weighted member pooling.
+#[test]
+fn grad_segment_attention_composite() {
+    let seg = Rc::new(vec![0usize, 0, 0, 1, 1, 2]);
+    let scores = rand_m(6, 1, 105);
+    let members = rand_m(6, 3, 106);
+    let rep = check_gradients(&[scores, members], EPS, move |t, v| {
+        let alpha = t.segment_softmax(v[0], seg.clone(), 3);
+        let weighted = t.mul_col(v[1], alpha);
+        let pooled = t.segment_sum(weighted, seg.clone(), 3);
+        project(t, pooled, 107)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
 #[test]
 fn grad_exp() {
     let rep = check_gradients(&[rand_m(3, 4, 80)], EPS, |t, v| {

@@ -1,0 +1,170 @@
+//! Seeded end-to-end training runs shared by the golden-trace and
+//! differential (serial-vs-parallel) tests.
+//!
+//! One fixed run per task family (node classification, link prediction,
+//! graph classification) plus seed-parameterised variants for the
+//! differential fuzzer. Every run goes through the traced trainers in
+//! mg-eval, so a run is fully described by its [`Golden`]: summary
+//! metrics plus the per-epoch loss/metric trace. The serial build's
+//! traces are checked in under `tests/goldens/`; the parallel build (and
+//! every pool width) must reproduce them bit for bit — that is PR 1's
+//! kernel-level determinism guarantee promoted to whole training loops.
+
+use crate::golden::Golden;
+use mg_data::{
+    make_graph_dataset, make_node_dataset, GraphDatasetKind, GraphGenConfig, NodeDatasetKind,
+    NodeGenConfig,
+};
+use mg_eval::{
+    build_contexts, run_graph_classification_traced, run_link_prediction_traced,
+    run_node_classification_traced, GraphModelKind, NodeModelKind, TrainConfig, TrainTrace,
+};
+use std::path::PathBuf;
+
+/// Directory holding the checked-in golden traces (repo-level
+/// `tests/goldens/`), resolved relative to this crate so every test
+/// binary agrees on it.
+pub fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// Training config for the verification runs: small enough to finish in
+/// seconds, big enough to exercise multi-level pooling and all three
+/// loss terms.
+pub fn verify_cfg(seed: u64, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        lr: 0.02,
+        patience: epochs,
+        hidden: 16,
+        levels: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The seeded node-classification run (AdamGNN on a synthetic citation
+/// graph). `variant` varies dataset and training seeds for the fuzzer;
+/// variant 0 is the checked-in golden.
+pub fn node_cls_run(variant: u64) -> Golden {
+    let ds = make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale: 0.05,
+            max_feat_dim: 32,
+            seed: 11 + variant,
+        },
+    );
+    let (res, trace) =
+        run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &verify_cfg(1 + variant, 8));
+    Golden::new(
+        format!("node_cls_adamgnn_v{variant}"),
+        vec![
+            ("test_metric".into(), res.test_metric),
+            ("val_metric".into(), res.val_metric),
+            ("epochs_run".into(), res.epochs_run as f64),
+        ],
+        trace,
+    )
+}
+
+/// The seeded link-prediction run (AdamGNN encoder, inner-product
+/// decoder).
+pub fn link_pred_run(variant: u64) -> Golden {
+    let ds = make_node_dataset(
+        NodeDatasetKind::Emails,
+        &NodeGenConfig {
+            scale: 0.05,
+            max_feat_dim: 32,
+            seed: 23 + variant,
+        },
+    );
+    let (res, trace) =
+        run_link_prediction_traced(NodeModelKind::AdamGnn, &ds, &verify_cfg(2 + variant, 6));
+    Golden::new(
+        format!("link_pred_adamgnn_v{variant}"),
+        vec![
+            ("test_metric".into(), res.test_metric),
+            ("val_metric".into(), res.val_metric),
+            ("epochs_run".into(), res.epochs_run as f64),
+        ],
+        trace,
+    )
+}
+
+/// The seeded graph-classification run (AdamGNN on motif-labelled
+/// molecule-like graphs). `epoch_seconds` is wall clock and deliberately
+/// NOT part of the golden.
+pub fn graph_cls_run(variant: u64) -> Golden {
+    let ds = make_graph_dataset(
+        GraphDatasetKind::Mutag,
+        &GraphGenConfig {
+            scale: 0.04,
+            max_nodes: 20,
+            seed: 5 + variant,
+        },
+    );
+    let contexts = build_contexts(&ds);
+    let (res, trace) = run_graph_classification_traced(
+        GraphModelKind::AdamGnn,
+        &contexts,
+        ds.feat_dim,
+        &verify_cfg(3 + variant, 4),
+    );
+    Golden::new(
+        format!("graph_cls_adamgnn_v{variant}"),
+        vec![
+            ("test_accuracy".into(), res.test_accuracy),
+            ("val_accuracy".into(), res.val_accuracy),
+        ],
+        trace,
+    )
+}
+
+/// Bitwise comparison of two traces; `Err` pinpoints the first
+/// divergence (epoch and which scalar).
+pub fn assert_traces_bitwise(label: &str, a: &TrainTrace, b: &TrainTrace) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!(
+            "{label}: trace lengths differ ({} vs {})",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        if ra.epoch != rb.epoch {
+            return Err(format!(
+                "{label}: epoch index diverged ({} vs {})",
+                ra.epoch, rb.epoch
+            ));
+        }
+        if ra.loss.to_bits() != rb.loss.to_bits() {
+            return Err(format!(
+                "{label}: epoch {} loss diverged: {:?} ({:016x}) vs {:?} ({:016x})",
+                ra.epoch,
+                ra.loss,
+                ra.loss.to_bits(),
+                rb.loss,
+                rb.loss.to_bits()
+            ));
+        }
+        if ra.val.to_bits() != rb.val.to_bits() {
+            return Err(format!(
+                "{label}: epoch {} val diverged: {:?} ({:016x}) vs {:?} ({:016x})",
+                ra.epoch,
+                ra.val,
+                ra.val.to_bits(),
+                rb.val,
+                rb.val.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run `f` with the ambient kernel pool overridden to `threads` threads
+/// (parallel builds; the serial build has no pool to override).
+#[cfg(feature = "parallel")]
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    mg_runtime::with_pool(std::sync::Arc::new(mg_runtime::Pool::new(threads)), f)
+}

@@ -1,0 +1,364 @@
+//! Golden-trace files: serialisation, comparison and the update workflow.
+//!
+//! A golden file pins a training run's per-epoch loss/metric trace plus
+//! summary fields. The format is line-oriented JSON — one epoch per line
+//! — so a failed comparison can print a unified diff a human can read.
+//! Every scalar is stored twice: a human-readable `value` and the exact
+//! IEEE-754 `bits` in hex. The bits are authoritative: bitwise
+//! comparisons (the serial-vs-parallel determinism guarantee) decode
+//! them, so the goldens survive any float-formatting drift.
+//!
+//! Workflow: run with `MG_UPDATE_GOLDENS=1` to (re)generate; without it,
+//! a missing golden is an error telling you to generate one, and a
+//! mismatch prints per-field detail plus the diff.
+
+use mg_eval::TrainTrace;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A named training trace plus summary fields, as stored in a golden.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Golden {
+    pub name: String,
+    /// Summary scalars (final metrics, epochs run, ...), in a fixed order.
+    pub fields: Vec<(String, f64)>,
+    pub trace: TrainTrace,
+}
+
+/// How to compare an actual trace against the checked-in golden.
+#[derive(Clone, Copy, Debug)]
+pub enum Compare {
+    /// Every bit equal — the serial-vs-parallel determinism contract.
+    Bitwise,
+    /// Per-scalar tolerance: `|a - b| <= tol * max(1, |a|, |b|)`.
+    Tolerance(f64),
+}
+
+impl Golden {
+    /// Build from a trace and summary fields.
+    pub fn new(name: impl Into<String>, fields: Vec<(String, f64)>, trace: TrainTrace) -> Self {
+        Golden {
+            name: name.into(),
+            fields,
+            trace,
+        }
+    }
+
+    /// Serialise to the line-oriented JSON golden format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"name\": \"{}\",", self.name);
+        s.push_str("  \"fields\": [\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"key\": \"{k}\", \"value\": {v:?}, \"bits\": \"{:016x}\"}}{comma}",
+                v.to_bits()
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"epochs\": [\n");
+        for (i, r) in self.trace.records.iter().enumerate() {
+            let comma = if i + 1 < self.trace.records.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"epoch\": {}, \"loss\": {:?}, \"loss_bits\": \"{:016x}\", \"val\": {:?}, \"val_bits\": \"{:016x}\"}}{comma}",
+                r.epoch,
+                r.loss,
+                r.loss.to_bits(),
+                r.val,
+                r.val.to_bits()
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the golden format. Bits fields are authoritative; `value`
+    /// fields are ignored.
+    pub fn from_text(text: &str) -> Result<Golden, String> {
+        let mut name = String::new();
+        let mut fields = Vec::new();
+        let mut trace = TrainTrace::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            let at = |e: &str| format!("golden parse error at line {}: {e}", lineno + 1);
+            if line.starts_with("\"name\":") {
+                name = extract_string(line, "name").ok_or_else(|| at("bad name"))?;
+            } else if line.contains("\"key\":") {
+                let key = extract_string(line, "key").ok_or_else(|| at("bad key"))?;
+                let bits = extract_bits(line, "bits").ok_or_else(|| at("bad bits"))?;
+                fields.push((key, f64::from_bits(bits)));
+            } else if line.contains("\"epoch\":") {
+                let epoch = extract_usize(line, "epoch").ok_or_else(|| at("bad epoch"))?;
+                let loss = extract_bits(line, "loss_bits").ok_or_else(|| at("bad loss_bits"))?;
+                let val = extract_bits(line, "val_bits").ok_or_else(|| at("bad val_bits"))?;
+                trace.push(epoch, f64::from_bits(loss), f64::from_bits(val));
+            }
+        }
+        if name.is_empty() {
+            return Err("golden parse error: missing \"name\"".into());
+        }
+        Ok(Golden {
+            name,
+            fields,
+            trace,
+        })
+    }
+
+    /// Compare `self` (the expected golden) against an actual run.
+    /// `Err` carries a human-readable report including a unified diff.
+    pub fn compare(&self, actual: &Golden, mode: Compare) -> Result<(), String> {
+        let mut problems = Vec::new();
+        if self.name != actual.name {
+            problems.push(format!(
+                "name: expected {:?}, got {:?}",
+                self.name, actual.name
+            ));
+        }
+        if self.fields.len() != actual.fields.len() {
+            problems.push(format!(
+                "field count: expected {}, got {}",
+                self.fields.len(),
+                actual.fields.len()
+            ));
+        }
+        for ((ek, ev), (ak, av)) in self.fields.iter().zip(&actual.fields) {
+            if ek != ak {
+                problems.push(format!("field order: expected {ek:?}, got {ak:?}"));
+            } else if !scalar_eq(*ev, *av, mode) {
+                problems.push(format!(
+                    "field {ek}: expected {ev:?} ({:016x}), got {av:?} ({:016x})",
+                    ev.to_bits(),
+                    av.to_bits()
+                ));
+            }
+        }
+        if self.trace.len() != actual.trace.len() {
+            problems.push(format!(
+                "epoch count: expected {}, got {}",
+                self.trace.len(),
+                actual.trace.len()
+            ));
+        }
+        for (e, a) in self.trace.records.iter().zip(&actual.trace.records) {
+            if e.epoch != a.epoch {
+                problems.push(format!(
+                    "epoch index: expected {}, got {}",
+                    e.epoch, a.epoch
+                ));
+                break;
+            }
+            if !scalar_eq(e.loss, a.loss, mode) {
+                problems.push(format!(
+                    "epoch {} loss: expected {:?} ({:016x}), got {:?} ({:016x})",
+                    e.epoch,
+                    e.loss,
+                    e.loss.to_bits(),
+                    a.loss,
+                    a.loss.to_bits()
+                ));
+            }
+            if !scalar_eq(e.val, a.val, mode) {
+                problems.push(format!(
+                    "epoch {} val: expected {:?} ({:016x}), got {:?} ({:016x})",
+                    e.epoch,
+                    e.val,
+                    e.val.to_bits(),
+                    a.val,
+                    a.val.to_bits()
+                ));
+            }
+        }
+        if problems.is_empty() {
+            return Ok(());
+        }
+        let detail = problems.join("\n  ");
+        let diff = unified_diff(&self.to_text(), &actual.to_text());
+        Err(format!(
+            "golden mismatch for {:?} ({} problems):\n  {detail}\n{diff}\n\
+             (set MG_UPDATE_GOLDENS=1 to accept the new trace)",
+            self.name,
+            problems.len()
+        ))
+    }
+}
+
+fn scalar_eq(e: f64, a: f64, mode: Compare) -> bool {
+    match mode {
+        Compare::Bitwise => e.to_bits() == a.to_bits(),
+        Compare::Tolerance(tol) => {
+            if !e.is_finite() || !a.is_finite() {
+                return e.to_bits() == a.to_bits();
+            }
+            (e - a).abs() <= tol * e.abs().max(a.abs()).max(1.0)
+        }
+    }
+}
+
+/// Compare an actual run against the golden stored at `path`, following
+/// the update workflow: with `MG_UPDATE_GOLDENS=1` the file is rewritten
+/// and the check passes; otherwise a missing file is an error and an
+/// existing file is compared under `mode`.
+pub fn check_against_file(path: &Path, actual: &Golden, mode: Compare) -> Result<(), String> {
+    if std::env::var_os("MG_UPDATE_GOLDENS").is_some_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, actual.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing golden {} ({e}); run with MG_UPDATE_GOLDENS=1 to generate it",
+            path.display()
+        )
+    })?;
+    Golden::from_text(&text)?.compare(actual, mode)
+}
+
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_bits(line: &str, key: &str) -> Option<u64> {
+    u64::from_str_radix(&extract_string(line, key)?, 16).ok()
+}
+
+fn extract_usize(line: &str, key: &str) -> Option<usize> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(line.len(), |i| i + start);
+    line[start..end].parse().ok()
+}
+
+/// A minimal unified diff: shared prefix/suffix lines collapse into one
+/// hunk of `-` expected / `+` actual lines with three lines of context.
+pub fn unified_diff(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let mut pre = 0;
+    while pre < e.len() && pre < a.len() && e[pre] == a[pre] {
+        pre += 1;
+    }
+    let mut post = 0;
+    while post < e.len() - pre
+        && post < a.len() - pre
+        && e[e.len() - 1 - post] == a[a.len() - 1 - post]
+    {
+        post += 1;
+    }
+    if pre == e.len() && pre == a.len() {
+        return String::from("(no textual difference)");
+    }
+    let ctx = 3usize;
+    let from = pre.saturating_sub(ctx);
+    let mut out = String::from("--- expected\n+++ actual\n");
+    let _ = writeln!(
+        out,
+        "@@ -{},{} +{},{} @@",
+        from + 1,
+        e.len() - post - from,
+        from + 1,
+        a.len() - post - from
+    );
+    for line in &e[from..pre] {
+        let _ = writeln!(out, " {line}");
+    }
+    for line in &e[pre..e.len() - post] {
+        let _ = writeln!(out, "-{line}");
+    }
+    for line in &a[pre..a.len() - post] {
+        let _ = writeln!(out, "+{line}");
+    }
+    let until = (e.len() - post + ctx).min(e.len());
+    for line in &e[e.len() - post..until] {
+        let _ = writeln!(out, " {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Golden {
+        let mut t = TrainTrace::new();
+        t.push(0, 1.5, 0.5);
+        t.push(1, 0.75, 0.625);
+        Golden::new(
+            "sample",
+            vec![("test_metric".into(), 0.875), ("epochs_run".into(), 2.0)],
+            t,
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let g = sample();
+        let parsed = Golden::from_text(&g.to_text()).unwrap();
+        assert_eq!(g, parsed);
+        assert!(g.compare(&parsed, Compare::Bitwise).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_survives_awkward_values() {
+        let mut t = TrainTrace::new();
+        t.push(0, 1.0 / 3.0, f64::MIN_POSITIVE);
+        t.push(1, -0.0, 1e300);
+        let g = Golden::new("awkward", vec![("x".into(), f64::EPSILON)], t);
+        let parsed = Golden::from_text(&g.to_text()).unwrap();
+        assert!(g.compare(&parsed, Compare::Bitwise).is_ok());
+    }
+
+    #[test]
+    fn bitwise_compare_catches_one_ulp() {
+        let g = sample();
+        let mut other = g.clone();
+        other.trace.records[1].loss = f64::from_bits(other.trace.records[1].loss.to_bits() + 1);
+        let err = g.compare(&other, Compare::Bitwise).unwrap_err();
+        assert!(err.contains("epoch 1 loss"), "{err}");
+        assert!(err.contains("--- expected"), "diff missing: {err}");
+        // ...but a tolerance compare accepts it
+        assert!(g.compare(&other, Compare::Tolerance(1e-9)).is_ok());
+    }
+
+    #[test]
+    fn tolerance_compare_catches_large_drift() {
+        let g = sample();
+        let mut other = g.clone();
+        other.fields[0].1 = 0.5;
+        let err = g.compare(&other, Compare::Tolerance(1e-6)).unwrap_err();
+        assert!(err.contains("test_metric"), "{err}");
+    }
+
+    #[test]
+    fn epoch_count_mismatch_is_reported() {
+        let g = sample();
+        let mut other = g.clone();
+        other.trace.records.pop();
+        let err = g.compare(&other, Compare::Bitwise).unwrap_err();
+        assert!(err.contains("epoch count"), "{err}");
+    }
+
+    #[test]
+    fn unified_diff_marks_changed_lines() {
+        let d = unified_diff("a\nb\nc\n", "a\nB\nc\n");
+        assert!(d.contains("-b"), "{d}");
+        assert!(d.contains("+B"), "{d}");
+        assert!(d.contains(" a"), "{d}");
+    }
+}

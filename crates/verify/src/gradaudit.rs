@@ -1,0 +1,162 @@
+//! Model-level gradient audit: the whole AdamGNN objective — task loss
+//! plus `γ L_KL + δ L_R` — as one scalar function of *all* parameters,
+//! checked against central differences on a sampled subset of entries,
+//! plus a decomposition-consistency check.
+//!
+//! The two checks are complementary. Gradcheck catches a wrong backward
+//! anywhere in the composed pipeline, but it cannot catch a bug applied
+//! consistently to both the analytic and numeric paths — e.g. a sign
+//! flip in how `total_loss` composes `L_R` changes the objective *and*
+//! its gradient coherently. The consistency check closes that hole by
+//! recomposing `L_task + γ L_KL + δ L_R` from the independently exposed
+//! per-term values and comparing against the production total.
+
+use adamgnn_core::{
+    decomposed_loss, decomposed_loss_frozen, record_loss_freeze, AdamGnnNode, LossWeights,
+    ReconPlan,
+};
+use mg_nn::GraphCtx;
+use mg_tensor::{check_gradients_sampled, Binding, GradCheckReport, ParamStore, Tape};
+use std::rc::Rc;
+
+/// Knobs for [`audit_node_model`].
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Central-difference step.
+    pub eps: f64,
+    /// Entries sampled per parameter matrix (small matrices are checked
+    /// exhaustively).
+    pub samples_per_param: usize,
+    /// Seed for the entry sampler.
+    pub seed: u64,
+    /// Gradient tolerance (relative); the ISSUE's acceptance bar is 1e-4.
+    pub grad_tol: f64,
+    /// Tolerance on `|total - (task + γ·kl + δ·recon)|`, relative to the
+    /// total's magnitude. The terms are composed in the same order as
+    /// `total_loss`, so the honest error is rounding-level.
+    pub consistency_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            eps: 1e-5,
+            samples_per_param: 4,
+            seed: 0xad17,
+            grad_tol: 1e-4,
+            consistency_tol: 1e-12,
+        }
+    }
+}
+
+/// Everything the audit measured.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditReport {
+    /// Sampled whole-model gradient check over every parameter.
+    pub grad: GradCheckReport,
+    /// Per-term values from the decomposition entry point.
+    pub task: f64,
+    pub kl: f64,
+    pub recon: f64,
+    pub total: f64,
+    /// `|total - (task + γ·kl + δ·recon)| / max(1, |total|)`.
+    pub decomposition_err: f64,
+}
+
+impl AuditReport {
+    /// True when both the gradient check and the decomposition
+    /// consistency check pass.
+    pub fn ok(&self, cfg: &AuditConfig) -> bool {
+        self.problems(cfg).is_empty()
+    }
+
+    /// Human-readable failures, empty when the audit passes.
+    pub fn problems(&self, cfg: &AuditConfig) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.grad.ok(cfg.grad_tol) {
+            out.push(format!(
+                "model-level gradcheck failed: max_abs_err {:.3e}, max_rel_err {:.3e} (tol {:.1e}, {} entries)",
+                self.grad.max_abs_err, self.grad.max_rel_err, cfg.grad_tol, self.grad.entries_checked
+            ));
+        }
+        // NaN must count as a failure, hence not `err >= tol`
+        if !self.decomposition_err.is_finite() || self.decomposition_err >= cfg.consistency_tol {
+            out.push(format!(
+                "loss decomposition inconsistent: total {} vs task {} + γ·kl {} + δ·recon {} (rel err {:.3e})",
+                self.total, self.task, self.kl, self.recon, self.decomposition_err
+            ));
+        }
+        if !(self.task.is_finite() && self.kl.is_finite() && self.recon.is_finite()) {
+            out.push(format!(
+                "non-finite loss term: task {} kl {} recon {}",
+                self.task, self.kl, self.recon
+            ));
+        }
+        out
+    }
+}
+
+/// Audit an [`AdamGnnNode`] on a fixed graph/targets/plan: sampled
+/// central-difference check of `∂ total / ∂ θ` for every parameter matrix
+/// `θ`, and recomposition of the three exposed loss terms against the
+/// production total.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_node_model(
+    store: &ParamStore,
+    model: &AdamGnnNode,
+    ctx: &GraphCtx,
+    targets: &Rc<Vec<usize>>,
+    nodes: &Rc<Vec<usize>>,
+    plan: &ReconPlan,
+    weights: &LossWeights,
+    cfg: &AuditConfig,
+) -> AuditReport {
+    // Record the discrete/detached pieces once at the current parameters:
+    // the pooling structure (ego selection is piecewise-constant, Â_k is
+    // detached from the tape) and the DEC target P (detached inside the
+    // KL op). The optimiser's gradient is the gradient of the objective
+    // with all of those held fixed — that is the function the central
+    // differences must difference.
+    let freeze = {
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        record_loss_freeze(&tape, &bind, model, ctx)
+    };
+
+    // Gradient pillar: every parameter becomes a gradcheck input, in
+    // store-registration order so Binding::from_vars lines them back up.
+    let inputs = store.snapshot();
+    let grad = check_gradients_sampled(
+        &inputs,
+        cfg.eps,
+        cfg.samples_per_param,
+        cfg.seed,
+        |tape, vars| {
+            let bind = Binding::from_vars(vars.to_vec());
+            let (breakdown, _) = decomposed_loss_frozen(
+                tape, &bind, model, ctx, targets, nodes, plan, weights, &freeze,
+            );
+            breakdown.total
+        },
+    );
+
+    // Consistency pillar: independent recomposition of the terms.
+    let tape = Tape::new();
+    let bind = store.bind(&tape);
+    let (breakdown, _) = decomposed_loss(&tape, &bind, model, ctx, targets, nodes, plan, weights);
+    let task = tape.value(breakdown.task).scalar();
+    let kl = tape.value(breakdown.kl).scalar();
+    let recon = tape.value(breakdown.recon).scalar();
+    let total = tape.value(breakdown.total).scalar();
+    let expected = task + weights.gamma * kl + weights.delta * recon;
+    let decomposition_err = (total - expected).abs() / total.abs().max(1.0);
+
+    AuditReport {
+        grad,
+        task,
+        kl,
+        recon,
+        total,
+        decomposition_err,
+    }
+}

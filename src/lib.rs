@@ -5,3 +5,4 @@ pub use mg_eval as eval;
 pub use mg_graph as graph;
 pub use mg_nn as nn;
 pub use mg_tensor as tensor;
+pub use mg_verify as verify;

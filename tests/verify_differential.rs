@@ -1,0 +1,77 @@
+//! Pillar 4: differential serial-vs-parallel training fuzzer.
+//!
+//! The determinism contract: a seeded training run is a pure function of
+//! its seeds — the serial build and the parallel build at *every* pool
+//! width must produce bit-identical traces. The serial build contributes
+//! the repeatability baseline (and generates the checked-in goldens);
+//! under `--features parallel` the same runs are swept across pool
+//! widths 1..=4 and compared bitwise against those serial goldens, plus
+//! seed-varied runs (not checked in) are cross-checked between widths.
+
+use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, Compare, Golden};
+
+fn assert_identical(label: &str, expected: &Golden, actual: &Golden) {
+    if let Err(e) = expected.compare(actual, Compare::Bitwise) {
+        panic!("{label}: {e}");
+    }
+}
+
+/// Within one build, rerunning a seeded run reproduces it bit for bit —
+/// the precondition for any cross-build comparison to be meaningful.
+#[test]
+fn reruns_are_bitwise_repeatable() {
+    assert_identical("node_cls rerun", &node_cls_run(0), &node_cls_run(0));
+    assert_identical("link_pred rerun", &link_pred_run(0), &link_pred_run(0));
+    assert_identical("graph_cls rerun", &graph_cls_run(0), &graph_cls_run(0));
+}
+
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::assert_identical;
+    use mg_verify::{
+        check_against_file, goldens_dir, graph_cls_run, link_pred_run, node_cls_run, with_threads,
+        Compare, Golden,
+    };
+
+    type RunFn = fn(u64) -> Golden;
+
+    const RUNS: [(&str, RunFn); 3] = [
+        ("node_cls", node_cls_run),
+        ("link_pred", link_pred_run),
+        ("graph_cls", graph_cls_run),
+    ];
+
+    /// Every pool width reproduces the serial build's checked-in goldens
+    /// bit for bit.
+    #[test]
+    fn all_pool_widths_reproduce_serial_goldens() {
+        for threads in 1..=4 {
+            for (label, run) in RUNS {
+                let actual = with_threads(threads, || run(0));
+                let path = goldens_dir().join(format!("{}.json", actual.name));
+                if let Err(e) = check_against_file(&path, &actual, Compare::Bitwise) {
+                    panic!("{label} with {threads} threads diverged from serial golden: {e}");
+                }
+            }
+        }
+    }
+
+    /// Seed-varied runs — different graphs, different training seeds, no
+    /// checked-in golden — agree across pool widths.
+    #[test]
+    fn variant_runs_agree_across_pool_widths() {
+        for variant in 1..=2u64 {
+            for (label, run) in RUNS {
+                let reference = with_threads(1, || run(variant));
+                for threads in 2..=4 {
+                    let actual = with_threads(threads, || run(variant));
+                    assert_identical(
+                        &format!("{label} v{variant}, 1 vs {threads} threads"),
+                        &reference,
+                        &actual,
+                    );
+                }
+            }
+        }
+    }
+}
