@@ -1,0 +1,16 @@
+//! Traced-training report: runs one seeded node-classification job with
+//! `MG_TRACE` active, validates the emitted JSONL trace, and writes
+//! `BENCH_train.json` with per-epoch timings.
+//!
+//! ```text
+//! MG_TRACE=/tmp/trace.jsonl cargo run --release -p mg-bench --bin train_report
+//! ```
+//!
+//! When `MG_TRACE` is unset a temp-file default is installed (the
+//! binary's purpose is to exercise the trace sink). `MG_BENCH_TRAIN_JSON`
+//! overrides the report path; `skip` suppresses the file. Exits non-zero
+//! when the trace fails schema validation.
+
+fn main() {
+    std::process::exit(mg_bench::trainreport::emit_default());
+}

@@ -19,6 +19,7 @@ use mg_data::{GraphGenConfig, NodeGenConfig};
 use mg_eval::TrainConfig;
 
 pub mod opsbench;
+pub mod trainreport;
 
 /// Read an environment variable with a typed default.
 pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {

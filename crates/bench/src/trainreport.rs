@@ -1,0 +1,225 @@
+//! Traced-training benchmark, exported as `BENCH_train.json`.
+//!
+//! The `train_report` binary runs one seeded node-classification job
+//! through the mg-obs-instrumented trainer with `MG_TRACE` active,
+//! validates the emitted JSONL against the trace schema (a schema
+//! regression fails the build — this is what the obs-smoke CI job
+//! checks), then distils the per-epoch timings into a machine-readable
+//! report:
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin train_report
+//! ```
+//!
+//! `MG_TRACE` chooses the trace destination (a temp-file default is
+//! installed when unset — the binary's whole point is to exercise the
+//! sink); `MG_BENCH_TRAIN_JSON` overrides the report path (`skip`
+//! suppresses it).
+
+use crate::opsbench::host_threads;
+use mg_data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
+use mg_eval::{run_node_classification_traced, NodeModelKind, TrainConfig};
+use mg_obs::{validate_trace, TraceReport};
+use std::time::Instant;
+
+/// Everything the traced benchmark job produced.
+#[derive(Clone, Debug)]
+pub struct TrainBench {
+    pub model: &'static str,
+    pub dataset: &'static str,
+    pub seed: u64,
+    pub epochs_run: usize,
+    pub best_val: f64,
+    pub test_metric: f64,
+    pub trace_path: String,
+    pub report: TraceReport,
+    pub total_s: f64,
+}
+
+/// Resolve the trace destination: honour an explicit `MG_TRACE`, else
+/// install a temp-file default (the report exists to exercise the sink,
+/// so "unset" must not mean "trace nothing").
+fn trace_destination() -> String {
+    match std::env::var("MG_TRACE") {
+        Ok(p) if !p.is_empty() && p != "-" => p,
+        _ => {
+            let p = std::env::temp_dir()
+                .join(format!("mg_train_report_{}.jsonl", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            std::env::set_var("MG_TRACE", &p);
+            p
+        }
+    }
+}
+
+/// Run the seeded benchmark job with tracing active and validate the
+/// trace it leaves behind. `scale`/`epochs` size the job (the binary
+/// uses [`emit_default`]'s settings; tests shrink both).
+pub fn run_job(scale: f64, epochs: usize) -> Result<TrainBench, String> {
+    let trace_path = trace_destination();
+    // The sink appends across runs; this report describes exactly one.
+    std::fs::write(&trace_path, "").map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+
+    let ds = make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale,
+            max_feat_dim: 32,
+            seed: 11,
+        },
+    );
+    let cfg = TrainConfig {
+        epochs,
+        lr: 0.02,
+        patience: epochs,
+        hidden: 16,
+        levels: 2,
+        seed: 1,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (res, _) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let total_s = started.elapsed().as_secs_f64();
+
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
+    let report = validate_trace(&text).map_err(|e| format!("invalid trace {trace_path}: {e}"))?;
+    if report.epochs != res.epochs_run {
+        return Err(format!(
+            "trace has {} epoch records but the trainer ran {} epochs",
+            report.epochs, res.epochs_run
+        ));
+    }
+    if report.run_starts != 1 || report.run_ends != 1 {
+        return Err(format!(
+            "expected exactly one run_start/run_end, got {}/{}",
+            report.run_starts, report.run_ends
+        ));
+    }
+    Ok(TrainBench {
+        model: "AdamGNN",
+        dataset: "cora_synthetic",
+        seed: cfg.seed,
+        epochs_run: res.epochs_run,
+        best_val: res.val_metric,
+        test_metric: res.test_metric,
+        trace_path,
+        report,
+        total_s,
+    })
+}
+
+/// Render the `BENCH_train.json` document. Epoch timings are train+eval
+/// wall time per epoch in milliseconds, straight from the trace.
+pub fn to_json(b: &TrainBench) -> String {
+    let epoch_ms: Vec<f64> = b
+        .report
+        .epoch_train_ns
+        .iter()
+        .zip(&b.report.epoch_eval_ns)
+        .map(|(&t, &e)| (t + e) as f64 / 1e6)
+        .collect();
+    let mean_epoch_ms = epoch_ms.iter().sum::<f64>() / epoch_ms.len().max(1) as f64;
+    let epoch_list = epoch_ms
+        .iter()
+        .map(|ms| format!("{ms:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"task\": \"node_classification\",\n  \"model\": \"{}\",\n  \
+         \"dataset\": \"{}\",\n  \"seed\": {},\n  \"parallel_feature\": {},\n  \
+         \"host_threads\": {},\n  \"epochs_run\": {},\n  \"best_val\": {:.6},\n  \
+         \"test_metric\": {:.6},\n  \"trace_path\": \"{}\",\n  \"trace_lines\": {},\n  \
+         \"epoch_ms\": [{epoch_list}],\n  \"mean_epoch_ms\": {mean_epoch_ms:.3},\n  \
+         \"total_s\": {:.3}\n}}\n",
+        b.model,
+        b.dataset,
+        b.seed,
+        cfg!(feature = "parallel"),
+        host_threads(),
+        b.epochs_run,
+        b.best_val,
+        b.test_metric,
+        b.trace_path.replace('\\', "/"),
+        b.report.lines,
+        b.total_s,
+    )
+}
+
+/// Run the default-size job and write `BENCH_train.json` (path
+/// overridable via `MG_BENCH_TRAIN_JSON`; `skip` suppresses the file but
+/// still runs and validates the trace). Returns a process exit code.
+pub fn emit_default() -> i32 {
+    let b = match run_job(0.08, 30) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("train_report: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "train_report: {} epochs, best val {:.4}, test {:.4}, mean epoch {:.1} ms, \
+         trace {} ({} lines)",
+        b.epochs_run,
+        b.best_val,
+        b.test_metric,
+        b.report
+            .epoch_train_ns
+            .iter()
+            .zip(&b.report.epoch_eval_ns)
+            .map(|(&t, &e)| (t + e) as f64 / 1e6)
+            .sum::<f64>()
+            / b.epochs_run.max(1) as f64,
+        b.trace_path,
+        b.report.lines,
+    );
+    let path = std::env::var("MG_BENCH_TRAIN_JSON").unwrap_or_else(|_| "BENCH_train.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&b);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small end-to-end pass: job runs, trace validates, JSON has
+    /// the promised fields. Uses a private MG_TRACE path so parallel
+    /// test binaries cannot collide on the temp default.
+    #[test]
+    fn small_job_produces_valid_report() {
+        let path =
+            std::env::temp_dir().join(format!("mg_train_report_test_{}.jsonl", std::process::id()));
+        std::env::set_var("MG_TRACE", &path);
+        let b = run_job(0.03, 3).expect("job runs");
+        std::env::remove_var("MG_TRACE");
+        assert_eq!(b.epochs_run, 3);
+        assert_eq!(b.report.epochs, 3);
+        let json = to_json(&b);
+        for key in [
+            "\"task\"",
+            "\"model\"",
+            "\"epochs_run\"",
+            "\"epoch_ms\"",
+            "\"mean_epoch_ms\"",
+            "\"trace_lines\"",
+            "\"total_s\"",
+            "\"parallel_feature\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -4,6 +4,15 @@
 //! graphs; for link prediction, 10% of edges held out for validation and
 //! 10% for test, each paired with an equal number of sampled non-edges,
 //! with the training graph containing only the remaining 80% of edges.
+//!
+//! Negative sampling guarantee: [`sample_non_edges`] always returns
+//! exactly the requested number of pairs. Its rejection-sampling fast
+//! path is bounded, and when it stalls (dense graphs, where distinct
+//! non-edges are rare in the u,v grid) it falls back to enumerating the
+//! remaining non-edges and drawing without replacement. A graph with too
+//! few distinct non-edges for the request panics loudly instead of
+//! silently shipping an unbalanced negative set — an unbalanced
+//! `val_neg`/`val_pos` class mix would bias every AUC computed on it.
 
 use mg_graph::Topology;
 use rand::rngs::StdRng;
@@ -106,6 +115,19 @@ impl LinkSplit {
 
 /// Uniformly sample `count` node pairs that are non-edges of `g` (and not
 /// self-pairs). Pairs may repeat across calls but not within one call.
+///
+/// The fast path is rejection sampling with a bounded number of draws.
+/// On dense graphs — where the rejection loop can exhaust its guard
+/// before finding `count` *distinct* non-edges — it falls back to
+/// enumerating the remaining non-edges and drawing the shortfall without
+/// replacement, so the returned vector always has exactly `count` pairs.
+/// Callers can therefore rely on evaluation sets being class-balanced.
+///
+/// # Panics
+/// Panics when the graph has fewer than `count` distinct non-edges: no
+/// sampler can produce a balanced negative set there, and silently
+/// returning fewer pairs would skew every metric computed on them
+/// (ROC-AUC on a shortfallen negative set reads several points high).
 pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
     let n = g.n();
     let mut out = Vec::with_capacity(count);
@@ -121,6 +143,37 @@ pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(us
         let key = if u < v { (u, v) } else { (v, u) };
         if seen.insert(key) {
             out.push(key);
+        }
+    }
+    if out.len() < count {
+        // Rejection stalled: the distinct non-edges not yet drawn are a
+        // vanishing fraction of the u,v grid. Enumerate them (O(n^2),
+        // acceptable exactly because the graph is near-complete) and
+        // finish with an exact without-replacement draw.
+        let mut remaining: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) && !seen.contains(&(u, v)) {
+                    remaining.push((u, v));
+                }
+            }
+        }
+        let need = count - out.len();
+        assert!(
+            remaining.len() >= need,
+            "sample_non_edges: {count} non-edges requested but the graph has only {} \
+             distinct non-edges ({} nodes, {} edges); it is too dense for a balanced \
+             negative set — reduce the requested count or use a sparser graph",
+            out.len() + remaining.len(),
+            n,
+            g.num_edges(),
+        );
+        // partial Fisher-Yates: the first `need` slots become a uniform
+        // without-replacement sample of `remaining`
+        for k in 0..need {
+            let j = rng.random_range(k..remaining.len());
+            remaining.swap(k, j);
+            out.push(remaining[k]);
         }
     }
     out
@@ -190,5 +243,78 @@ mod tests {
         assert_eq!(neg.len(), 25);
         let set: std::collections::HashSet<_> = neg.iter().collect();
         assert_eq!(set.len(), 25, "no duplicates within a call");
+    }
+
+    /// Complete graph on `n` nodes minus the listed (undirected) pairs —
+    /// the missing pairs are exactly the distinct non-edges.
+    fn complete_minus(n: u32, missing: &[(u32, u32)]) -> Topology {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !missing.contains(&(u, v)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Topology::from_edges(n as usize, &edges)
+    }
+
+    /// Regression: on a near-complete graph the rejection loop exhausts
+    /// its guard (each specific non-edge has probability 2/n^2 per draw,
+    /// and all 20 must be hit), and the pre-fix sampler silently
+    /// returned fewer than `count` pairs. The enumeration fallback must
+    /// deliver the full set.
+    #[test]
+    fn fallback_fills_count_when_rejection_stalls() {
+        let missing: Vec<(u32, u32)> = (1..=20).map(|v| (0u32, v)).collect();
+        let g = complete_minus(200, &missing);
+        let mut rng = StdRng::seed_from_u64(3);
+        let neg = sample_non_edges(&g, 20, &mut rng);
+        assert_eq!(neg.len(), 20, "sampler must return every requested pair");
+        let set: std::collections::HashSet<_> = neg.iter().copied().collect();
+        assert_eq!(set.len(), 20, "no duplicates");
+        for &(u, v) in &neg {
+            assert!(!g.has_edge(u, v), "({u},{v}) is an edge");
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense for a balanced negative set")]
+    fn sampler_panics_when_graph_has_too_few_non_edges() {
+        // complete graph: zero non-edges, any positive request must fail
+        let g = complete_minus(10, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_non_edges(&g, 5, &mut rng);
+    }
+
+    /// A dense graph (two 10-cliques: 90 of 190 possible edges) still
+    /// has enough non-edges for every split part — train needs 72 of the
+    /// 100 distinct non-edges; the sampler must keep every evaluation
+    /// set class-balanced.
+    #[test]
+    fn link_split_balanced_on_dense_graph() {
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                if u % 2 == v % 2 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Topology::from_edges(20, &edges);
+        let ls = LinkSplit::new(&g, 7);
+        assert_eq!(ls.val_neg.len(), ls.val_pos.len());
+        assert_eq!(ls.test_neg.len(), ls.test_pos.len());
+        assert_eq!(ls.train_neg.len(), ls.train_pos.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense for a balanced negative set")]
+    fn link_split_panics_on_near_complete_graph() {
+        // K20 has zero non-edges: balanced negatives are impossible and
+        // the split must refuse instead of shipping a skewed class mix.
+        let g = complete_minus(20, &[]);
+        LinkSplit::new(&g, 7);
     }
 }

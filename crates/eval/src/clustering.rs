@@ -4,10 +4,13 @@
 //! normalised mutual information against the ground-truth classes.
 
 use crate::models::NodeModelKind;
-use crate::node_tasks::TrainConfig;
+use crate::node_tasks::{run_meta, TrainConfig};
+use crate::telemetry;
 use adamgnn_core::kl_loss;
-use mg_data::NodeDataset;
+use mg_data::{sample_non_edges, NodeDataset};
+use mg_graph::Topology;
 use mg_nn::GraphCtx;
+use mg_obs::{Stopwatch, Trace};
 use mg_tensor::{AdamConfig, Matrix, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -116,6 +119,27 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
     (mi / (ha * hb).sqrt()).clamp(0.0, 1.0)
 }
 
+/// Positives plus an equal number of freshly sampled non-edge negatives
+/// with their BCE labels — the supervision of one unsupervised epoch.
+///
+/// Delegates to [`mg_data::sample_non_edges`], so the batch is always
+/// class-balanced (`pairs.len() == 2 * pos.len()`) or the sampler panics
+/// on graphs with too few non-edges. The trainer previously re-rolled
+/// its own bounded rejection loop here, which on dense graphs silently
+/// produced fewer negatives than positives and skewed the BCE labels.
+pub fn bce_pair_batch(
+    g: &Topology,
+    pos: &[(usize, usize)],
+    rng: &mut StdRng,
+) -> (Vec<(usize, usize)>, Vec<f64>) {
+    let neg = sample_non_edges(g, pos.len(), rng);
+    let mut pairs = pos.to_vec();
+    pairs.extend_from_slice(&neg);
+    let mut labels = vec![1.0; pos.len()];
+    labels.extend(std::iter::repeat_n(0.0, neg.len()));
+    (pairs, labels)
+}
+
 /// Train embeddings unsupervised (reconstruction BCE + γ·KL for AdamGNN),
 /// cluster with k-means and return NMI against the class labels.
 pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> f64 {
@@ -131,48 +155,73 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
         &mut rng,
     );
     let adam = AdamConfig::with_lr(cfg.lr);
-    let n = ds.n();
     let pos: Vec<(usize, usize)> = ds
         .graph
         .edges()
         .iter()
         .map(|&(u, v)| (u as usize, v as usize))
         .collect();
-    for _ in 0..cfg.epochs {
+    let mut obs = Trace::from_env("node_clustering");
+    obs.run_start(&run_meta(kind, ds, cfg));
+    for epoch in 0..cfg.epochs {
+        let sw = Stopwatch::start();
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (h, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
-        let mut pairs = pos.clone();
-        let mut labels = vec![1.0; pos.len()];
-        let mut added = 0;
-        let mut guard = 0;
-        while added < pos.len() && guard < 100 * pos.len() {
-            guard += 1;
-            let u = rng.random_range(0..n);
-            let v = rng.random_range(0..n);
-            if u != v && !ds.graph.has_edge(u, v) {
-                pairs.push((u, v));
-                labels.push(0.0);
-                added += 1;
-            }
-        }
+        let (pairs, labels) = bce_pair_batch(&ds.graph, &pos, &mut rng);
         let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
+        let mut kl_term = None;
         let loss = match &internals {
             Some(out) if cfg.weights.gamma != 0.0 => {
                 let kl = kl_loss(&tape, out.h, &out.egos_l1);
+                kl_term = Some(kl);
                 tape.add(task, tape.scale(kl, cfg.weights.gamma))
             }
             _ => task,
         };
+        let loss_value = tape.value(loss).scalar();
         let mut grads = tape.backward(loss);
+        let step_obs = obs.enabled().then(|| {
+            // the reconstruction BCE *is* the task term for clustering
+            telemetry::collect_step(
+                &tape,
+                &store,
+                &bind,
+                &grads,
+                telemetry::LossTerms {
+                    task: Some(task),
+                    kl: kl_term,
+                    recon: Some(task),
+                },
+                internals.as_ref(),
+            )
+        });
         store.step(&mut grads, &bind, &adam);
+        if let Some(s) = step_obs {
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: loss_value,
+                loss_task: s.loss_task,
+                loss_kl: s.loss_kl,
+                loss_recon: s.loss_recon,
+                val_metric: None,
+                train_ns: sw.elapsed_ns(),
+                eval_ns: 0,
+                grad_norms: s.grad_norms,
+                beta: s.beta,
+                level_sizes: s.level_sizes,
+            });
+        }
     }
     let tape = Tape::new();
     let bind = store.bind(&tape);
     let (h, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
     let emb = tape.value_cloned(h);
     let clusters = kmeans(&emb, ds.num_classes, 50, &mut rng);
-    nmi(&clusters, &ds.labels)
+    let score = nmi(&clusters, &ds.labels);
+    obs.kernel_stats();
+    obs.run_end(cfg.epochs, None, Some(score));
+    score
 }
 
 #[cfg(test)]
@@ -208,6 +257,36 @@ mod tests {
         );
         let c = vec![0, 1, 0, 1, 0, 1];
         assert!(nmi(&a, &c) < 0.5, "orthogonal labelings score low");
+    }
+
+    /// Regression for the silent-shortfall class-imbalance bug: on a
+    /// dense graph the old inline rejection loop ran out of guard and
+    /// pushed fewer negatives than positives, so the BCE saw a skewed
+    /// label mix. The shared sampler must always deliver a balanced
+    /// batch.
+    #[test]
+    fn bce_batch_is_balanced_on_dense_graph() {
+        // near-complete graph: 200 nodes, all pairs except (0, 1..=30)
+        let mut edges = Vec::new();
+        for u in 0..200u32 {
+            for v in (u + 1)..200 {
+                if !(u == 0 && (1..=30).contains(&v)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Topology::from_edges(200, &edges);
+        let pos: Vec<(usize, usize)> = (2..32).map(|v| (1usize, v as usize)).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pairs, labels) = bce_pair_batch(&g, &pos, &mut rng);
+        assert_eq!(pairs.len(), 2 * pos.len());
+        assert_eq!(labels.len(), 2 * pos.len());
+        assert_eq!(labels.iter().filter(|&&l| l == 1.0).count(), pos.len());
+        assert_eq!(labels.iter().filter(|&&l| l == 0.0).count(), pos.len());
+        for (&(u, v), &l) in pairs.iter().zip(&labels).skip(pos.len()) {
+            assert_eq!(l, 0.0);
+            assert!(!g.has_edge(u, v), "negative ({u},{v}) is an edge");
+        }
     }
 
     #[test]

@@ -5,9 +5,11 @@
 use crate::metrics::mean_std;
 use crate::models::GraphModelKind;
 use crate::node_tasks::TrainConfig;
+use crate::telemetry;
 use crate::trace::TrainTrace;
 use mg_data::{GraphDataset, Split};
 use mg_nn::{GraphClassifier, GraphCtx};
+use mg_obs::{RunMeta, Stopwatch, Trace};
 use mg_tensor::{AdamConfig, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -68,12 +70,28 @@ pub fn run_graph_classification_traced(
     let adam = AdamConfig::with_lr(cfg.lr);
     let batch = 32usize;
 
+    let mut obs = Trace::from_env("graph_classification");
+    obs.run_start(&RunMeta {
+        model: kind.name().to_string(),
+        dataset: format!("{}_graphs", contexts.len()),
+        n_nodes: contexts.iter().map(|(c, _)| c.graph.n()).sum(),
+        n_edges: contexts.iter().map(|(c, _)| c.graph.num_edges()).sum(),
+        seed: cfg.seed,
+        epochs: cfg.epochs,
+        hidden: cfg.hidden,
+        levels: cfg.levels,
+        gamma: cfg.weights.gamma,
+        delta: cfg.weights.delta,
+    });
+
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
     let mut epoch_times = Vec::new();
     let mut trace = TrainTrace::new();
+    let mut epochs_run = 0;
     for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
         let started = Instant::now();
         // shuffle training order
         let mut order = split.train.clone();
@@ -82,6 +100,7 @@ pub fn run_graph_classification_traced(
             order.swap(i, j);
         }
         let mut batch_losses = Vec::new();
+        let mut last_grad_norms = Vec::new();
         for chunk in order.chunks(batch) {
             let tape = Tape::new();
             let bind = store.bind(&tape);
@@ -102,12 +121,35 @@ pub fn run_graph_classification_traced(
             let loss = tape.scale(sum, 1.0 / losses.len() as f64);
             batch_losses.push(tape.value(loss).scalar());
             let mut grads = tape.backward(loss);
+            if obs.enabled() {
+                last_grad_norms = telemetry::grad_norms(&store, &bind, &grads);
+            }
             store.step(&mut grads, &bind, &adam);
         }
         epoch_times.push(started.elapsed().as_secs_f64());
+        let sw = Stopwatch::start();
         let val = eval_accuracy(model.as_ref(), &store, contexts, &split.val, &mut rng);
+        let eval_ns = sw.elapsed_ns();
         let epoch_loss = batch_losses.iter().sum::<f64>() / batch_losses.len().max(1) as f64;
         trace.push(epoch, epoch_loss, val);
+        if obs.enabled() {
+            // mini-batch trainer: loss terms are not decomposed (the GC
+            // objective is CE + model-internal aux), grad norms come
+            // from the final batch of the epoch.
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: epoch_loss,
+                loss_task: None,
+                loss_kl: None,
+                loss_recon: None,
+                val_metric: Some(val),
+                train_ns: (epoch_times.last().copied().unwrap_or(0.0) * 1e9) as u64,
+                eval_ns,
+                grad_norms: std::mem::take(&mut last_grad_norms),
+                beta: None,
+                level_sizes: Vec::new(),
+            });
+        }
         if val > best_val {
             best_val = val;
             best_test = eval_accuracy(model.as_ref(), &store, contexts, &split.test, &mut rng);
@@ -120,6 +162,8 @@ pub fn run_graph_classification_traced(
         }
         let _ = epoch;
     }
+    obs.kernel_stats();
+    obs.run_end(epochs_run, Some(best_val), Some(best_test));
     let (epoch_seconds, _) = mean_std(&epoch_times);
     (
         GcRunResult {

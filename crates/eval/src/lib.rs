@@ -11,9 +11,10 @@ pub mod metrics;
 pub mod models;
 pub mod node_tasks;
 pub mod tables;
+mod telemetry;
 pub mod trace;
 
-pub use clustering::{kmeans, nmi, run_node_clustering};
+pub use clustering::{bce_pair_batch, kmeans, nmi, run_node_clustering};
 pub use graph_tasks::{
     build_contexts, run_graph_classification, run_graph_classification_traced, GcRunResult,
 };

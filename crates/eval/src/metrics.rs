@@ -14,17 +14,27 @@ pub fn accuracy(logits: &Matrix, labels: &[usize], nodes: &[usize]) -> f64 {
 
 /// ROC-AUC via the rank statistic (equivalent to the Mann-Whitney U),
 /// with proper tie handling through midranks.
+///
+/// # Panics
+/// Panics when any score is non-finite. Ranking NaN as a tie (the old
+/// behaviour) let a diverged model report a plausible-looking AUC; a
+/// NaN score is a training failure and must surface as one.
 pub fn roc_auc(pos_scores: &[f64], neg_scores: &[f64]) -> f64 {
     assert!(
         !pos_scores.is_empty() && !neg_scores.is_empty(),
         "roc_auc needs both classes"
+    );
+    assert!(
+        pos_scores.iter().chain(neg_scores).all(|s| s.is_finite()),
+        "roc_auc: non-finite score (NaN or infinity) — the model has likely diverged; \
+         refusing to rank non-finite scores as ties"
     );
     let mut all: Vec<(f64, bool)> = pos_scores
         .iter()
         .map(|&s| (s, true))
         .chain(neg_scores.iter().map(|&s| (s, false)))
         .collect();
-    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
     // midranks
     let n = all.len();
     let mut rank_sum_pos = 0.0f64;
@@ -91,6 +101,19 @@ mod tests {
     fn auc_interleaved() {
         // pos {3, 1}, neg {2, 0}: pairs won = (3>2, 3>0, 1>0) = 3 of 4
         assert!((roc_auc(&[3.0, 1.0], &[2.0, 0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn auc_rejects_nan_scores() {
+        // pre-fix: NaN sorted as a tie and this returned a numeric AUC
+        roc_auc(&[f64::NAN, 0.9], &[0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn auc_rejects_infinite_negative_scores() {
+        roc_auc(&[0.9], &[f64::NEG_INFINITY]);
     }
 
     #[test]

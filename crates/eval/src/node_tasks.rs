@@ -4,14 +4,33 @@
 
 use crate::metrics::{accuracy, pair_scores, roc_auc};
 use crate::models::NodeModelKind;
+use crate::telemetry;
 use crate::trace::TrainTrace;
 use adamgnn_core::{kl_loss, reconstruction_loss, total_loss, LossWeights};
 use mg_data::{LinkSplit, NodeDataset, Split};
 use mg_nn::GraphCtx;
+use mg_obs::{RunMeta, Stopwatch, Trace};
 use mg_tensor::{AdamConfig, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::rc::Rc;
+
+/// The `run_start` facts shared by the node-level trainers (including
+/// the clustering trainer in [`crate::clustering`]).
+pub(crate) fn run_meta(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> RunMeta {
+    RunMeta {
+        model: kind.name().to_string(),
+        dataset: ds.name.clone(),
+        n_nodes: ds.n(),
+        n_edges: ds.graph.num_edges(),
+        seed: cfg.seed,
+        epochs: cfg.epochs,
+        hidden: cfg.hidden,
+        levels: cfg.levels,
+        gamma: cfg.weights.gamma,
+        delta: cfg.weights.delta,
+    }
+}
 
 /// Training options shared by both node tasks.
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +109,9 @@ pub fn run_node_classification_traced(
     let targets = Rc::new(ds.labels.clone());
     let train_nodes = Rc::new(split.train.clone());
 
+    let mut obs = Trace::from_env("node_classification");
+    obs.run_start(&run_meta(kind, ds, cfg));
+
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
@@ -98,11 +120,14 @@ pub fn run_node_classification_traced(
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         // train step
-        let train_loss = {
+        let sw = Stopwatch::start();
+        let (train_loss, step_obs) = {
             let tape = Tape::new();
             let bind = store.bind(&tape);
             let (logits, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
             let task = tape.cross_entropy(logits, targets.clone(), train_nodes.clone());
+            let mut kl_term = None;
+            let mut recon_term = None;
             let loss = match &internals {
                 Some(out) => {
                     let kl = if weights.gamma != 0.0 {
@@ -115,22 +140,57 @@ pub fn run_node_classification_traced(
                     } else {
                         tape.constant(mg_tensor::Matrix::zeros(1, 1))
                     };
+                    kl_term = Some(kl);
+                    recon_term = Some(recon);
                     total_loss(&tape, task, kl, recon, &weights)
                 }
                 None => task,
             };
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
+            // telemetry reads gradients before the optimiser consumes them
+            let step_obs = obs.enabled().then(|| {
+                telemetry::collect_step(
+                    &tape,
+                    &store,
+                    &bind,
+                    &grads,
+                    telemetry::LossTerms {
+                        task: Some(task),
+                        kl: kl_term,
+                        recon: recon_term,
+                    },
+                    internals.as_ref(),
+                )
+            });
             store.step(&mut grads, &bind, &adam);
-            loss_value
+            (loss_value, step_obs)
         };
+        let train_ns = sw.elapsed_ns();
         // evaluate
+        let sw = Stopwatch::start();
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (logits, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
         let lv = tape.value_cloned(logits);
         let val = accuracy(&lv, &ds.labels, &split.val);
+        let eval_ns = sw.elapsed_ns();
         trace.push(epoch, train_loss, val);
+        if let Some(s) = step_obs {
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: train_loss,
+                loss_task: s.loss_task,
+                loss_kl: s.loss_kl,
+                loss_recon: s.loss_recon,
+                val_metric: Some(val),
+                train_ns,
+                eval_ns,
+                grad_norms: s.grad_norms,
+                beta: s.beta,
+                level_sizes: s.level_sizes,
+            });
+        }
         if val > best_val {
             best_val = val;
             best_test = accuracy(&lv, &ds.labels, &split.test);
@@ -143,6 +203,8 @@ pub fn run_node_classification_traced(
         }
     }
     crate::maybe_dump_kernel_stats("node_classification");
+    obs.kernel_stats();
+    obs.run_end(epochs_run, Some(best_val), Some(best_test));
     (
         RunResult {
             test_metric: best_test,
@@ -187,6 +249,9 @@ pub fn run_link_prediction_traced(
     let pos = link.train_pos.clone();
     let n = ds.n();
 
+    let mut obs = Trace::from_env("link_prediction");
+    obs.run_start(&run_meta(kind, ds, cfg));
+
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = 0.0;
     let mut bad_epochs = 0;
@@ -194,11 +259,16 @@ pub fn run_link_prediction_traced(
     let mut trace = TrainTrace::new();
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
-        let train_loss = {
+        let sw = Stopwatch::start();
+        let (train_loss, step_obs) = {
             let tape = Tape::new();
             let bind = store.bind(&tape);
             let (h, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
-            // fresh negatives each epoch
+            // Fresh negatives each epoch. This guarded rejection loop
+            // predates mg_data::sample_non_edges and is deliberately kept
+            // bit-for-bit (the mg-verify link-prediction golden pins its
+            // exact draw sequence); unlike the evaluation sets, a rare
+            // training-negative shortfall only softens one epoch's loss.
             let mut pairs = pos.clone();
             let mut labels = vec![1.0; pos.len()];
             let mut added = 0;
@@ -214,19 +284,38 @@ pub fn run_link_prediction_traced(
                 }
             }
             let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
+            let mut kl_term = None;
             let loss = match &internals {
                 Some(out) if weights.gamma != 0.0 => {
                     // LP: L = L_R + γ L_KL (task loss already equals L_R)
                     let kl = kl_loss(&tape, out.h, &out.egos_l1);
+                    kl_term = Some(kl);
                     tape.add(task, tape.scale(kl, weights.gamma))
                 }
                 _ => task,
             };
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
+            let step_obs = obs.enabled().then(|| {
+                // the BCE task term *is* L_R for link prediction
+                telemetry::collect_step(
+                    &tape,
+                    &store,
+                    &bind,
+                    &grads,
+                    telemetry::LossTerms {
+                        task: Some(task),
+                        kl: kl_term,
+                        recon: Some(task),
+                    },
+                    internals.as_ref(),
+                )
+            });
             store.step(&mut grads, &bind, &adam);
-            loss_value
+            (loss_value, step_obs)
         };
+        let train_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start();
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (h, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
@@ -235,7 +324,23 @@ pub fn run_link_prediction_traced(
             &pair_scores(&hv, &link.val_pos),
             &pair_scores(&hv, &link.val_neg),
         );
+        let eval_ns = sw.elapsed_ns();
         trace.push(epoch, train_loss, val);
+        if let Some(s) = step_obs {
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: train_loss,
+                loss_task: s.loss_task,
+                loss_kl: s.loss_kl,
+                loss_recon: s.loss_recon,
+                val_metric: Some(val),
+                train_ns,
+                eval_ns,
+                grad_norms: s.grad_norms,
+                beta: s.beta,
+                level_sizes: s.level_sizes,
+            });
+        }
         if val > best_val {
             best_val = val;
             best_test = roc_auc(
@@ -251,6 +356,8 @@ pub fn run_link_prediction_traced(
         }
     }
     crate::maybe_dump_kernel_stats("link_prediction");
+    obs.kernel_stats();
+    obs.run_end(epochs_run, Some(best_val), Some(best_test));
     (
         RunResult {
             test_metric: best_test,

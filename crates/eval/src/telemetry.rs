@@ -1,0 +1,127 @@
+//! Collection helpers between the trainers and the mg-obs trace sink.
+//!
+//! Everything here is *read-only observation*: helpers read tape values
+//! that the training step already computed and gradients that backward
+//! already produced, and never draw from an RNG — so a traced run is
+//! bit-identical to an untraced one (pinned by the mg-verify golden
+//! suite). Call sites gate collection on `Trace::enabled()` so disabled
+//! runs skip the work entirely.
+
+use adamgnn_core::AdamGnnOutput;
+use mg_obs::BetaStats;
+use mg_tensor::{Binding, Gradients, ParamStore, Tape, Var};
+
+/// The telemetry of one training step, harvested between `backward` and
+/// the optimiser step (gradients are consumed by `ParamStore::step`).
+pub(crate) struct StepObs {
+    pub loss_task: Option<f64>,
+    pub loss_kl: Option<f64>,
+    pub loss_recon: Option<f64>,
+    pub grad_norms: Vec<(String, f64)>,
+    pub beta: Option<BetaStats>,
+    pub level_sizes: Vec<usize>,
+}
+
+/// L2 norm per parameter tensor, in registration order. Parameters the
+/// backward pass never reached are reported with norm 0 (lazy-gradient
+/// semantics: the optimiser leaves them untouched too).
+pub(crate) fn grad_norms(
+    store: &ParamStore,
+    bind: &Binding,
+    grads: &Gradients,
+) -> Vec<(String, f64)> {
+    store
+        .param_ids()
+        .into_iter()
+        .map(|id| {
+            let norm = grads
+                .get(bind.var(id))
+                .map(|g| g.data().iter().map(|x| x * x).sum::<f64>().sqrt())
+                .unwrap_or(0.0);
+            (store.name(id).to_string(), norm)
+        })
+        .collect()
+}
+
+/// The composite objective's term variables, where the trainer built
+/// them (`None` for models or configurations without that term).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct LossTerms {
+    pub task: Option<Var>,
+    pub kl: Option<Var>,
+    pub recon: Option<Var>,
+}
+
+/// Harvest one step's telemetry. `terms` holds the objective's term
+/// variables; `internals` is AdamGNN's forward output when the model
+/// exposes one.
+pub(crate) fn collect_step(
+    tape: &Tape,
+    store: &ParamStore,
+    bind: &Binding,
+    grads: &Gradients,
+    terms: LossTerms,
+    internals: Option<&AdamGnnOutput>,
+) -> StepObs {
+    let LossTerms { task, kl, recon } = terms;
+    let scalar = |v: Var| tape.value(v).scalar();
+    let beta = internals.and_then(|out| out.beta).map(|b| {
+        let m = tape.value(b);
+        BetaStats::from_flat(m.data(), m.shape().1)
+    });
+    let level_sizes = internals
+        .map(|out| out.levels.iter().map(|l| l.size).collect())
+        .unwrap_or_default();
+    StepObs {
+        loss_task: task.map(scalar),
+        loss_kl: kl.map(scalar),
+        loss_recon: recon.map(scalar),
+        grad_norms: grad_norms(store, bind, grads),
+        beta,
+        level_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::Matrix;
+
+    #[test]
+    fn grad_norms_cover_all_params_in_order() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        store.add("unused", Matrix::zeros(1, 1));
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        // loss = sum(3 * w): dL/dw = [3, 3], unused never reached
+        let loss = tape.sum_all(tape.scale(bind.var(w), 3.0));
+        let grads = tape.backward(loss);
+        let norms = grad_norms(&store, &bind, &grads);
+        assert_eq!(norms.len(), 2);
+        assert_eq!(norms[0].0, "w");
+        assert!((norms[0].1 - (18.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(norms[1], ("unused".to_string(), 0.0));
+    }
+
+    #[test]
+    fn collect_step_reads_term_values() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 2.0));
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let task = tape.sum_all(bind.var(w));
+        let grads = tape.backward(task);
+        let terms = LossTerms {
+            task: Some(task),
+            ..Default::default()
+        };
+        let obs = collect_step(&tape, &store, &bind, &grads, terms, None);
+        assert_eq!(obs.loss_task, Some(2.0));
+        assert_eq!(obs.loss_kl, None);
+        assert_eq!(obs.loss_recon, None);
+        assert!(obs.beta.is_none());
+        assert!(obs.level_sizes.is_empty());
+        assert_eq!(obs.grad_norms, vec![("w".to_string(), 1.0)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end check of the mg-obs wiring: a traced node-classification
+//! run must (a) be bit-identical to an untraced run — telemetry is pure
+//! observation — and (b) emit a schema-valid JSONL trace with one
+//! `EpochRecord` per epoch carrying all three loss terms, flyback-β
+//! stats, per-level hyper-node counts and per-parameter gradient norms.
+//!
+//! These tests live in their own test binary because `MG_TRACE` is
+//! process global: the library tests (which never set it) cannot race
+//! with them, and the tests here serialise on [`ENV_LOCK`] so they
+//! cannot race with each other.
+
+use mg_data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
+use mg_eval::{run_node_classification_traced, NodeModelKind, TrainConfig};
+use mg_obs::{validate_trace, Json};
+use std::sync::Mutex;
+
+/// Guards every MG_TRACE mutation in this binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_ds() -> mg_data::NodeDataset {
+    make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale: 0.05,
+            max_feat_dim: 32,
+            seed: 11,
+        },
+    )
+}
+
+fn fast_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        lr: 0.02,
+        patience: 6,
+        hidden: 16,
+        levels: 2,
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn traced_run_is_bitwise_identical_and_emits_valid_jsonl() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = tiny_ds();
+    let cfg = fast_cfg();
+
+    // Baseline: MG_TRACE unset — telemetry fully disabled.
+    std::env::remove_var("MG_TRACE");
+    let (base_res, base_trace) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+
+    // Traced run into a temp file.
+    let path = std::env::temp_dir().join(format!("mg_obs_emission_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("MG_TRACE", &path);
+    let (obs_res, obs_trace) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    std::env::remove_var("MG_TRACE");
+
+    // (a) Telemetry must not perturb the computation: bitwise equality.
+    assert_eq!(base_trace, obs_trace, "tracing changed the training run");
+    assert_eq!(
+        base_res.test_metric.to_bits(),
+        obs_res.test_metric.to_bits()
+    );
+    assert_eq!(base_res.val_metric.to_bits(), obs_res.val_metric.to_bits());
+    assert_eq!(base_res.epochs_run, obs_res.epochs_run);
+
+    // (b) The emitted trace parses and matches the schema.
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let report = validate_trace(&text).expect("trace validates");
+    assert_eq!(report.run_starts, 1);
+    assert_eq!(report.run_ends, 1);
+    assert_eq!(report.kernel_stats, 1);
+    assert_eq!(
+        report.epochs, obs_res.epochs_run,
+        "one EpochRecord per epoch actually run"
+    );
+
+    // Spot-check the payload of each epoch record: the AdamGNN composite
+    // loss decomposes into all three terms, β stats and hyper-node
+    // counts are present (levels=2 ⇒ 2 pooling levels), and every
+    // parameter reports a gradient norm.
+    let mut saw_epoch = false;
+    for line in text.lines() {
+        let v = Json::parse(line).expect("line parses");
+        if v.get("kind").and_then(Json::as_str) != Some("epoch") {
+            continue;
+        }
+        saw_epoch = true;
+        assert_eq!(
+            v.get("task").and_then(Json::as_str),
+            Some("node_classification")
+        );
+        for term in ["loss_total", "loss_task", "loss_kl", "loss_recon"] {
+            let x = v
+                .get(term)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("epoch record missing finite {term}: {line}"));
+            assert!(x.is_finite());
+        }
+        let beta = v.get("beta").expect("beta stats present");
+        assert!(beta
+            .get("mean")
+            .and_then(Json::as_arr)
+            .is_some_and(|a| !a.is_empty()));
+        let sizes = v
+            .get("level_sizes")
+            .and_then(Json::as_arr)
+            .expect("level_sizes present");
+        assert_eq!(sizes.len(), cfg.levels, "one hyper-node count per level");
+        let norms = v
+            .get("grad_norms")
+            .and_then(Json::as_arr)
+            .expect("grad_norms present");
+        assert!(!norms.is_empty(), "per-parameter gradient norms recorded");
+    }
+    assert!(saw_epoch);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Every traced trainer must close its trace: exactly one run_start,
+/// one kernel_stats and one run_end per run (a table sweep appending
+/// several runs to one file stays well-formed). Regression for the LP
+/// trainer, which once emitted epochs but never run_end.
+#[test]
+fn all_trainers_emit_complete_run_records() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = tiny_ds();
+    let cfg = fast_cfg();
+    let path = std::env::temp_dir().join(format!("mg_obs_complete_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("MG_TRACE", &path);
+    let (nc, _) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let (lp, _) = mg_eval::run_link_prediction_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let nmi = mg_eval::run_node_clustering(NodeModelKind::Gcn, &ds, &cfg);
+    std::env::remove_var("MG_TRACE");
+    assert!(nmi >= 0.0);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let report = validate_trace(&text).expect("trace validates");
+    assert_eq!(report.run_starts, 3, "one run_start per run");
+    assert_eq!(report.kernel_stats, 3, "one kernel_stats per run");
+    assert_eq!(report.run_ends, 3, "one run_end per run");
+    assert_eq!(report.epochs, nc.epochs_run + lp.epochs_run + cfg.epochs);
+
+    let _ = std::fs::remove_file(&path);
+}

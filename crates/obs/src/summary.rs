@@ -1,0 +1,91 @@
+//! Human-readable end-of-run summary, printed to stderr when a file
+//! trace finishes (the JSONL file holds the machine-readable truth; this
+//! is the at-a-glance version).
+
+use crate::record::RunEnd;
+use crate::trace::Aggregates;
+
+fn fmt_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"))
+}
+
+/// Render the block `Trace::run_end` prints.
+pub(crate) fn render_summary(task: &str, agg: &Aggregates, end: &RunEnd) -> String {
+    let loss_path = match agg.first_loss {
+        Some(first) => format!("{first:.4} -> {:.4}", agg.last_loss),
+        None => "-".to_string(),
+    };
+    let mut top = String::new();
+    let kernels = mg_runtime::KernelStats::snapshot();
+    if !kernels.is_empty() {
+        let total: u64 = kernels.iter().map(|(_, s)| s.total_ns).sum();
+        let head: Vec<String> = kernels
+            .iter()
+            .take(3)
+            .map(|(op, s)| {
+                format!(
+                    "{op} {:.0}%",
+                    100.0 * s.total_ns as f64 / total.max(1) as f64
+                )
+            })
+            .collect();
+        top = format!("\n  top kernels : {}", head.join(", "));
+    }
+    format!(
+        "mg-obs [{task}] summary\n\
+         \x20 epochs run  : {}\n\
+         \x20 loss        : {loss_path}\n\
+         \x20 best val    : {}\n\
+         \x20 test metric : {}\n\
+         \x20 train time  : {:.3} s  (eval {:.3} s, total wall {:.3} s){top}",
+        end.epochs_run,
+        fmt_opt(end.best_val),
+        fmt_opt(end.test_metric),
+        agg.train_ns as f64 / 1e9,
+        agg.eval_ns as f64 / 1e9,
+        end.wall_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_facts() {
+        let agg = Aggregates {
+            epochs: 5,
+            first_loss: Some(2.0),
+            last_loss: 0.5,
+            best_val: Some(0.9),
+            train_ns: 2_000_000_000,
+            eval_ns: 500_000_000,
+        };
+        let end = RunEnd {
+            epochs_run: 5,
+            best_val: Some(0.9),
+            test_metric: Some(0.85),
+            wall_s: 3.0,
+        };
+        let s = render_summary("node_classification", &agg, &end);
+        assert!(s.contains("node_classification"));
+        assert!(s.contains("2.0000 -> 0.5000"));
+        assert!(s.contains("0.9000"));
+        assert!(s.contains("0.8500"));
+    }
+
+    #[test]
+    fn summary_handles_empty_run() {
+        let s = render_summary(
+            "t",
+            &Aggregates::default(),
+            &RunEnd {
+                epochs_run: 0,
+                best_val: None,
+                test_metric: None,
+                wall_s: 0.0,
+            },
+        );
+        assert!(s.contains("loss        : -"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace-file validation: every line must parse as JSON and carry the
+//! keys its `kind` promises. The `train_report` binary (and through it
+//! the obs-smoke CI job) runs this over freshly emitted traces, so a
+//! schema regression fails the build rather than silently shipping an
+//! unreadable trace.
+
+use crate::json::Json;
+
+/// What a validated trace contained.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    /// Total JSONL lines.
+    pub lines: usize,
+    pub run_starts: usize,
+    pub epochs: usize,
+    pub kernel_stats: usize,
+    pub run_ends: usize,
+    /// Per-epoch `train_ns` values, in emission order.
+    pub epoch_train_ns: Vec<u64>,
+    /// Per-epoch `eval_ns` values, in emission order.
+    pub epoch_eval_ns: Vec<u64>,
+}
+
+const RUN_START_KEYS: &[&str] = &[
+    "task",
+    "model",
+    "dataset",
+    "n_nodes",
+    "n_edges",
+    "seed",
+    "epochs",
+    "hidden",
+    "levels",
+    "gamma",
+    "delta",
+    "parallel_feature",
+];
+const EPOCH_KEYS: &[&str] = &[
+    "task",
+    "epoch",
+    "loss_total",
+    "loss_task",
+    "loss_kl",
+    "loss_recon",
+    "val_metric",
+    "train_ns",
+    "eval_ns",
+    "grad_norms",
+    "beta",
+    "level_sizes",
+];
+const RUN_END_KEYS: &[&str] = &["task", "epochs_run", "best_val", "test_metric", "wall_s"];
+const KERNEL_KEYS: &[&str] = &["task", "kernels"];
+
+fn require_keys(v: &Json, keys: &[&str], line_no: usize) -> Result<(), String> {
+    for key in keys {
+        if v.get(key).is_none() {
+            return Err(format!("line {line_no}: missing required key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate the full text of a JSONL trace.
+pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: empty line in trace"));
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        report.lines += 1;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing \"kind\""))?;
+        match kind {
+            "run_start" => {
+                require_keys(&v, RUN_START_KEYS, line_no)?;
+                report.run_starts += 1;
+            }
+            "epoch" => {
+                require_keys(&v, EPOCH_KEYS, line_no)?;
+                let ns = |key: &str| -> Result<u64, String> {
+                    v.get(key)
+                        .and_then(Json::as_f64)
+                        .map(|x| x as u64)
+                        .ok_or_else(|| format!("line {line_no}: {key} is not a number"))
+                };
+                report.epoch_train_ns.push(ns("train_ns")?);
+                report.epoch_eval_ns.push(ns("eval_ns")?);
+                report.epochs += 1;
+            }
+            "kernel_stats" => {
+                require_keys(&v, KERNEL_KEYS, line_no)?;
+                report.kernel_stats += 1;
+            }
+            "run_end" => {
+                require_keys(&v, RUN_END_KEYS, line_no)?;
+                report.run_ends += 1;
+            }
+            other => return Err(format!("line {line_no}: unknown kind {other:?}")),
+        }
+    }
+    if report.lines == 0 {
+        return Err("trace is empty".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EpochRecord, RunMeta};
+    use crate::trace::Trace;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emitted_trace_validates() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut t = Trace::to_writer("t", Box::new(Shared(buf.clone())));
+        t.run_start(&RunMeta {
+            model: "M".into(),
+            dataset: "D".into(),
+            n_nodes: 1,
+            n_edges: 1,
+            seed: 0,
+            epochs: 1,
+            hidden: 1,
+            levels: 1,
+            gamma: 0.0,
+            delta: 0.0,
+        });
+        t.epoch(&EpochRecord {
+            epoch: 0,
+            loss_total: 1.0,
+            loss_task: None,
+            loss_kl: None,
+            loss_recon: None,
+            val_metric: None,
+            train_ns: 7,
+            eval_ns: 3,
+            grad_norms: vec![],
+            beta: None,
+            level_sizes: vec![],
+        });
+        t.kernel_stats();
+        t.run_end(1, None, None);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let report = validate_trace(&text).expect("trace validates");
+        assert_eq!(report.lines, 4);
+        assert_eq!(report.run_starts, 1);
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.kernel_stats, 1);
+        assert_eq!(report.run_ends, 1);
+        assert_eq!(report.epoch_train_ns, vec![7]);
+        assert_eq!(report.epoch_eval_ns, vec![3]);
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        assert!(validate_trace("").is_err());
+        assert!(validate_trace("not json\n").is_err());
+        assert!(validate_trace("{\"kind\": \"mystery\"}\n").is_err());
+        // an epoch record missing its loss decomposition keys
+        assert!(validate_trace("{\"kind\": \"epoch\", \"task\": \"t\", \"epoch\": 0}\n").is_err());
+    }
+}
