@@ -25,7 +25,8 @@ fn run_variant(
 ) -> f64 {
     let train_cfg = cfg.train(seed, 3);
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
-    let split = Split::random_80_10_10(ds.n(), seed ^ 0x5eed);
+    let split =
+        Split::random_80_10_10(ds.n(), seed ^ 0x5eed).expect("dataset large enough to split");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let mut mcfg = AdamGnnConfig::new(ds.feat_dim(), train_cfg.hidden, 3);

@@ -5,7 +5,7 @@
 
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_node_dataset, NodeDatasetKind};
-use mg_eval::{run_node_clustering, NodeModelKind, TextTable};
+use mg_eval::{NodeModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -26,7 +26,13 @@ fn main() {
         let mut row = vec![model.name().to_string()];
         for ds in &datasets {
             let scores: Vec<f64> = (0..cfg.seeds)
-                .map(|s| run_node_clustering(model, ds, &cfg.train(s, 3)))
+                .map(|s| {
+                    TrainSession::new(SessionKind::NodeClustering(model), &cfg.train(s, 3))
+                        .traced(false)
+                        .run(ds)
+                        .expect("clustering run")
+                        .test_metric
+                })
                 .collect();
             row.push(format!("{:.3}", mean(&scores)));
             eprint!(".");

@@ -21,7 +21,7 @@ use std::rc::Rc;
 fn class_attention(ds: &NodeDataset, cfg: &BenchConfig) -> Option<Matrix> {
     let train_cfg = cfg.train(0, 3);
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
-    let split = Split::random_80_10_10(ds.n(), 0x5eed);
+    let split = Split::random_80_10_10(ds.n(), 0x5eed).expect("dataset large enough to split");
     let mut rng = StdRng::seed_from_u64(0);
     let mut store = ParamStore::new();
     let mut mcfg = adamgnn_core::AdamGnnConfig::new(ds.feat_dim(), train_cfg.hidden, 3);

@@ -1,0 +1,16 @@
+//! Frozen-model inference report: obtains a checkpoint (reusing a
+//! compatible `MG_CKPT_PATH`, training a small seeded job otherwise),
+//! loads it through `FrozenModel`, measures forward-pass throughput, and
+//! writes `BENCH_infer.json`.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin infer
+//! ```
+//!
+//! `MG_BENCH_INFER_JSON` overrides the report path; `skip` suppresses
+//! the file. With `MG_TRACE` set, one `infer` record is appended to the
+//! JSONL trace. Exits non-zero when loading or serving fails.
+
+fn main() {
+    std::process::exit(mg_bench::inferbench::emit_default());
+}

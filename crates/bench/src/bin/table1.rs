@@ -15,8 +15,7 @@
 
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, GraphDatasetKind};
-use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{pct, GraphModelKind, TextTable};
+use mg_eval::{pct, GraphModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -36,7 +35,13 @@ fn main() {
         let mut row = vec![model.name().to_string()];
         for (_, ds) in &datasets {
             let accs: Vec<f64> = (0..cfg.seeds)
-                .map(|seed| run_graph_classification(model, ds, &cfg.train(seed, 3)).test_accuracy)
+                .map(|seed| {
+                    TrainSession::new(SessionKind::GraphClassification(model), &cfg.train(seed, 3))
+                        .traced(false)
+                        .run(ds)
+                        .expect("graph classification run")
+                        .test_metric
+                })
                 .collect();
             row.push(pct(mean(&accs)));
             eprint!(".");

@@ -15,7 +15,7 @@
 
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_node_dataset, NodeDatasetKind};
-use mg_eval::{auc, pct, run_link_prediction, run_node_classification, NodeModelKind, TextTable};
+use mg_eval::{auc, pct, NodeModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -37,10 +37,22 @@ fn main() {
         let mut row = vec![model.name().to_string()];
         for (_, ds) in &datasets {
             let nc: Vec<f64> = (0..cfg.seeds)
-                .map(|s| run_node_classification(model, ds, &cfg.train(s, 3)).test_metric)
+                .map(|s| {
+                    TrainSession::new(SessionKind::NodeClassification(model), &cfg.train(s, 3))
+                        .traced(false)
+                        .run(ds)
+                        .expect("node classification run")
+                        .test_metric
+                })
                 .collect();
             let lp: Vec<f64> = (0..cfg.seeds)
-                .map(|s| run_link_prediction(model, ds, &cfg.train(s, 4)).test_metric)
+                .map(|s| {
+                    TrainSession::new(SessionKind::LinkPrediction(model), &cfg.train(s, 4))
+                        .traced(false)
+                        .run(ds)
+                        .expect("link prediction run")
+                        .test_metric
+                })
                 .collect();
             row.push(pct(mean(&nc)));
             row.push(auc(mean(&lp)));

@@ -15,11 +15,7 @@
 use adamgnn_core::LossWeights;
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, make_node_dataset, GraphDatasetKind, NodeDatasetKind};
-use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{
-    auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind,
-    TextTable,
-};
+use mg_eval::{auc, pct, GraphModelKind, NodeModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -64,7 +60,16 @@ fn main() {
         let run_lp = (weights.gamma == 0.0 && weights.delta == 0.0) || name.contains("Full");
         let lp_cell = if run_lp {
             let runs: Vec<f64> = (0..cfg.seeds)
-                .map(|s| run_link_prediction(NodeModelKind::AdamGnn, &dblp, &mk(s, 4)).test_metric)
+                .map(|s| {
+                    TrainSession::new(
+                        SessionKind::LinkPrediction(NodeModelKind::AdamGnn),
+                        &mk(s, 4),
+                    )
+                    .traced(false)
+                    .run(&dblp)
+                    .expect("link prediction run")
+                    .test_metric
+                })
                 .collect();
             auc(mean(&runs))
         } else {
@@ -72,12 +77,26 @@ fn main() {
         };
         let nc: Vec<f64> = (0..cfg.seeds)
             .map(|s| {
-                run_node_classification(NodeModelKind::AdamGnn, &citeseer, &mk(s, 3)).test_metric
+                TrainSession::new(
+                    SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+                    &mk(s, 3),
+                )
+                .traced(false)
+                .run(&citeseer)
+                .expect("node classification run")
+                .test_metric
             })
             .collect();
         let gc: Vec<f64> = (0..cfg.seeds)
             .map(|s| {
-                run_graph_classification(GraphModelKind::AdamGnn, &muta, &mk(s, 3)).test_accuracy
+                TrainSession::new(
+                    SessionKind::GraphClassification(GraphModelKind::AdamGnn),
+                    &mk(s, 3),
+                )
+                .traced(false)
+                .run(&muta)
+                .expect("graph classification run")
+                .test_metric
             })
             .collect();
         table.row(vec![

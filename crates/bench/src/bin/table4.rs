@@ -14,8 +14,8 @@
 
 use mg_bench::BenchConfig;
 use mg_data::{make_graph_dataset, GraphDatasetKind};
-use mg_eval::graph_tasks::{build_contexts, run_graph_classification_prebuilt};
-use mg_eval::{GraphModelKind, TextTable};
+use mg_eval::graph_tasks::build_contexts;
+use mg_eval::{GraphModelKind, SessionInput, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -48,8 +48,14 @@ fn main() {
             let mut t = cfg.train(0, 3);
             t.epochs = 5;
             t.patience = 5;
-            let res = run_graph_classification_prebuilt(model, ctxs, *feat_dim, &t);
-            row.push(format!("{:.3}", res.epoch_seconds));
+            let res = TrainSession::new(SessionKind::GraphClassification(model), &t)
+                .traced(false)
+                .run(SessionInput::Prebuilt {
+                    contexts: ctxs,
+                    feat_dim: *feat_dim,
+                })
+                .expect("graph classification run");
+            row.push(format!("{:.3}", res.epoch_seconds.unwrap()));
             eprint!(".");
         }
         eprintln!(" {}", model.name());

@@ -10,8 +10,7 @@
 
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, GraphDatasetKind};
-use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{pct, GraphModelKind, TextTable};
+use mg_eval::{pct, GraphModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -34,7 +33,14 @@ fn main() {
                 .map(|s| {
                     let mut t = cfg.train(s, 3);
                     t.flyback = flyback;
-                    run_graph_classification(GraphModelKind::AdamGnn, d, &t).test_accuracy
+                    TrainSession::new(
+                        SessionKind::GraphClassification(GraphModelKind::AdamGnn),
+                        &t,
+                    )
+                    .traced(false)
+                    .run(d)
+                    .expect("graph classification run")
+                    .test_metric
                 })
                 .collect();
             row.push(pct(mean(&accs)));

@@ -13,11 +13,7 @@
 
 use mg_bench::{mean, BenchConfig};
 use mg_data::{make_graph_dataset, make_node_dataset, GraphDatasetKind, NodeDatasetKind};
-use mg_eval::graph_tasks::run_graph_classification;
-use mg_eval::{
-    auc, pct, run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind,
-    TextTable,
-};
+use mg_eval::{auc, pct, GraphModelKind, NodeModelKind, SessionKind, TextTable, TrainSession};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -42,8 +38,14 @@ fn main() {
         let lp = |ds| {
             let xs: Vec<f64> = (0..cfg.seeds)
                 .map(|s| {
-                    run_link_prediction(NodeModelKind::AdamGnn, ds, &cfg.train(s, levels))
-                        .test_metric
+                    TrainSession::new(
+                        SessionKind::LinkPrediction(NodeModelKind::AdamGnn),
+                        &cfg.train(s, levels),
+                    )
+                    .traced(false)
+                    .run(ds)
+                    .expect("link prediction run")
+                    .test_metric
                 })
                 .collect();
             auc(mean(&xs))
@@ -51,16 +53,28 @@ fn main() {
         let nc = |ds| {
             let xs: Vec<f64> = (0..cfg.seeds)
                 .map(|s| {
-                    run_node_classification(NodeModelKind::AdamGnn, ds, &cfg.train(s, levels))
-                        .test_metric
+                    TrainSession::new(
+                        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+                        &cfg.train(s, levels),
+                    )
+                    .traced(false)
+                    .run(ds)
+                    .expect("node classification run")
+                    .test_metric
                 })
                 .collect();
             pct(mean(&xs))
         };
         let gc: Vec<f64> = (0..cfg.seeds)
             .map(|s| {
-                run_graph_classification(GraphModelKind::AdamGnn, &muta, &cfg.train(s, levels))
-                    .test_accuracy
+                TrainSession::new(
+                    SessionKind::GraphClassification(GraphModelKind::AdamGnn),
+                    &cfg.train(s, levels),
+                )
+                .traced(false)
+                .run(&muta)
+                .expect("graph classification run")
+                .test_metric
             })
             .collect();
         table.row(vec![

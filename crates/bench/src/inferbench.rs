@@ -1,0 +1,322 @@
+//! Frozen-model inference benchmark, exported as `BENCH_infer.json`.
+//!
+//! The `infer` binary is the serving-side counterpart of `train_report`:
+//! it obtains a checkpoint (loading `MG_CKPT_PATH` when it names a
+//! compatible one, training a small seeded job otherwise), loads it back
+//! through [`FrozenModel`], and measures forward-pass throughput over the
+//! benchmark graph:
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin infer
+//! ```
+//!
+//! Every measured forward replays the checkpoint's pinned pooling
+//! structure (AdamGNN), so serving latency here is the latency a
+//! deployment would see — no ego-network formation on the hot path.
+//! `MG_BENCH_INFER_JSON` overrides the report path (`skip` suppresses
+//! it); with `MG_TRACE` set, the job also appends one `infer` record to
+//! the JSONL trace.
+
+use mg_data::{make_node_dataset, NodeDataset, NodeDatasetKind, NodeGenConfig};
+use mg_eval::{FrozenModel, NodeModelKind, SessionKind, TrainConfig, TrainSession};
+use mg_nn::GraphCtx;
+use mg_obs::{InferRecord, Trace};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Everything the inference benchmark job produced.
+#[derive(Clone, Debug)]
+pub struct InferBench {
+    pub checkpoint: String,
+    /// Whether this run trained the checkpoint (vs loading an existing
+    /// compatible one from `MG_CKPT_PATH`).
+    pub trained_here: bool,
+    pub model: String,
+    pub dataset: String,
+    pub n_nodes: usize,
+    pub pinned_structure: bool,
+    /// Forward passes measured (after one untimed warm-up).
+    pub forwards: usize,
+    pub total_ns: u64,
+    /// Distinct classes among the predicted labels — a collapse to one
+    /// class flags a broken load without pinning exact accuracy.
+    pub distinct_classes: usize,
+    pub total_s: f64,
+}
+
+impl InferBench {
+    pub fn mean_forward_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6 / self.forwards.max(1) as f64
+    }
+}
+
+/// The benchmark's fixed dataset: the same seeded Cora analogue the
+/// traced-training benchmark uses, so the two reports describe one
+/// workload from both sides.
+fn bench_dataset(scale: f64) -> NodeDataset {
+    make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale,
+            max_feat_dim: 32,
+            seed: 11,
+        },
+    )
+}
+
+/// An existing checkpoint is reusable only when it describes this exact
+/// benchmark job; anything else (other dataset size, other task, corrupt
+/// file) means retrain rather than serve stale or mismatched weights.
+fn compatible(path: &Path, ds: &NodeDataset) -> bool {
+    match FrozenModel::load(path) {
+        Ok(m) => {
+            let meta = m.meta();
+            meta.task == "node_classification"
+                && meta.n_nodes == ds.n()
+                && meta.in_dim == ds.feat_dim()
+                && meta.out_dim == ds.num_classes
+        }
+        Err(_) => false,
+    }
+}
+
+/// Resolve the checkpoint location: an explicit override, else
+/// `MG_CKPT_PATH`, else a per-process temp default.
+fn checkpoint_destination(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    match std::env::var("MG_CKPT_PATH") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => std::env::temp_dir().join(format!("mg_infer_bench_{}.mgc", std::process::id())),
+    }
+}
+
+/// Run the inference benchmark: obtain a checkpoint, freeze it, measure
+/// `forwards` timed forward passes. `ckpt_path` overrides the
+/// environment-driven checkpoint location (tests use this to avoid
+/// cross-test env races).
+pub fn run_job(
+    scale: f64,
+    epochs: usize,
+    forwards: usize,
+    ckpt_path: Option<&Path>,
+) -> Result<InferBench, String> {
+    let started = Instant::now();
+    let ds = bench_dataset(scale);
+    let path = checkpoint_destination(ckpt_path);
+
+    let trained_here = if path.exists() && compatible(&path, &ds) {
+        false
+    } else {
+        let cfg = TrainConfig {
+            epochs,
+            lr: 0.02,
+            patience: epochs,
+            hidden: 16,
+            levels: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &cfg,
+        )
+        .traced(false)
+        .checkpoint_to(&path)
+        .run(&ds)
+        .map_err(|e| format!("training the benchmark checkpoint failed: {e}"))?;
+        true
+    };
+
+    let model = FrozenModel::load(&path)
+        .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
+    let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+
+    // Warm-up forward (untimed), reused as the prediction sanity check.
+    let labels = model
+        .predict_labels(&ctx)
+        .map_err(|e| format!("frozen forward failed: {e}"))?;
+    if labels.len() != ds.n() {
+        return Err(format!(
+            "frozen model produced {} predictions for {} nodes",
+            labels.len(),
+            ds.n()
+        ));
+    }
+    let mut seen = vec![false; ds.num_classes];
+    for &l in &labels {
+        seen[l] = true;
+    }
+    let distinct_classes = seen.iter().filter(|&&s| s).count();
+
+    // Exercise the link-scoring surface once: scores must be probabilities.
+    let pairs: Vec<(usize, usize)> = (0..ds.n().saturating_sub(1).min(8))
+        .map(|i| (i, i + 1))
+        .collect();
+    for s in model
+        .score_links(&ctx, &pairs)
+        .map_err(|e| format!("link scoring failed: {e}"))?
+    {
+        if !(0.0..=1.0).contains(&s) {
+            return Err(format!("link score {s} outside [0, 1]"));
+        }
+    }
+
+    let timer = Instant::now();
+    for _ in 0..forwards {
+        let again = model
+            .node_outputs(&ctx)
+            .map_err(|e| format!("frozen forward failed: {e}"))?;
+        // Inference is deterministic; a shape drift mid-loop is a bug.
+        if again.rows() != ds.n() {
+            return Err("forward output shape changed between calls".into());
+        }
+    }
+    let total_ns = timer.elapsed().as_nanos() as u64;
+
+    let bench = InferBench {
+        checkpoint: path.display().to_string(),
+        trained_here,
+        model: model.meta().model.clone(),
+        dataset: model.meta().dataset.clone(),
+        n_nodes: ds.n(),
+        pinned_structure: model.structure().is_some(),
+        forwards,
+        total_ns,
+        distinct_classes,
+        total_s: started.elapsed().as_secs_f64(),
+    };
+
+    let mut trace = Trace::from_env(&model.meta().task);
+    trace.infer(&InferRecord {
+        checkpoint: bench.checkpoint.clone(),
+        model: bench.model.clone(),
+        dataset: bench.dataset.clone(),
+        n_nodes: bench.n_nodes,
+        pinned_structure: bench.pinned_structure,
+        forwards: bench.forwards,
+        total_ns: bench.total_ns,
+    });
+
+    Ok(bench)
+}
+
+/// Render the `BENCH_infer.json` document.
+pub fn to_json(b: &InferBench) -> String {
+    format!(
+        "{{\n  \"task\": \"node_classification\",\n  \"model\": \"{}\",\n  \
+         \"dataset\": \"{}\",\n  \"checkpoint\": \"{}\",\n  \"trained_here\": {},\n  \
+         \"parallel_feature\": {},\n  \"n_nodes\": {},\n  \"pinned_structure\": {},\n  \
+         \"distinct_classes\": {},\n  \"forwards\": {},\n  \"total_ns\": {},\n  \
+         \"mean_forward_ms\": {:.3},\n  \"total_s\": {:.3}\n}}\n",
+        b.model,
+        b.dataset,
+        b.checkpoint.replace('\\', "/"),
+        b.trained_here,
+        cfg!(feature = "parallel"),
+        b.n_nodes,
+        b.pinned_structure,
+        b.distinct_classes,
+        b.forwards,
+        b.total_ns,
+        b.mean_forward_ms(),
+        b.total_s,
+    )
+}
+
+/// Run the default-size job and write `BENCH_infer.json` (path
+/// overridable via `MG_BENCH_INFER_JSON`; `skip` suppresses the file but
+/// still runs the measurement). Returns a process exit code.
+pub fn emit_default() -> i32 {
+    let b = match run_job(0.08, 8, 16, None) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("infer: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "infer: {} ({}) from {}{}, {} nodes, {} forwards, mean {:.2} ms, {} classes predicted",
+        b.model,
+        b.dataset,
+        b.checkpoint,
+        if b.trained_here {
+            " (trained this run)"
+        } else {
+            " (reused)"
+        },
+        b.n_nodes,
+        b.forwards,
+        b.mean_forward_ms(),
+        b.distinct_classes,
+    );
+    let path = std::env::var("MG_BENCH_INFER_JSON").unwrap_or_else(|_| "BENCH_infer.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&b);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_obs::Json;
+
+    /// Train-then-infer on a tiny job, then rerun against the same path:
+    /// the second run must reuse the checkpoint instead of retraining.
+    #[test]
+    fn job_runs_and_reuses_its_checkpoint() {
+        let path =
+            std::env::temp_dir().join(format!("mg_infer_bench_test_{}.mgc", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let first = run_job(0.03, 3, 2, Some(&path)).expect("first job runs");
+        assert!(first.trained_here);
+        assert_eq!(first.forwards, 2);
+        assert!(first.distinct_classes >= 1);
+        assert!(first.pinned_structure, "AdamGNN checkpoint pins structure");
+        let second = run_job(0.03, 3, 2, Some(&path)).expect("second job runs");
+        assert!(!second.trained_here, "compatible checkpoint must be reused");
+        assert_eq!(second.model, first.model);
+        let json = to_json(&second);
+        let v = Json::parse(&json).expect("report is valid JSON");
+        assert_eq!(v.get("task").unwrap().as_str(), Some("node_classification"));
+        for key in [
+            "model",
+            "checkpoint",
+            "trained_here",
+            "forwards",
+            "mean_forward_ms",
+            "pinned_structure",
+            "n_nodes",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key} in {json}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A checkpoint for a different dataset size must not be served.
+    #[test]
+    fn incompatible_checkpoint_triggers_retrain() {
+        let path = std::env::temp_dir().join(format!(
+            "mg_infer_bench_mismatch_{}.mgc",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        run_job(0.05, 3, 1, Some(&path)).expect("seed job runs");
+        // Same path, different scale: meta no longer matches.
+        let b = run_job(0.03, 3, 1, Some(&path)).expect("mismatched job runs");
+        assert!(b.trained_here, "mismatched checkpoint must be retrained");
+        let _ = std::fs::remove_file(&path);
+    }
+}

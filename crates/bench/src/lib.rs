@@ -18,6 +18,7 @@ use adamgnn_core::LossWeights;
 use mg_data::{GraphGenConfig, NodeGenConfig};
 use mg_eval::TrainConfig;
 
+pub mod inferbench;
 pub mod opsbench;
 pub mod trainreport;
 

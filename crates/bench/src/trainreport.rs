@@ -18,7 +18,7 @@
 
 use crate::opsbench::host_threads;
 use mg_data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
-use mg_eval::{run_node_classification_traced, NodeModelKind, TrainConfig};
+use mg_eval::{NodeModelKind, SessionKind, TrainConfig, TrainSession};
 use mg_obs::{validate_trace, TraceReport};
 use std::time::Instant;
 
@@ -79,7 +79,13 @@ pub fn run_job(scale: f64, epochs: usize) -> Result<TrainBench, String> {
         ..Default::default()
     };
     let started = Instant::now();
-    let (res, _) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let res = TrainSession::new(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &cfg,
+    )
+    .traced(false)
+    .run(&ds)
+    .map_err(|e| format!("training failed: {e}"))?;
     let total_s = started.elapsed().as_secs_f64();
 
     let text = std::fs::read_to_string(&trace_path)
@@ -102,7 +108,7 @@ pub fn run_job(scale: f64, epochs: usize) -> Result<TrainBench, String> {
         dataset: "cora_synthetic",
         seed: cfg.seed,
         epochs_run: res.epochs_run,
-        best_val: res.val_metric,
+        best_val: res.val_metric.expect("node classification has validation"),
         test_metric: res.test_metric,
         trace_path,
         report,

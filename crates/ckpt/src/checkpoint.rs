@@ -1,0 +1,497 @@
+//! The checkpoint artifact: everything needed to reconstruct a training
+//! run mid-flight, or to serve a trained model without retraining.
+//!
+//! A [`Checkpoint`] captures:
+//! * run identity ([`CkptMeta`]) — task, model, dataset name and the
+//!   model's build dimensions, so resume/inference can detect an
+//!   artifact being applied to the wrong job;
+//! * the training configuration ([`CkptConfig`], mirroring mg-eval's
+//!   `TrainConfig` without depending on mg-eval);
+//! * loop state ([`TrainState`]) — next epoch, best-validation
+//!   bookkeeping, early-stopping counter;
+//! * every parameter tensor with its Adam moments and the shared step
+//!   counter ([`mg_tensor::ParamSnapshot`]);
+//! * the exact RNG stream position (`[u64; 4]` xoshiro256++ state);
+//! * the per-epoch trace so a resumed run returns the same full history
+//!   as an uninterrupted one;
+//! * optionally, the learned multi-grained pooling structure
+//!   ([`adamgnn_core::FrozenStructure`]): the ego selections and
+//!   coarsened adjacencies are learned artifacts in their own right, and
+//!   persisting them lets inference replay the exact hierarchy the
+//!   final model induced without re-deriving it from parameters.
+
+use crate::codec;
+use crate::format::{self, Dec, Enc, FORMAT_VERSION, MAGIC};
+use adamgnn_core::FrozenStructure;
+use mg_tensor::{MgError, ParamSnapshot};
+use std::path::Path;
+
+/// Section tags, in file order.
+mod tag {
+    pub const META: u8 = 1;
+    pub const CONFIG: u8 = 2;
+    pub const STATE: u8 = 3;
+    pub const PARAMS: u8 = 4;
+    pub const RNG: u8 = 5;
+    pub const TRACE: u8 = 6;
+    pub const STRUCTURE: u8 = 7;
+}
+
+/// Names of the checkpoint sections in file order (used by fault
+/// injection tests to target each one).
+pub const SECTIONS: [&str; 7] = [
+    "meta",
+    "config",
+    "state",
+    "params",
+    "rng",
+    "trace",
+    "structure",
+];
+
+/// Identity of the run that produced an artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// Task id: `node_classification`, `link_prediction`,
+    /// `graph_classification` or `node_clustering`.
+    pub task: String,
+    /// Model display name (e.g. `AdamGNN`, `GCN`).
+    pub model: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Model input feature width it was built with.
+    pub in_dim: usize,
+    /// Model output width it was built with (classes or embedding dim).
+    pub out_dim: usize,
+    /// Node count of the training graph (0 for multi-graph tasks).
+    pub n_nodes: usize,
+}
+
+/// The training configuration, as persisted.
+///
+/// This is a plain mirror of mg-eval's `TrainConfig` (mg-eval depends on
+/// this crate, not the other way round). `gamma`/`delta` flatten its
+/// `LossWeights`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CkptConfig {
+    pub epochs: usize,
+    pub lr: f64,
+    pub patience: usize,
+    pub hidden: usize,
+    pub levels: usize,
+    pub seed: u64,
+    pub gamma: f64,
+    pub delta: f64,
+    pub flyback: bool,
+}
+
+/// Mutable state of the training loop at the moment of capture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainState {
+    /// First epoch a resumed run should execute.
+    pub next_epoch: usize,
+    /// Epochs completed so far.
+    pub epochs_run: usize,
+    /// Best validation metric observed (`-inf` before the first epoch).
+    pub best_val: f64,
+    /// Test metric at the best-validation epoch.
+    pub best_test: f64,
+    /// Consecutive epochs without validation improvement.
+    pub bad_epochs: usize,
+}
+
+/// One row of the persisted per-epoch trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRow {
+    pub epoch: usize,
+    pub loss: f64,
+    pub val: f64,
+}
+
+/// A complete, loadable training checkpoint.
+#[derive(Clone)]
+pub struct Checkpoint {
+    pub meta: CkptMeta,
+    pub config: CkptConfig,
+    pub state: TrainState,
+    pub params: Vec<ParamSnapshot>,
+    /// Adam step counter shared by all parameters.
+    pub adam_t: u64,
+    /// xoshiro256++ state of the trainer's RNG stream at capture time.
+    pub rng: [u64; 4],
+    /// Per-epoch (epoch, loss, val) history up to `state.epochs_run`.
+    pub trace: Vec<TraceRow>,
+    /// Wall-clock seconds per epoch (graph classification's Table-4
+    /// metric); empty for tasks that don't time epochs.
+    pub epoch_times: Vec<f64>,
+    /// Learned pooling hierarchy of an AdamGNN node model, recorded in
+    /// eval mode at capture time. `None` for baselines and for
+    /// graph-level models (whose pooling is per-input-graph, not a
+    /// persistent artifact).
+    pub structure: Option<FrozenStructure>,
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned, checksummed binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+        let mut e = Enc::new();
+        e.str(&self.meta.task);
+        e.str(&self.meta.model);
+        e.str(&self.meta.dataset);
+        e.usize(self.meta.in_dim);
+        e.usize(self.meta.out_dim);
+        e.usize(self.meta.n_nodes);
+        format::write_section(&mut out, tag::META, &e.into_bytes());
+
+        let mut e = Enc::new();
+        let c = &self.config;
+        e.usize(c.epochs);
+        e.f64(c.lr);
+        e.usize(c.patience);
+        e.usize(c.hidden);
+        e.usize(c.levels);
+        e.u64(c.seed);
+        e.f64(c.gamma);
+        e.f64(c.delta);
+        e.bool(c.flyback);
+        format::write_section(&mut out, tag::CONFIG, &e.into_bytes());
+
+        let mut e = Enc::new();
+        let s = &self.state;
+        e.usize(s.next_epoch);
+        e.usize(s.epochs_run);
+        e.f64(s.best_val);
+        e.f64(s.best_test);
+        e.usize(s.bad_epochs);
+        format::write_section(&mut out, tag::STATE, &e.into_bytes());
+
+        let mut e = Enc::new();
+        e.u64(self.adam_t);
+        e.usize(self.params.len());
+        for p in &self.params {
+            codec::enc_param(&mut e, p);
+        }
+        format::write_section(&mut out, tag::PARAMS, &e.into_bytes());
+
+        let mut e = Enc::new();
+        for lane in self.rng {
+            e.u64(lane);
+        }
+        format::write_section(&mut out, tag::RNG, &e.into_bytes());
+
+        let mut e = Enc::new();
+        e.usize(self.trace.len());
+        for row in &self.trace {
+            e.usize(row.epoch);
+            e.f64(row.loss);
+            e.f64(row.val);
+        }
+        e.usize(self.epoch_times.len());
+        for &t in &self.epoch_times {
+            e.f64(t);
+        }
+        format::write_section(&mut out, tag::TRACE, &e.into_bytes());
+
+        let mut e = Enc::new();
+        codec::enc_structure(&mut e, &self.structure);
+        format::write_section(&mut out, tag::STRUCTURE, &e.into_bytes());
+
+        out
+    }
+
+    /// Parse the binary format, verifying magic, version and every
+    /// section's CRC. All failures are typed [`MgError`]s.
+    pub fn from_bytes(buf: &[u8]) -> Result<Checkpoint, MgError> {
+        if buf.len() < 4 {
+            return Err(MgError::Truncated {
+                section: "header",
+                needed: 4,
+                available: buf.len(),
+            });
+        }
+        if buf[..4] != MAGIC {
+            return Err(MgError::BadMagic {
+                found: buf[..4].try_into().unwrap(),
+            });
+        }
+        if buf.len() < 8 {
+            return Err(MgError::Truncated {
+                section: "header",
+                needed: 8,
+                available: buf.len(),
+            });
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(MgError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut pos = 8;
+
+        let payload = format::read_section(buf, &mut pos, tag::META, "meta")?;
+        let mut d = Dec::new(payload, "meta");
+        let meta = CkptMeta {
+            task: d.str()?,
+            model: d.str()?,
+            dataset: d.str()?,
+            in_dim: d.usize()?,
+            out_dim: d.usize()?,
+            n_nodes: d.usize()?,
+        };
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::CONFIG, "config")?;
+        let mut d = Dec::new(payload, "config");
+        let config = CkptConfig {
+            epochs: d.usize()?,
+            lr: d.f64()?,
+            patience: d.usize()?,
+            hidden: d.usize()?,
+            levels: d.usize()?,
+            seed: d.u64()?,
+            gamma: d.f64()?,
+            delta: d.f64()?,
+            flyback: d.bool()?,
+        };
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::STATE, "state")?;
+        let mut d = Dec::new(payload, "state");
+        let state = TrainState {
+            next_epoch: d.usize()?,
+            epochs_run: d.usize()?,
+            best_val: d.f64()?,
+            best_test: d.f64()?,
+            bad_epochs: d.usize()?,
+        };
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::PARAMS, "params")?;
+        let mut d = Dec::new(payload, "params");
+        let adam_t = d.u64()?;
+        let n_params = d.len_of(1)?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(codec::dec_param(&mut d)?);
+        }
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::RNG, "rng")?;
+        let mut d = Dec::new(payload, "rng");
+        let rng = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::TRACE, "trace")?;
+        let mut d = Dec::new(payload, "trace");
+        let n_rows = d.len_of(24)?;
+        let mut trace = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            trace.push(TraceRow {
+                epoch: d.usize()?,
+                loss: d.f64()?,
+                val: d.f64()?,
+            });
+        }
+        let n_times = d.len_of(8)?;
+        let mut epoch_times = Vec::with_capacity(n_times);
+        for _ in 0..n_times {
+            epoch_times.push(d.f64()?);
+        }
+        d.finish()?;
+
+        let payload = format::read_section(buf, &mut pos, tag::STRUCTURE, "structure")?;
+        let mut d = Dec::new(payload, "structure");
+        let structure = codec::dec_structure(&mut d)?;
+        d.finish()?;
+
+        if pos != buf.len() {
+            return Err(MgError::Corrupt {
+                section: "trailer",
+                detail: format!("{} unexpected trailing bytes", buf.len() - pos),
+            });
+        }
+
+        Ok(Checkpoint {
+            meta,
+            config,
+            state,
+            params,
+            adam_t,
+            rng,
+            trace,
+            epoch_times,
+            structure,
+        })
+    }
+
+    /// Write atomically: serialize to a sibling temp file, then rename
+    /// over `path`, so an interrupted save never leaves a half-written
+    /// checkpoint behind under the real name.
+    pub fn save(&self, path: &Path) -> Result<(), MgError> {
+        let bytes = self.to_bytes();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| MgError::io(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| MgError::io(path, e))
+    }
+
+    /// Load and fully validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint, MgError> {
+        let bytes = std::fs::read(path).map_err(|e| MgError::io(path, e))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::Matrix;
+
+    pub(crate) fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            meta: CkptMeta {
+                task: "node_classification".into(),
+                model: "AdamGNN".into(),
+                dataset: "cora".into(),
+                in_dim: 32,
+                out_dim: 7,
+                n_nodes: 140,
+            },
+            config: CkptConfig {
+                epochs: 8,
+                lr: 0.02,
+                patience: 8,
+                hidden: 16,
+                levels: 2,
+                seed: 1,
+                gamma: 0.1,
+                delta: 0.01,
+                flyback: true,
+            },
+            state: TrainState {
+                next_epoch: 3,
+                epochs_run: 3,
+                best_val: 0.75,
+                best_test: 0.7,
+                bad_epochs: 1,
+            },
+            params: vec![ParamSnapshot {
+                name: "adam.gcn0.w".into(),
+                value: Matrix::from_vec(2, 2, vec![1.0, -0.0, f64::NAN, 0.25]),
+                m: Matrix::zeros(2, 2),
+                v: Matrix::full(2, 2, 1e-9),
+            }],
+            adam_t: 3,
+            rng: [1, 2, 3, 4],
+            trace: vec![
+                TraceRow {
+                    epoch: 0,
+                    loss: 1.9,
+                    val: 0.3,
+                },
+                TraceRow {
+                    epoch: 1,
+                    loss: 1.2,
+                    val: 0.75,
+                },
+                TraceRow {
+                    epoch: 2,
+                    loss: 1.0,
+                    val: 0.6,
+                },
+            ],
+            epoch_times: vec![0.01, 0.011, 0.009],
+            structure: None,
+        }
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let ck = sample_checkpoint();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("load");
+        let bytes2 = back.to_bytes();
+        assert_eq!(bytes, bytes2, "save -> load -> save must be byte-identical");
+        // NaN parameter survived bit-exactly
+        assert_eq!(back.params[0].value.data()[2].to_bits(), f64::NAN.to_bits());
+        assert_eq!(back.state, ck.state);
+        assert_eq!(back.trace, ck.trace);
+        assert_eq!(back.rng, ck.rng);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(b"ELF\x7fwhatever"),
+            Err(MgError::BadMagic { .. })
+        ));
+        bytes[4] = 99; // version
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(MgError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn every_section_is_crc_protected() {
+        let good = sample_checkpoint().to_bytes();
+        // Flipping any single payload byte must fail with a typed error.
+        // Walk the whole file past the header; tag/len/crc corruption
+        // also has to fail (as Corrupt or Truncated, never a panic).
+        for i in 8..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            match Checkpoint::from_bytes(&bad) {
+                Err(
+                    MgError::Corrupt { .. }
+                    | MgError::Truncated { .. }
+                    | MgError::UnsupportedVersion { .. },
+                ) => {}
+                Err(other) => panic!("byte {i}: unexpected error {other}"),
+                Ok(_) => panic!("byte {i}: corruption was not detected"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_fails_loudly() {
+        let good = sample_checkpoint().to_bytes();
+        for cut in 0..good.len() {
+            match Checkpoint::from_bytes(&good[..cut]) {
+                Err(
+                    MgError::Truncated { .. } | MgError::Corrupt { .. } | MgError::BadMagic { .. },
+                ) => {}
+                Err(other) => panic!("cut {cut}: unexpected error {other}"),
+                Ok(_) => panic!("cut {cut}: truncated file loaded"),
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_error() {
+        let dir = std::env::temp_dir().join("mg_ckpt_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.mgck");
+        let ck = sample_checkpoint();
+        ck.save(&path).expect("save");
+        let back = Checkpoint::load(&path).expect("load");
+        assert_eq!(back.to_bytes(), ck.to_bytes());
+        let missing = dir.join("does_not_exist.mgck");
+        assert!(matches!(
+            Checkpoint::load(&missing),
+            Err(MgError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,376 @@
+//! Low-level checkpoint file format: framing, checksums, primitives.
+//!
+//! Layout of a checkpoint file:
+//!
+//! ```text
+//! magic    4 bytes  b"MGCK"
+//! version  u32 LE   FORMAT_VERSION
+//! section*          one frame per section, in a fixed order
+//! ```
+//!
+//! Each section frame is:
+//!
+//! ```text
+//! tag      u8       section discriminant (see checkpoint.rs)
+//! len      u64 LE   payload length in bytes
+//! payload  len bytes
+//! crc      u32 LE   CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! All integers are little-endian. Every `f64` is stored as its IEEE-754
+//! bit pattern (`to_bits`), the same authority the golden suite uses, so
+//! a round trip is bit-exact including NaNs, signed zeros and infinities.
+//!
+//! Decoding never trusts a length before checking the bytes are actually
+//! present, so a truncated file surfaces as [`MgError::Truncated`] with
+//! the section it died in, and a flipped byte surfaces as
+//! [`MgError::Corrupt`] from the CRC — never as a panic or garbage data.
+
+use mg_tensor::MgError;
+
+/// File magic: "MGCK".
+pub const MAGIC: [u8; 4] = *b"MGCK";
+
+/// Current format version. Readers reject anything else with
+/// [`MgError::UnsupportedVersion`]; bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only payload builder with the format's primitive encodings.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// Bit-exact f64: the IEEE-754 pattern, not a decimal rendering.
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    pub fn bool(&mut self, x: bool) {
+        self.u8(x as u8);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked payload reader. Every accessor fails with a typed
+/// error naming `section` instead of panicking or reading past the end.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Dec {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes or report how the section fell short.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], MgError> {
+        if self.remaining() < n {
+            return Err(MgError::Truncated {
+                section: self.section,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, MgError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, MgError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, MgError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, MgError> {
+        let x = self.u64()?;
+        usize::try_from(x).map_err(|_| self.corrupt(format!("length {x} exceeds usize")))
+    }
+
+    /// A length field about to drive an allocation: additionally check
+    /// the payload actually has `count * elem_bytes` bytes left, so a
+    /// corrupt length cannot trigger a huge allocation before the
+    /// shortfall is noticed.
+    pub fn len_of(&mut self, elem_bytes: usize) -> Result<usize, MgError> {
+        let count = self.usize()?;
+        let needed = count
+            .checked_mul(elem_bytes)
+            .ok_or_else(|| self.corrupt(format!("length {count} overflows")))?;
+        if self.remaining() < needed {
+            return Err(MgError::Truncated {
+                section: self.section,
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(count)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, MgError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, MgError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub fn str(&mut self) -> Result<String, MgError> {
+        let len = self.len_of(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid UTF-8 in string"))
+    }
+
+    /// The section must be fully consumed; trailing bytes mean the
+    /// payload disagrees with its own encoding.
+    pub fn finish(self) -> Result<(), MgError> {
+        if self.remaining() != 0 {
+            return Err(MgError::Corrupt {
+                section: self.section,
+                detail: format!("{} trailing bytes after decode", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+
+    /// A [`MgError::Corrupt`] for this section.
+    pub fn corrupt(&self, detail: impl Into<String>) -> MgError {
+        MgError::Corrupt {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Append one framed section (tag, length, payload, CRC) to `out`.
+pub fn write_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Read the next framed section, verifying the expected tag and the CRC.
+/// Returns the payload slice.
+pub fn read_section<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    expect_tag: u8,
+    section: &'static str,
+) -> Result<&'a [u8], MgError> {
+    let header_need = 1 + 8;
+    if buf.len() - *pos < header_need {
+        return Err(MgError::Truncated {
+            section,
+            needed: header_need,
+            available: buf.len() - *pos,
+        });
+    }
+    let tag = buf[*pos];
+    if tag != expect_tag {
+        return Err(MgError::Corrupt {
+            section,
+            detail: format!("expected section tag {expect_tag}, found {tag}"),
+        });
+    }
+    let len = u64::from_le_bytes(buf[*pos + 1..*pos + 9].try_into().unwrap());
+    let len = usize::try_from(len).map_err(|_| MgError::Corrupt {
+        section,
+        detail: format!("section length {len} exceeds usize"),
+    })?;
+    let body_start = *pos + header_need;
+    let need = len.checked_add(4).ok_or(MgError::Corrupt {
+        section,
+        detail: "section length overflows".into(),
+    })?;
+    if buf.len() - body_start < need {
+        return Err(MgError::Truncated {
+            section,
+            needed: need,
+            available: buf.len() - body_start,
+        });
+    }
+    let payload = &buf[body_start..body_start + len];
+    let stored = u32::from_le_bytes(
+        buf[body_start + len..body_start + len + 4]
+            .try_into()
+            .unwrap(),
+    );
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(MgError::Corrupt {
+            section,
+            detail: format!("CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+        });
+    }
+    *pos = body_start + len + 4;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard check value for "123456789" under CRC-32/IEEE
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip_bit_exact() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u64(u64::MAX);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.f64(1.0 / 3.0);
+        e.bool(true);
+        e.str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(d.f64().unwrap(), 1.0 / 3.0);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_reports_truncation_not_panic() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5], "state");
+        let err = d.u64().unwrap_err();
+        assert!(matches!(
+            err,
+            MgError::Truncated {
+                section: "state",
+                needed: 8,
+                available: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn length_prefix_cannot_force_huge_allocation() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2); // bogus element count
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "params");
+        assert!(d.len_of(8).is_err());
+    }
+
+    #[test]
+    fn section_crc_rejects_flipped_byte() {
+        let mut out = Vec::new();
+        write_section(&mut out, 3, b"payload-bytes");
+        let mut pos = 0;
+        assert!(read_section(&out, &mut pos, 3, "s").is_ok());
+        // flip one payload byte
+        let mut bad = out.clone();
+        bad[12] ^= 0x40;
+        let mut pos = 0;
+        assert!(matches!(
+            read_section(&bad, &mut pos, 3, "s"),
+            Err(MgError::Corrupt { .. })
+        ));
+        // wrong tag
+        let mut pos = 0;
+        assert!(matches!(
+            read_section(&out, &mut pos, 4, "s"),
+            Err(MgError::Corrupt { .. })
+        ));
+        // truncated body
+        let mut pos = 0;
+        assert!(matches!(
+            read_section(&out[..out.len() - 3], &mut pos, 3, "s"),
+            Err(MgError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! # mg-ckpt
+//!
+//! Versioned, checksummed binary checkpoints for the AdamGNN
+//! reproduction: persist a training run's parameters, optimizer
+//! moments, RNG stream position, configuration, loop counters, trace
+//! and learned pooling structure; load it back to resume bit-for-bit
+//! or to serve a frozen model.
+//!
+//! Std-only by design (like the rest of the workspace): the format is a
+//! few hundred lines of explicit little-endian framing with CRC-32 per
+//! section, not a serde dependency. `f64`s are stored as IEEE-754 bit
+//! patterns — the same authority the golden-trace suite uses — so a
+//! save→load→save cycle is byte-identical and resumed runs replay the
+//! exact float sequence of uninterrupted ones.
+//!
+//! Corrupt, truncated or version-skewed files fail loudly with typed
+//! [`mg_tensor::MgError`]s; loading never panics on bad bytes and never
+//! returns garbage predictions.
+
+mod checkpoint;
+mod codec;
+pub mod format;
+
+pub use checkpoint::{Checkpoint, CkptConfig, CkptMeta, TraceRow, TrainState, SECTIONS};
+pub use format::{crc32, FORMAT_VERSION, MAGIC};

@@ -10,11 +10,17 @@
 //! path is bounded, and when it stalls (dense graphs, where distinct
 //! non-edges are rare in the u,v grid) it falls back to enumerating the
 //! remaining non-edges and drawing without replacement. A graph with too
-//! few distinct non-edges for the request panics loudly instead of
-//! silently shipping an unbalanced negative set — an unbalanced
-//! `val_neg`/`val_pos` class mix would bias every AUC computed on it.
+//! few distinct non-edges for the request is a typed
+//! [`MgError::TooDense`] instead of a silently unbalanced negative set —
+//! an unbalanced `val_neg`/`val_pos` class mix would bias every AUC
+//! computed on it.
+//!
+//! Error policy: these are user-facing entry points (any dataset the
+//! caller supplies can be too small or too dense), so they return
+//! `Result<_, MgError>` rather than panicking.
 
 use mg_graph::Topology;
+use mg_tensor::MgError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -28,8 +34,15 @@ pub struct Split {
 
 impl Split {
     /// Random 80/10/10 split of `0..n`.
-    pub fn random_80_10_10(n: usize, seed: u64) -> Split {
-        assert!(n >= 10, "split needs at least 10 items, got {n}");
+    ///
+    /// Fails with [`MgError::InvalidInput`] when `n < 10` (each part
+    /// must be non-empty).
+    pub fn random_80_10_10(n: usize, seed: u64) -> Result<Split, MgError> {
+        if n < 10 {
+            return Err(MgError::InvalidInput {
+                detail: format!("split needs at least 10 items, got {n}"),
+            });
+        }
         let mut idx: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in (1..n).rev() {
@@ -39,11 +52,11 @@ impl Split {
         let n_val = n / 10;
         let n_test = n / 10;
         let n_train = n - n_val - n_test;
-        Split {
+        Ok(Split {
             train: idx[..n_train].to_vec(),
             val: idx[n_train..n_train + n_val].to_vec(),
             test: idx[n_train + n_val..].to_vec(),
-        }
+        })
     }
 
     /// Sanity: the three parts partition `0..n`.
@@ -77,10 +90,18 @@ pub struct LinkSplit {
 
 impl LinkSplit {
     /// Build an 80/10/10 edge split with equal-size sampled non-edges.
-    pub fn new(g: &Topology, seed: u64) -> LinkSplit {
+    ///
+    /// Fails with [`MgError::InvalidInput`] on graphs with fewer than 10
+    /// edges and with [`MgError::TooDense`] when the graph has too few
+    /// distinct non-edges for class-balanced negative sets.
+    pub fn new(g: &Topology, seed: u64) -> Result<LinkSplit, MgError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
-        assert!(edges.len() >= 10, "link split needs at least 10 edges");
+        if edges.len() < 10 {
+            return Err(MgError::InvalidInput {
+                detail: format!("link split needs at least 10 edges, got {}", edges.len()),
+            });
+        }
         for i in (1..edges.len()).rev() {
             let j = rng.random_range(0..=i);
             edges.swap(i, j);
@@ -98,10 +119,10 @@ impl LinkSplit {
         let train_pos: Vec<(usize, usize)> = as_pairs(train_e);
         let val_pos: Vec<(usize, usize)> = as_pairs(val_e);
         let test_pos: Vec<(usize, usize)> = as_pairs(test_e);
-        let train_neg = sample_non_edges(g, train_pos.len(), &mut rng);
-        let val_neg = sample_non_edges(g, val_pos.len(), &mut rng);
-        let test_neg = sample_non_edges(g, test_pos.len(), &mut rng);
-        LinkSplit {
+        let train_neg = sample_non_edges(g, train_pos.len(), &mut rng)?;
+        let val_neg = sample_non_edges(g, val_pos.len(), &mut rng)?;
+        let test_neg = sample_non_edges(g, test_pos.len(), &mut rng)?;
+        Ok(LinkSplit {
             train_graph,
             train_pos,
             train_neg,
@@ -109,7 +130,7 @@ impl LinkSplit {
             val_neg,
             test_pos,
             test_neg,
-        }
+        })
     }
 }
 
@@ -123,12 +144,17 @@ impl LinkSplit {
 /// replacement, so the returned vector always has exactly `count` pairs.
 /// Callers can therefore rely on evaluation sets being class-balanced.
 ///
-/// # Panics
-/// Panics when the graph has fewer than `count` distinct non-edges: no
-/// sampler can produce a balanced negative set there, and silently
-/// returning fewer pairs would skew every metric computed on them
-/// (ROC-AUC on a shortfallen negative set reads several points high).
-pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+/// # Errors
+/// [`MgError::TooDense`] when the graph has fewer than `count` distinct
+/// non-edges: no sampler can produce a balanced negative set there, and
+/// silently returning fewer pairs would skew every metric computed on
+/// them (ROC-AUC on a shortfallen negative set reads several points
+/// high).
+pub fn sample_non_edges(
+    g: &Topology,
+    count: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<(usize, usize)>, MgError> {
     let n = g.n();
     let mut out = Vec::with_capacity(count);
     let mut seen = std::collections::HashSet::new();
@@ -159,15 +185,14 @@ pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(us
             }
         }
         let need = count - out.len();
-        assert!(
-            remaining.len() >= need,
-            "sample_non_edges: {count} non-edges requested but the graph has only {} \
-             distinct non-edges ({} nodes, {} edges); it is too dense for a balanced \
-             negative set — reduce the requested count or use a sparser graph",
-            out.len() + remaining.len(),
-            n,
-            g.num_edges(),
-        );
+        if remaining.len() < need {
+            return Err(MgError::TooDense {
+                requested: count,
+                available: out.len() + remaining.len(),
+                nodes: n,
+                edges: g.num_edges(),
+            });
+        }
         // partial Fisher-Yates: the first `need` slots become a uniform
         // without-replacement sample of `remaining`
         for k in 0..need {
@@ -176,7 +201,7 @@ pub fn sample_non_edges(g: &Topology, count: usize, rng: &mut StdRng) -> Vec<(us
             out.push(remaining[k]);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -185,7 +210,7 @@ mod tests {
 
     #[test]
     fn split_is_partition() {
-        let s = Split::random_80_10_10(103, 5);
+        let s = Split::random_80_10_10(103, 5).unwrap();
         assert!(s.is_partition_of(103));
         assert_eq!(s.val.len(), 10);
         assert_eq!(s.test.len(), 10);
@@ -194,8 +219,8 @@ mod tests {
 
     #[test]
     fn split_is_deterministic() {
-        let a = Split::random_80_10_10(50, 9);
-        let b = Split::random_80_10_10(50, 9);
+        let a = Split::random_80_10_10(50, 9).unwrap();
+        let b = Split::random_80_10_10(50, 9).unwrap();
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
     }
@@ -208,7 +233,7 @@ mod tests {
     #[test]
     fn link_split_partitions_edges() {
         let g = ring(40);
-        let ls = LinkSplit::new(&g, 11);
+        let ls = LinkSplit::new(&g, 11).unwrap();
         let total = ls.train_pos.len() + ls.val_pos.len() + ls.test_pos.len();
         assert_eq!(total, g.num_edges());
         assert_eq!(ls.train_graph.num_edges(), ls.train_pos.len());
@@ -219,7 +244,7 @@ mod tests {
     #[test]
     fn link_split_negatives_are_non_edges() {
         let g = ring(40);
-        let ls = LinkSplit::new(&g, 11);
+        let ls = LinkSplit::new(&g, 11).unwrap();
         for &(u, v) in ls.val_neg.iter().chain(&ls.test_neg).chain(&ls.train_neg) {
             assert!(!g.has_edge(u, v), "({u},{v}) is an edge");
             assert_ne!(u, v);
@@ -229,7 +254,7 @@ mod tests {
     #[test]
     fn held_out_edges_absent_from_train_graph() {
         let g = ring(40);
-        let ls = LinkSplit::new(&g, 11);
+        let ls = LinkSplit::new(&g, 11).unwrap();
         for &(u, v) in ls.val_pos.iter().chain(&ls.test_pos) {
             assert!(!ls.train_graph.has_edge(u, v));
         }
@@ -239,7 +264,7 @@ mod tests {
     fn non_edge_sampler_respects_count() {
         let g = ring(30);
         let mut rng = StdRng::seed_from_u64(0);
-        let neg = sample_non_edges(&g, 25, &mut rng);
+        let neg = sample_non_edges(&g, 25, &mut rng).unwrap();
         assert_eq!(neg.len(), 25);
         let set: std::collections::HashSet<_> = neg.iter().collect();
         assert_eq!(set.len(), 25, "no duplicates within a call");
@@ -269,7 +294,7 @@ mod tests {
         let missing: Vec<(u32, u32)> = (1..=20).map(|v| (0u32, v)).collect();
         let g = complete_minus(200, &missing);
         let mut rng = StdRng::seed_from_u64(3);
-        let neg = sample_non_edges(&g, 20, &mut rng);
+        let neg = sample_non_edges(&g, 20, &mut rng).unwrap();
         assert_eq!(neg.len(), 20, "sampler must return every requested pair");
         let set: std::collections::HashSet<_> = neg.iter().copied().collect();
         assert_eq!(set.len(), 20, "no duplicates");
@@ -279,13 +304,26 @@ mod tests {
         }
     }
 
+    /// The density contract is now a typed error, not a panic: a
+    /// complete graph has zero non-edges, so any positive request must
+    /// come back as `TooDense` carrying the facts of the refusal.
     #[test]
-    #[should_panic(expected = "too dense for a balanced negative set")]
-    fn sampler_panics_when_graph_has_too_few_non_edges() {
-        // complete graph: zero non-edges, any positive request must fail
+    fn sampler_errors_when_graph_has_too_few_non_edges() {
         let g = complete_minus(10, &[]);
         let mut rng = StdRng::seed_from_u64(0);
-        sample_non_edges(&g, 5, &mut rng);
+        match sample_non_edges(&g, 5, &mut rng) {
+            Err(MgError::TooDense {
+                requested,
+                available,
+                nodes,
+                ..
+            }) => {
+                assert_eq!(requested, 5);
+                assert_eq!(available, 0);
+                assert_eq!(nodes, 10);
+            }
+            other => panic!("expected TooDense, got {other:?}"),
+        }
     }
 
     /// A dense graph (two 10-cliques: 90 of 190 possible edges) still
@@ -303,18 +341,33 @@ mod tests {
             }
         }
         let g = Topology::from_edges(20, &edges);
-        let ls = LinkSplit::new(&g, 7);
+        let ls = LinkSplit::new(&g, 7).unwrap();
         assert_eq!(ls.val_neg.len(), ls.val_pos.len());
         assert_eq!(ls.test_neg.len(), ls.test_pos.len());
         assert_eq!(ls.train_neg.len(), ls.train_pos.len());
     }
 
     #[test]
-    #[should_panic(expected = "too dense for a balanced negative set")]
-    fn link_split_panics_on_near_complete_graph() {
+    fn link_split_errors_on_near_complete_graph() {
         // K20 has zero non-edges: balanced negatives are impossible and
         // the split must refuse instead of shipping a skewed class mix.
         let g = complete_minus(20, &[]);
-        LinkSplit::new(&g, 7);
+        assert!(matches!(
+            LinkSplit::new(&g, 7),
+            Err(MgError::TooDense { .. })
+        ));
+    }
+
+    #[test]
+    fn split_and_link_split_reject_tiny_inputs() {
+        assert!(matches!(
+            Split::random_80_10_10(9, 0),
+            Err(MgError::InvalidInput { .. })
+        ));
+        let g = ring(5);
+        assert!(matches!(
+            LinkSplit::new(&g, 0),
+            Err(MgError::InvalidInput { .. })
+        ));
     }
 }

@@ -45,7 +45,7 @@ proptest! {
 
     #[test]
     fn split_partitions_any_size(n in 10usize..500, seed in 0u64..1000) {
-        let s = Split::random_80_10_10(n, seed);
+        let s = Split::random_80_10_10(n, seed).unwrap();
         prop_assert!(s.is_partition_of(n));
         prop_assert!(!s.train.is_empty());
         prop_assert!(!s.val.is_empty());
@@ -58,7 +58,7 @@ proptest! {
             NodeDatasetKind::Citeseer,
             &NodeGenConfig { scale: 0.05, max_feat_dim: 32, seed },
         );
-        let ls = LinkSplit::new(&ds.graph, seed);
+        let ls = LinkSplit::new(&ds.graph, seed).unwrap();
         // positive edge sets partition the original edges
         let total = ls.train_pos.len() + ls.val_pos.len() + ls.test_pos.len();
         prop_assert_eq!(total, ds.graph.num_edges());
@@ -79,7 +79,7 @@ proptest! {
             &NodeGenConfig { scale: 0.05, max_feat_dim: 32, seed },
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        for &(u, v) in &sample_non_edges(&ds.graph, 64, &mut rng) {
+        for &(u, v) in &sample_non_edges(&ds.graph, 64, &mut rng).unwrap() {
             prop_assert!(!ds.graph.has_edge(u, v));
             prop_assert_ne!(u, v);
         }

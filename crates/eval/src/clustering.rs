@@ -5,13 +5,16 @@
 
 use crate::models::NodeModelKind;
 use crate::node_tasks::{run_meta, TrainConfig};
+use crate::session::{self, CkptHooks};
 use crate::telemetry;
+use crate::trace::TrainTrace;
 use adamgnn_core::kl_loss;
+use mg_ckpt::{CkptMeta, TrainState};
 use mg_data::{sample_non_edges, NodeDataset};
 use mg_graph::Topology;
 use mg_nn::GraphCtx;
 use mg_obs::{Stopwatch, Trace};
-use mg_tensor::{AdamConfig, Matrix, ParamStore, Tape};
+use mg_tensor::{AdamConfig, Matrix, MgError, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::rc::Rc;
@@ -119,30 +122,53 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
     (mi / (ha * hb).sqrt()).clamp(0.0, 1.0)
 }
 
+/// A class-balanced batch of node pairs and their BCE labels.
+pub type PairBatch = (Vec<(usize, usize)>, Vec<f64>);
+
 /// Positives plus an equal number of freshly sampled non-edge negatives
 /// with their BCE labels — the supervision of one unsupervised epoch.
 ///
 /// Delegates to [`mg_data::sample_non_edges`], so the batch is always
-/// class-balanced (`pairs.len() == 2 * pos.len()`) or the sampler panics
-/// on graphs with too few non-edges. The trainer previously re-rolled
-/// its own bounded rejection loop here, which on dense graphs silently
-/// produced fewer negatives than positives and skewed the BCE labels.
+/// class-balanced (`pairs.len() == 2 * pos.len()`) or the sampler
+/// reports [`MgError::TooDense`] on graphs with too few non-edges. The
+/// trainer previously re-rolled its own bounded rejection loop here,
+/// which on dense graphs silently produced fewer negatives than
+/// positives and skewed the BCE labels.
 pub fn bce_pair_batch(
     g: &Topology,
     pos: &[(usize, usize)],
     rng: &mut StdRng,
-) -> (Vec<(usize, usize)>, Vec<f64>) {
-    let neg = sample_non_edges(g, pos.len(), rng);
+) -> Result<PairBatch, MgError> {
+    let neg = sample_non_edges(g, pos.len(), rng)?;
     let mut pairs = pos.to_vec();
     pairs.extend_from_slice(&neg);
     let mut labels = vec![1.0; pos.len()];
     labels.extend(std::iter::repeat_n(0.0, neg.len()));
-    (pairs, labels)
+    Ok((pairs, labels))
 }
 
 /// Train embeddings unsupervised (reconstruction BCE + γ·KL for AdamGNN),
 /// cluster with k-means and return NMI against the class labels.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(SessionKind::NodeClustering(kind), cfg).run(ds)"
+)]
 pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> f64 {
+    node_clustering_session(kind, ds, cfg, &CkptHooks::none())
+        .expect("node clustering failed")
+        .0
+}
+
+/// The clustering trainer behind [`crate::TrainSession`]. With empty
+/// hooks this is the historical `run_node_clustering`, bit for bit; it
+/// additionally reports a per-epoch loss trace whose rows carry
+/// `val = NaN` (the unsupervised loop has no validation metric).
+pub(crate) fn node_clustering_session(
+    kind: NodeModelKind,
+    ds: &NodeDataset,
+    cfg: &TrainConfig,
+    hooks: &CkptHooks<'_>,
+) -> Result<(f64, TrainTrace), MgError> {
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
@@ -161,14 +187,33 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
         .iter()
         .map(|&(u, v)| (u as usize, v as usize))
         .collect();
+
+    let meta = CkptMeta {
+        task: "node_clustering".into(),
+        model: kind.name().into(),
+        dataset: ds.name.clone(),
+        in_dim: ds.feat_dim(),
+        out_dim: cfg.hidden,
+        n_nodes: ds.n(),
+    };
+    let mut trace = TrainTrace::new();
+    let mut start_epoch = 0;
+    if let Some(ck) = hooks.resume {
+        session::check_resume(ck, &meta, cfg)?;
+        store.import_state(&ck.params, ck.adam_t)?;
+        rng = StdRng::from_state(ck.rng);
+        start_epoch = ck.state.next_epoch;
+        trace = session::restored_trace(ck);
+    }
+
     let mut obs = Trace::from_env("node_clustering");
     obs.run_start(&run_meta(kind, ds, cfg));
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         let sw = Stopwatch::start();
         let tape = Tape::new();
         let bind = store.bind(&tape);
         let (h, internals) = model.forward(&tape, &bind, &ctx, true, &mut rng);
-        let (pairs, labels) = bce_pair_batch(&ds.graph, &pos, &mut rng);
+        let (pairs, labels) = bce_pair_batch(&ds.graph, &pos, &mut rng)?;
         let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
         let mut kl_term = None;
         let loss = match &internals {
@@ -197,6 +242,7 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
             )
         });
         store.step(&mut grads, &bind, &adam);
+        trace.push(epoch, loss_value, f64::NAN);
         if let Some(s) = step_obs {
             obs.epoch(&mg_obs::EpochRecord {
                 epoch,
@@ -212,6 +258,27 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
                 level_sizes: s.level_sizes,
             });
         }
+        if hooks.due(epoch + 1, epoch + 1 == cfg.epochs) {
+            // no validation split: the best-checkpoint fields stay at
+            // their pre-first-epoch sentinels.
+            session::write_checkpoint(
+                hooks.path.expect("due() implies a destination"),
+                &meta,
+                cfg,
+                TrainState {
+                    next_epoch: epoch + 1,
+                    epochs_run: epoch + 1,
+                    best_val: f64::NEG_INFINITY,
+                    best_test: 0.0,
+                    bad_epochs: 0,
+                },
+                &store,
+                &rng,
+                &trace,
+                &[],
+                model.record_structure(&store, &ctx),
+            )?;
+        }
     }
     let tape = Tape::new();
     let bind = store.bind(&tape);
@@ -221,7 +288,7 @@ pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainCon
     let score = nmi(&clusters, &ds.labels);
     obs.kernel_stats();
     obs.run_end(cfg.epochs, None, Some(score));
-    score
+    Ok((score, trace))
 }
 
 #[cfg(test)]
@@ -278,7 +345,7 @@ mod tests {
         let g = Topology::from_edges(200, &edges);
         let pos: Vec<(usize, usize)> = (2..32).map(|v| (1usize, v as usize)).collect();
         let mut rng = StdRng::seed_from_u64(5);
-        let (pairs, labels) = bce_pair_batch(&g, &pos, &mut rng);
+        let (pairs, labels) = bce_pair_batch(&g, &pos, &mut rng).unwrap();
         assert_eq!(pairs.len(), 2 * pos.len());
         assert_eq!(labels.len(), 2 * pos.len());
         assert_eq!(labels.iter().filter(|&&l| l == 1.0).count(), pos.len());
@@ -306,7 +373,18 @@ mod tests {
             levels: 2,
             ..Default::default()
         };
-        let score = run_node_clustering(NodeModelKind::Gcn, &ds, &cfg);
-        assert!(score > 0.1, "NMI = {score}");
+        let out = crate::session::TrainSession::new(
+            crate::session::SessionKind::NodeClustering(NodeModelKind::Gcn),
+            &cfg,
+        )
+        .run(&ds)
+        .unwrap();
+        assert!(out.test_metric > 0.1, "NMI = {}", out.test_metric);
+        assert_eq!(out.val_metric, None, "clustering has no validation");
+        assert_eq!(out.trace.len(), cfg.epochs);
+        assert!(
+            out.trace.records.iter().all(|r| r.val.is_nan()),
+            "clustering trace rows carry NaN val"
+        );
     }
 }

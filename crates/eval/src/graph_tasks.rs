@@ -5,12 +5,14 @@
 use crate::metrics::mean_std;
 use crate::models::GraphModelKind;
 use crate::node_tasks::TrainConfig;
+use crate::session::{self, CkptHooks};
 use crate::telemetry;
 use crate::trace::TrainTrace;
+use mg_ckpt::{CkptMeta, TrainState};
 use mg_data::{GraphDataset, Split};
 use mg_nn::{GraphClassifier, GraphCtx};
 use mg_obs::{RunMeta, Stopwatch, Trace};
-use mg_tensor::{AdamConfig, ParamStore, Tape};
+use mg_tensor::{AdamConfig, MgError, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::rc::Rc;
@@ -35,40 +37,104 @@ pub fn build_contexts(ds: &GraphDataset) -> Vec<(GraphCtx, usize)> {
 }
 
 /// Train one model on one dataset; returns accuracy and epoch timing.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(SessionKind::GraphClassification(kind), cfg).run(ds)"
+)]
 pub fn run_graph_classification(
     kind: GraphModelKind,
     ds: &GraphDataset,
     cfg: &TrainConfig,
 ) -> GcRunResult {
     let contexts = build_contexts(ds);
-    run_graph_classification_prebuilt(kind, &contexts, ds.feat_dim, cfg)
+    graph_classification_session(kind, &contexts, ds.feat_dim, cfg, &CkptHooks::none())
+        .expect("graph classification failed")
+        .0
 }
 
 /// As [`run_graph_classification`] but with caller-provided contexts (so
 /// the timing harness excludes dataset preparation).
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession with SessionInput::Prebuilt { contexts, feat_dim }"
+)]
 pub fn run_graph_classification_prebuilt(
     kind: GraphModelKind,
     contexts: &[(GraphCtx, usize)],
     feat_dim: usize,
     cfg: &TrainConfig,
 ) -> GcRunResult {
-    run_graph_classification_traced(kind, contexts, feat_dim, cfg).0
+    graph_classification_session(kind, contexts, feat_dim, cfg, &CkptHooks::none())
+        .expect("graph classification failed")
+        .0
 }
 
 /// As [`run_graph_classification_prebuilt`], also returning the per-epoch
 /// trace (epoch loss = mean over mini-batches of the batch-mean loss).
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession with SessionInput::Prebuilt { contexts, feat_dim }"
+)]
 pub fn run_graph_classification_traced(
     kind: GraphModelKind,
     contexts: &[(GraphCtx, usize)],
     feat_dim: usize,
     cfg: &TrainConfig,
 ) -> (GcRunResult, TrainTrace) {
-    let split = Split::random_80_10_10(contexts.len(), cfg.seed ^ 0x9c9c);
+    let (res, trace, _) =
+        graph_classification_session(kind, contexts, feat_dim, cfg, &CkptHooks::none())
+            .expect("graph classification failed");
+    (res, trace)
+}
+
+/// The graph-classification trainer behind [`crate::TrainSession`]. With
+/// empty hooks this is the historical `run_graph_classification_traced`,
+/// bit for bit. Also returns the number of epochs actually run.
+pub(crate) fn graph_classification_session(
+    kind: GraphModelKind,
+    contexts: &[(GraphCtx, usize)],
+    feat_dim: usize,
+    cfg: &TrainConfig,
+    hooks: &CkptHooks<'_>,
+) -> Result<(GcRunResult, TrainTrace, usize), MgError> {
+    let split = Split::random_80_10_10(contexts.len(), cfg.seed ^ 0x9c9c)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();
     let model = kind.build(&mut store, feat_dim, cfg.hidden, 2, cfg, &mut rng);
     let adam = AdamConfig::with_lr(cfg.lr);
     let batch = 32usize;
+
+    let meta = CkptMeta {
+        task: "graph_classification".into(),
+        model: kind.name().into(),
+        dataset: format!("{}_graphs", contexts.len()),
+        in_dim: feat_dim,
+        out_dim: 2,
+        n_nodes: 0,
+    };
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = 0.0;
+    let mut bad_epochs = 0;
+    let mut epoch_times = Vec::new();
+    let mut trace = TrainTrace::new();
+    let mut epochs_run = 0;
+    let mut start_epoch = 0;
+    if let Some(ck) = hooks.resume {
+        session::check_resume(ck, &meta, cfg)?;
+        store.import_state(&ck.params, ck.adam_t)?;
+        rng = StdRng::from_state(ck.rng);
+        best_val = ck.state.best_val;
+        best_test = ck.state.best_test;
+        bad_epochs = ck.state.bad_epochs;
+        epochs_run = ck.state.epochs_run;
+        start_epoch = if bad_epochs >= cfg.patience {
+            cfg.epochs
+        } else {
+            ck.state.next_epoch
+        };
+        trace = session::restored_trace(ck);
+        epoch_times = ck.epoch_times.clone();
+    }
 
     let mut obs = Trace::from_env("graph_classification");
     obs.run_start(&RunMeta {
@@ -84,13 +150,7 @@ pub fn run_graph_classification_traced(
         delta: cfg.weights.delta,
     });
 
-    let mut best_val = f64::NEG_INFINITY;
-    let mut best_test = 0.0;
-    let mut bad_epochs = 0;
-    let mut epoch_times = Vec::new();
-    let mut trace = TrainTrace::new();
-    let mut epochs_run = 0;
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
         let started = Instant::now();
         // shuffle training order
@@ -150,6 +210,7 @@ pub fn run_graph_classification_traced(
                 level_sizes: Vec::new(),
             });
         }
+        let mut stop = false;
         if val > best_val {
             best_val = val;
             best_test = eval_accuracy(model.as_ref(), &store, contexts, &split.test, &mut rng);
@@ -157,22 +218,46 @@ pub fn run_graph_classification_traced(
         } else {
             bad_epochs += 1;
             if bad_epochs >= cfg.patience {
-                break;
+                stop = true;
             }
         }
-        let _ = epoch;
+        if hooks.due(epoch + 1, stop || epoch + 1 == cfg.epochs) {
+            // graph-level pooling is derived per input graph, so there
+            // is no persistent structure to pin: structure = None.
+            session::write_checkpoint(
+                hooks.path.expect("due() implies a destination"),
+                &meta,
+                cfg,
+                TrainState {
+                    next_epoch: epoch + 1,
+                    epochs_run,
+                    best_val,
+                    best_test,
+                    bad_epochs,
+                },
+                &store,
+                &rng,
+                &trace,
+                &epoch_times,
+                None,
+            )?;
+        }
+        if stop {
+            break;
+        }
     }
     obs.kernel_stats();
     obs.run_end(epochs_run, Some(best_val), Some(best_test));
     let (epoch_seconds, _) = mean_std(&epoch_times);
-    (
+    Ok((
         GcRunResult {
             test_accuracy: best_test,
             val_accuracy: best_val,
             epoch_seconds,
         },
         trace,
-    )
+        epochs_run,
+    ))
 }
 
 fn eval_accuracy(
@@ -201,6 +286,7 @@ fn eval_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{SessionKind, TrainSession};
     use mg_data::{make_graph_dataset, GraphDatasetKind, GraphGenConfig};
 
     fn tiny() -> GraphDataset {
@@ -225,9 +311,12 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let res = run_graph_classification(GraphModelKind::Gin, &tiny(), &cfg);
-        assert!(res.test_accuracy > 0.6, "acc = {}", res.test_accuracy);
-        assert!(res.epoch_seconds > 0.0);
+        let res = TrainSession::new(SessionKind::GraphClassification(GraphModelKind::Gin), &cfg)
+            .run(&tiny())
+            .unwrap();
+        assert!(res.test_metric > 0.6, "acc = {}", res.test_metric);
+        assert!(res.epoch_seconds.unwrap() > 0.0);
+        assert_eq!(res.trace.len(), res.epochs_run);
     }
 
     #[test]
@@ -241,7 +330,12 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let res = run_graph_classification(GraphModelKind::AdamGnn, &tiny(), &cfg);
-        assert!(res.test_accuracy > 0.6, "acc = {}", res.test_accuracy);
+        let res = TrainSession::new(
+            SessionKind::GraphClassification(GraphModelKind::AdamGnn),
+            &cfg,
+        )
+        .run(&tiny())
+        .unwrap();
+        assert!(res.test_metric > 0.6, "acc = {}", res.test_metric);
     }
 }

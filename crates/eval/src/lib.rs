@@ -7,23 +7,33 @@
 
 pub mod clustering;
 pub mod graph_tasks;
+pub mod infer;
 pub mod metrics;
 pub mod models;
 pub mod node_tasks;
+pub mod session;
 pub mod tables;
 mod telemetry;
 pub mod trace;
 
-pub use clustering::{bce_pair_batch, kmeans, nmi, run_node_clustering};
+#[allow(deprecated)]
+pub use clustering::run_node_clustering;
+pub use clustering::{bce_pair_batch, kmeans, nmi};
+pub use graph_tasks::{build_contexts, GcRunResult};
+#[allow(deprecated)]
 pub use graph_tasks::{
-    build_contexts, run_graph_classification, run_graph_classification_traced, GcRunResult,
+    run_graph_classification, run_graph_classification_prebuilt, run_graph_classification_traced,
 };
+pub use infer::FrozenModel;
 pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
 pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
+#[allow(deprecated)]
 pub use node_tasks::{
     run_link_prediction, run_link_prediction_traced, run_node_classification,
-    run_node_classification_traced, RunResult, TrainConfig,
+    run_node_classification_traced,
 };
+pub use node_tasks::{RunResult, TrainConfig};
+pub use session::{RunOutcome, SessionInput, SessionKind, TrainSession};
 pub use tables::{auc, pct, TextTable};
 pub use trace::{EpochRecord, TrainTrace};
 

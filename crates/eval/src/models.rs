@@ -2,7 +2,7 @@
 //! families. Keeps the bench binaries declarative.
 
 use crate::node_tasks::TrainConfig;
-use adamgnn_core::{AdamGnnConfig, AdamGnnGc, AdamGnnNode, AdamGnnOutput};
+use adamgnn_core::{AdamGnnConfig, AdamGnnGc, AdamGnnNode, AdamGnnOutput, FrozenStructure};
 use mg_nn::{
     DenseFlavor, DensePoolGc, GatNet, GcnNet, GinGc, GinNet, GraphClassifier, GraphCtx, GraphUNet,
     NodeEncoder, SageNet, SortPoolGc, ThreeWlGc, TopKFlavor, TopKGc,
@@ -38,6 +38,12 @@ impl NodeModelKind {
             NodeModelKind::TopKPool => "TOPKPOOL",
             NodeModelKind::AdamGnn => "AdamGNN",
         }
+    }
+
+    /// Inverse of [`NodeModelKind::name`], used to rebuild a model from
+    /// a checkpoint's recorded identity.
+    pub fn from_name(name: &str) -> Option<NodeModelKind> {
+        NodeModelKind::all().into_iter().find(|k| k.name() == name)
     }
 
     /// Instantiate with parameters registered in `store`.
@@ -109,6 +115,43 @@ impl AnyNodeModel {
             AnyNodeModel::Adam(_) => "AdamGNN",
         }
     }
+
+    /// Record the pooling structure an eval-mode forward would build on
+    /// `ctx`, for pinning into a checkpoint. Flat baselines have no
+    /// structure. The recording pass draws nothing from the training RNG
+    /// stream (eval-mode AdamGNN forwards are deterministic), so calling
+    /// this is a pure observation.
+    pub fn record_structure(&self, store: &ParamStore, ctx: &GraphCtx) -> Option<FrozenStructure> {
+        match self {
+            AnyNodeModel::Plain(_) => None,
+            AnyNodeModel::Adam(m) => {
+                let tape = Tape::new();
+                let bind = store.bind_frozen(&tape);
+                let (_, _, frozen) = m.forward_full_recorded(&tape, &bind, ctx);
+                Some(frozen)
+            }
+        }
+    }
+
+    /// Forward that replays a pinned pooling structure instead of
+    /// re-deriving one. Falls back to a plain eval forward for flat
+    /// baselines (which have no structure to replay).
+    pub fn forward_frozen(
+        &self,
+        tape: &Tape,
+        bind: &Binding,
+        ctx: &GraphCtx,
+        structure: Option<&FrozenStructure>,
+        rng: &mut StdRng,
+    ) -> Var {
+        match (self, structure) {
+            (AnyNodeModel::Adam(m), Some(frozen)) => {
+                let (out, _) = m.forward_full_frozen(tape, bind, ctx, frozen);
+                out
+            }
+            _ => self.forward(tape, bind, ctx, false, rng).0,
+        }
+    }
 }
 
 /// The graph-classification models of Table 1.
@@ -145,6 +188,12 @@ impl GraphModelKind {
             GraphModelKind::StructPool => "STRUCTPOOL",
             GraphModelKind::AdamGnn => "AdamGNN",
         }
+    }
+
+    /// Inverse of [`GraphModelKind::name`], used to rebuild a model from
+    /// a checkpoint's recorded identity.
+    pub fn from_name(name: &str) -> Option<GraphModelKind> {
+        GraphModelKind::all().into_iter().find(|k| k.name() == name)
     }
 
     /// Instantiate with parameters registered in `store`.

@@ -1,0 +1,502 @@
+//! The unified trainer entry point: one builder for all four tasks.
+//!
+//! [`TrainSession`] replaces the historical `run_*` / `run_*_traced` /
+//! `run_*_prebuilt` function family with a single configurable API:
+//!
+//! ```no_run
+//! # use mg_eval::{SessionKind, NodeModelKind, TrainConfig, TrainSession};
+//! # let ds: mg_data::NodeDataset = unimplemented!();
+//! let outcome = TrainSession::new(
+//!     SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+//!     &TrainConfig::default(),
+//! )
+//! .traced(true)
+//! .checkpoint_to("run.mgck")
+//! .checkpoint_every(10)
+//! .run(&ds)
+//! .unwrap();
+//! ```
+//!
+//! The old functions survive as thin `#[deprecated]` wrappers so that
+//! existing callers (and mg-verify's pinned goldens) keep compiling and
+//! keep producing bit-identical results.
+//!
+//! ## Checkpointing contract
+//!
+//! Checkpoint writes are *pure observation*: a run with checkpointing
+//! enabled performs exactly the same RNG draws and float operations as
+//! one without, because state capture happens after each epoch's
+//! bookkeeping and the structure-recording forward pass draws nothing
+//! from the training stream. Conversely, a run resumed from a
+//! checkpoint reproduces the uninterrupted run bit for bit: parameters,
+//! Adam moments, the shared step counter, the RNG stream position and
+//! the early-stopping counters are all restored exactly, and the
+//! remaining epochs replay the identical draw sequence.
+
+use crate::graph_tasks::build_contexts;
+use crate::models::{GraphModelKind, NodeModelKind};
+use crate::node_tasks::TrainConfig;
+use crate::trace::TrainTrace;
+use adamgnn_core::{FrozenStructure, LossWeights};
+use mg_ckpt::{Checkpoint, CkptConfig, CkptMeta, TraceRow, TrainState};
+use mg_data::{GraphDataset, NodeDataset};
+use mg_nn::GraphCtx;
+use mg_tensor::{MgError, ParamStore};
+use rand::rngs::StdRng;
+use std::path::{Path, PathBuf};
+
+/// Which task to train, and with which model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    NodeClassification(NodeModelKind),
+    LinkPrediction(NodeModelKind),
+    GraphClassification(GraphModelKind),
+    NodeClustering(NodeModelKind),
+}
+
+impl SessionKind {
+    /// Stable task identifier, as recorded in checkpoint metadata and
+    /// mg-obs trace files.
+    pub fn task_name(&self) -> &'static str {
+        match self {
+            SessionKind::NodeClassification(_) => "node_classification",
+            SessionKind::LinkPrediction(_) => "link_prediction",
+            SessionKind::GraphClassification(_) => "graph_classification",
+            SessionKind::NodeClustering(_) => "node_clustering",
+        }
+    }
+
+    /// Display name of the model this session trains.
+    pub fn model_name(&self) -> &'static str {
+        match self {
+            SessionKind::NodeClassification(k)
+            | SessionKind::LinkPrediction(k)
+            | SessionKind::NodeClustering(k) => k.name(),
+            SessionKind::GraphClassification(k) => k.name(),
+        }
+    }
+}
+
+/// What a session trains on. Node-level tasks take a [`NodeDataset`];
+/// graph classification takes a [`GraphDataset`] or pre-built contexts
+/// (so timing harnesses can exclude dataset preparation).
+pub enum SessionInput<'a> {
+    Node(&'a NodeDataset),
+    Graphs(&'a GraphDataset),
+    Prebuilt {
+        contexts: &'a [(GraphCtx, usize)],
+        feat_dim: usize,
+    },
+}
+
+impl<'a> From<&'a NodeDataset> for SessionInput<'a> {
+    fn from(ds: &'a NodeDataset) -> Self {
+        SessionInput::Node(ds)
+    }
+}
+
+impl<'a> From<&'a GraphDataset> for SessionInput<'a> {
+    fn from(ds: &'a GraphDataset) -> Self {
+        SessionInput::Graphs(ds)
+    }
+}
+
+/// What every session returns, across all four tasks.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The headline test metric: accuracy, ROC-AUC or NMI depending on
+    /// the task, always at the best-validation epoch where the task has
+    /// a validation split.
+    pub test_metric: f64,
+    /// Best validation metric, for tasks that have one (`None` for
+    /// unsupervised node clustering).
+    pub val_metric: Option<f64>,
+    /// Epochs actually run (early stopping may cut this short).
+    pub epochs_run: usize,
+    /// Per-epoch history; empty when `.traced(false)` (the default is
+    /// traced). Clustering rows carry `val = NaN` (no validation).
+    pub trace: TrainTrace,
+    /// Mean wall-clock seconds per training epoch; graph classification
+    /// only (Table 4's metric).
+    pub epoch_seconds: Option<f64>,
+}
+
+/// Builder for one training run. See the module docs for the contract.
+pub struct TrainSession {
+    kind: SessionKind,
+    cfg: TrainConfig,
+    traced: bool,
+    checkpoint_every: Option<usize>,
+    checkpoint_to: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
+}
+
+impl TrainSession {
+    /// A session with tracing on and checkpointing off.
+    pub fn new(kind: SessionKind, cfg: &TrainConfig) -> Self {
+        TrainSession {
+            kind,
+            cfg: *cfg,
+            traced: true,
+            checkpoint_every: None,
+            checkpoint_to: None,
+            resume_from: None,
+        }
+    }
+
+    /// Collect the per-epoch trace in the outcome (default `true`).
+    /// Tracing is pure observation either way.
+    pub fn traced(mut self, on: bool) -> Self {
+        self.traced = on;
+        self
+    }
+
+    /// Write a checkpoint every `n` completed epochs (in addition to the
+    /// final one). Requires [`TrainSession::checkpoint_to`].
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Write checkpoints to `path` (atomically: a temp file is renamed
+    /// into place). With no `checkpoint_every`, only the final state is
+    /// written.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Resume from a checkpoint written by an identical session: same
+    /// task, model, dataset identity and training configuration —
+    /// anything else is an [`MgError::Mismatch`]. The epoch budget is
+    /// the one deliberate exception: resuming with a larger `epochs`
+    /// continues an interrupted (or exhausted) run, and the continuation
+    /// replays exactly what an uninterrupted run with that budget would
+    /// have computed.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Run the session to completion.
+    pub fn run<'a>(&self, input: impl Into<SessionInput<'a>>) -> Result<RunOutcome, MgError> {
+        if self.checkpoint_every.is_some() && self.checkpoint_to.is_none() {
+            return Err(MgError::InvalidInput {
+                detail: "checkpoint_every(n) needs a destination; call checkpoint_to(path) too"
+                    .into(),
+            });
+        }
+        let resume = match &self.resume_from {
+            Some(p) => Some(Checkpoint::load(p)?),
+            None => None,
+        };
+        let hooks = CkptHooks {
+            every: self.checkpoint_every,
+            path: self.checkpoint_to.as_deref(),
+            resume: resume.as_ref(),
+        };
+        let mut outcome = match (self.kind, input.into()) {
+            (SessionKind::NodeClassification(k), SessionInput::Node(ds)) => {
+                let (res, trace) =
+                    crate::node_tasks::node_classification_session(k, ds, &self.cfg, &hooks)?;
+                RunOutcome {
+                    test_metric: res.test_metric,
+                    val_metric: Some(res.val_metric),
+                    epochs_run: res.epochs_run,
+                    trace,
+                    epoch_seconds: None,
+                }
+            }
+            (SessionKind::LinkPrediction(k), SessionInput::Node(ds)) => {
+                let (res, trace) =
+                    crate::node_tasks::link_prediction_session(k, ds, &self.cfg, &hooks)?;
+                RunOutcome {
+                    test_metric: res.test_metric,
+                    val_metric: Some(res.val_metric),
+                    epochs_run: res.epochs_run,
+                    trace,
+                    epoch_seconds: None,
+                }
+            }
+            (SessionKind::NodeClustering(k), SessionInput::Node(ds)) => {
+                let (score, trace) =
+                    crate::clustering::node_clustering_session(k, ds, &self.cfg, &hooks)?;
+                RunOutcome {
+                    test_metric: score,
+                    val_metric: None,
+                    epochs_run: self.cfg.epochs,
+                    trace,
+                    epoch_seconds: None,
+                }
+            }
+            (SessionKind::GraphClassification(k), SessionInput::Graphs(ds)) => {
+                let contexts = build_contexts(ds);
+                let (res, trace, epochs_run) = crate::graph_tasks::graph_classification_session(
+                    k,
+                    &contexts,
+                    ds.feat_dim,
+                    &self.cfg,
+                    &hooks,
+                )?;
+                RunOutcome {
+                    test_metric: res.test_accuracy,
+                    val_metric: Some(res.val_accuracy),
+                    epochs_run,
+                    trace,
+                    epoch_seconds: Some(res.epoch_seconds),
+                }
+            }
+            (
+                SessionKind::GraphClassification(k),
+                SessionInput::Prebuilt { contexts, feat_dim },
+            ) => {
+                let (res, trace, epochs_run) = crate::graph_tasks::graph_classification_session(
+                    k, contexts, feat_dim, &self.cfg, &hooks,
+                )?;
+                RunOutcome {
+                    test_metric: res.test_accuracy,
+                    val_metric: Some(res.val_accuracy),
+                    epochs_run,
+                    trace,
+                    epoch_seconds: Some(res.epoch_seconds),
+                }
+            }
+            (kind, _) => {
+                return Err(MgError::InvalidInput {
+                    detail: format!(
+                        "{} cannot run on this input (node-level tasks take a NodeDataset, \
+                         graph classification a GraphDataset or prebuilt contexts)",
+                        kind.task_name()
+                    ),
+                })
+            }
+        };
+        if !self.traced {
+            outcome.trace = TrainTrace::new();
+        }
+        Ok(outcome)
+    }
+}
+
+/// Checkpoint/resume wiring threaded into the task trainers. With all
+/// fields `None` the trainers behave exactly as before the session API
+/// existed — the deprecated wrappers rely on this.
+pub(crate) struct CkptHooks<'a> {
+    pub every: Option<usize>,
+    pub path: Option<&'a Path>,
+    pub resume: Option<&'a Checkpoint>,
+}
+
+impl CkptHooks<'_> {
+    /// No checkpointing, no resume.
+    pub fn none() -> CkptHooks<'static> {
+        CkptHooks {
+            every: None,
+            path: None,
+            resume: None,
+        }
+    }
+
+    /// Should a checkpoint be written after `completed` epochs?
+    /// `last` marks the final epoch (exhaustion or early stop), which
+    /// always writes when a destination is configured.
+    pub fn due(&self, completed: usize, last: bool) -> bool {
+        self.path.is_some()
+            && (last
+                || self
+                    .every
+                    .is_some_and(|k| k > 0 && completed.is_multiple_of(k)))
+    }
+}
+
+/// Flatten a [`TrainConfig`] into its persisted mirror.
+pub(crate) fn to_ckpt_config(cfg: &TrainConfig) -> CkptConfig {
+    CkptConfig {
+        epochs: cfg.epochs,
+        lr: cfg.lr,
+        patience: cfg.patience,
+        hidden: cfg.hidden,
+        levels: cfg.levels,
+        seed: cfg.seed,
+        gamma: cfg.weights.gamma,
+        delta: cfg.weights.delta,
+        flyback: cfg.flyback,
+    }
+}
+
+/// Rebuild a [`TrainConfig`] from its persisted mirror.
+pub(crate) fn from_ckpt_config(c: &CkptConfig) -> TrainConfig {
+    TrainConfig {
+        epochs: c.epochs,
+        lr: c.lr,
+        patience: c.patience,
+        hidden: c.hidden,
+        levels: c.levels,
+        seed: c.seed,
+        weights: LossWeights {
+            gamma: c.gamma,
+            delta: c.delta,
+        },
+        flyback: c.flyback,
+    }
+}
+
+/// Reject a checkpoint that was produced by a different job: resuming
+/// across task, model, dataset identity or configuration would silently
+/// train the wrong thing.
+pub(crate) fn check_resume(
+    ck: &Checkpoint,
+    meta: &CkptMeta,
+    cfg: &TrainConfig,
+) -> Result<(), MgError> {
+    if ck.meta != *meta {
+        return Err(MgError::Mismatch {
+            detail: format!(
+                "checkpoint identity {:?} does not match this session's {:?}",
+                ck.meta, meta
+            ),
+        });
+    }
+    let want = to_ckpt_config(cfg);
+    // The epoch budget is allowed to differ: nothing inside an epoch
+    // depends on it, so a short-budget run is bitwise a prefix of a
+    // longer one and resuming with more epochs is a pure continuation.
+    let mut have = ck.config;
+    have.epochs = want.epochs;
+    if have != want {
+        return Err(MgError::Mismatch {
+            detail: format!(
+                "checkpoint config {:?} does not match this session's {:?}",
+                ck.config, want
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The trace prefix a resumed run starts from.
+pub(crate) fn restored_trace(ck: &Checkpoint) -> TrainTrace {
+    let mut trace = TrainTrace::new();
+    for row in &ck.trace {
+        trace.push(row.epoch, row.loss, row.val);
+    }
+    trace
+}
+
+/// Assemble and atomically write one checkpoint file.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_checkpoint(
+    path: &Path,
+    meta: &CkptMeta,
+    cfg: &TrainConfig,
+    state: TrainState,
+    store: &ParamStore,
+    rng: &StdRng,
+    trace: &TrainTrace,
+    epoch_times: &[f64],
+    structure: Option<FrozenStructure>,
+) -> Result<(), MgError> {
+    let (params, adam_t) = store.export_state();
+    let ck = Checkpoint {
+        meta: meta.clone(),
+        config: to_ckpt_config(cfg),
+        state,
+        params,
+        adam_t,
+        rng: rng.state(),
+        trace: trace
+            .records
+            .iter()
+            .map(|r| TraceRow {
+                epoch: r.epoch,
+                loss: r.loss,
+                val: r.val,
+            })
+            .collect(),
+        epoch_times: epoch_times.to_vec(),
+        structure,
+    };
+    ck.save(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrips_through_ckpt_mirror() {
+        let cfg = TrainConfig {
+            epochs: 7,
+            lr: 0.005,
+            patience: 3,
+            hidden: 12,
+            levels: 2,
+            seed: 42,
+            weights: LossWeights {
+                gamma: 0.1,
+                delta: 0.3,
+            },
+            flyback: false,
+        };
+        let back = from_ckpt_config(&to_ckpt_config(&cfg));
+        assert_eq!(to_ckpt_config(&back), to_ckpt_config(&cfg));
+    }
+
+    #[test]
+    fn checkpoint_every_without_destination_errors() {
+        let ds = mg_data::make_node_dataset(
+            mg_data::NodeDatasetKind::Cora,
+            &mg_data::NodeGenConfig {
+                scale: 0.05,
+                max_feat_dim: 16,
+                seed: 0,
+            },
+        );
+        let err = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &TrainConfig::default(),
+        )
+        .checkpoint_every(5)
+        .run(&ds);
+        assert!(matches!(err, Err(MgError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn mismatched_input_kind_errors() {
+        let ds = mg_data::make_graph_dataset(
+            mg_data::GraphDatasetKind::Proteins,
+            &mg_data::GraphGenConfig {
+                scale: 0.02,
+                max_nodes: 20,
+                seed: 0,
+            },
+        );
+        let err = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &TrainConfig::default(),
+        )
+        .run(&ds);
+        assert!(matches!(err, Err(MgError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn due_policy() {
+        let path = PathBuf::from("x.mgck");
+        let h = CkptHooks {
+            every: Some(3),
+            path: Some(&path),
+            resume: None,
+        };
+        assert!(!h.due(1, false));
+        assert!(h.due(3, false));
+        assert!(h.due(7, true), "final epoch always writes");
+        let h = CkptHooks {
+            every: None,
+            path: Some(&path),
+            resume: None,
+        };
+        assert!(!h.due(3, false), "no cadence: only the final write");
+        assert!(h.due(3, true));
+        assert!(!CkptHooks::none().due(3, true), "no destination: never");
+    }
+}

@@ -10,7 +10,7 @@
 //! cannot race with each other.
 
 use mg_data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
-use mg_eval::{run_node_classification_traced, NodeModelKind, TrainConfig};
+use mg_eval::{NodeModelKind, SessionKind, TrainConfig, TrainSession};
 use mg_obs::{validate_trace, Json};
 use std::sync::Mutex;
 
@@ -46,24 +46,38 @@ fn traced_run_is_bitwise_identical_and_emits_valid_jsonl() {
     let ds = tiny_ds();
     let cfg = fast_cfg();
 
+    let session = || {
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &cfg,
+        )
+        .run(&ds)
+    };
+
     // Baseline: MG_TRACE unset — telemetry fully disabled.
     std::env::remove_var("MG_TRACE");
-    let (base_res, base_trace) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let base_res = session().unwrap();
 
     // Traced run into a temp file.
     let path = std::env::temp_dir().join(format!("mg_obs_emission_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
     std::env::set_var("MG_TRACE", &path);
-    let (obs_res, obs_trace) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
+    let obs_res = session().unwrap();
     std::env::remove_var("MG_TRACE");
 
     // (a) Telemetry must not perturb the computation: bitwise equality.
-    assert_eq!(base_trace, obs_trace, "tracing changed the training run");
+    assert_eq!(
+        base_res.trace, obs_res.trace,
+        "tracing changed the training run"
+    );
     assert_eq!(
         base_res.test_metric.to_bits(),
         obs_res.test_metric.to_bits()
     );
-    assert_eq!(base_res.val_metric.to_bits(), obs_res.val_metric.to_bits());
+    assert_eq!(
+        base_res.val_metric.unwrap().to_bits(),
+        obs_res.val_metric.unwrap().to_bits()
+    );
     assert_eq!(base_res.epochs_run, obs_res.epochs_run);
 
     // (b) The emitted trace parses and matches the schema.
@@ -132,11 +146,20 @@ fn all_trainers_emit_complete_run_records() {
     let path = std::env::temp_dir().join(format!("mg_obs_complete_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
     std::env::set_var("MG_TRACE", &path);
-    let (nc, _) = run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &cfg);
-    let (lp, _) = mg_eval::run_link_prediction_traced(NodeModelKind::AdamGnn, &ds, &cfg);
-    let nmi = mg_eval::run_node_clustering(NodeModelKind::Gcn, &ds, &cfg);
+    let nc = TrainSession::new(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &cfg,
+    )
+    .run(&ds)
+    .unwrap();
+    let lp = TrainSession::new(SessionKind::LinkPrediction(NodeModelKind::AdamGnn), &cfg)
+        .run(&ds)
+        .unwrap();
+    let cl = TrainSession::new(SessionKind::NodeClustering(NodeModelKind::Gcn), &cfg)
+        .run(&ds)
+        .unwrap();
     std::env::remove_var("MG_TRACE");
-    assert!(nmi >= 0.0);
+    assert!(cl.test_metric >= 0.0);
 
     let text = std::fs::read_to_string(&path).expect("trace file written");
     let report = validate_trace(&text).expect("trace validates");

@@ -25,7 +25,9 @@
 //!   train/eval wall time ([`EpochRecord`]);
 //! * `kernel_stats` — a snapshot of mg-runtime's per-kernel timing
 //!   registry, folding the `MG_KERNEL_STATS` story into the same file;
-//! * `run_end` — best validation / test metrics and total wall time.
+//! * `run_end` — best validation / test metrics and total wall time;
+//! * `infer` — one frozen-model inference job: checkpoint provenance
+//!   plus forward-pass throughput ([`InferRecord`]).
 //!
 //! [`validate_trace`] re-parses an emitted trace and checks the schema;
 //! the `train_report` binary and the obs-smoke CI job run it on every
@@ -38,6 +40,6 @@ pub mod trace;
 pub mod validate;
 
 pub use json::Json;
-pub use record::{BetaStats, EpochRecord, RunEnd, RunMeta};
+pub use record::{BetaStats, EpochRecord, InferRecord, RunEnd, RunMeta};
 pub use trace::{Stopwatch, Trace};
 pub use validate::{validate_trace, TraceReport};

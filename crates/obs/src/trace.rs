@@ -13,7 +13,7 @@
 //! Records append to the file, so several runs in one process (or one
 //! table sweep) share a single chronologically ordered trace.
 
-use crate::record::{kernel_stats_json_line, EpochRecord, RunEnd, RunMeta};
+use crate::record::{kernel_stats_json_line, EpochRecord, InferRecord, RunEnd, RunMeta};
 use crate::summary::render_summary;
 use std::fs::OpenOptions;
 use std::io::{BufWriter, Write};
@@ -147,6 +147,14 @@ impl Trace {
             }
             inner.agg.train_ns += rec.train_ns;
             inner.agg.eval_ns += rec.eval_ns;
+            let line = rec.to_json_line(&inner.task);
+            Self::write_line(inner, &line);
+        }
+    }
+
+    /// Emit one `infer` record describing a frozen-model inference job.
+    pub fn infer(&mut self, rec: &InferRecord) {
+        if let Some(inner) = &mut self.inner {
             let line = rec.to_json_line(&inner.task);
             Self::write_line(inner, &line);
         }

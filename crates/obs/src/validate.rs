@@ -15,6 +15,8 @@ pub struct TraceReport {
     pub epochs: usize,
     pub kernel_stats: usize,
     pub run_ends: usize,
+    /// `infer` records (frozen-model inference jobs).
+    pub infers: usize,
     /// Per-epoch `train_ns` values, in emission order.
     pub epoch_train_ns: Vec<u64>,
     /// Per-epoch `eval_ns` values, in emission order.
@@ -51,6 +53,16 @@ const EPOCH_KEYS: &[&str] = &[
 ];
 const RUN_END_KEYS: &[&str] = &["task", "epochs_run", "best_val", "test_metric", "wall_s"];
 const KERNEL_KEYS: &[&str] = &["task", "kernels"];
+const INFER_KEYS: &[&str] = &[
+    "task",
+    "checkpoint",
+    "model",
+    "dataset",
+    "n_nodes",
+    "pinned_structure",
+    "forwards",
+    "total_ns",
+];
 
 fn require_keys(v: &Json, keys: &[&str], line_no: usize) -> Result<(), String> {
     for key in keys {
@@ -99,6 +111,10 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
             "run_end" => {
                 require_keys(&v, RUN_END_KEYS, line_no)?;
                 report.run_ends += 1;
+            }
+            "infer" => {
+                require_keys(&v, INFER_KEYS, line_no)?;
+                report.infers += 1;
             }
             other => return Err(format!("line {line_no}: unknown kind {other:?}")),
         }
@@ -168,6 +184,27 @@ mod tests {
         assert_eq!(report.run_ends, 1);
         assert_eq!(report.epoch_train_ns, vec![7]);
         assert_eq!(report.epoch_eval_ns, vec![3]);
+    }
+
+    #[test]
+    fn infer_record_validates() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut t = Trace::to_writer("node_classification", Box::new(Shared(buf.clone())));
+        t.infer(&crate::record::InferRecord {
+            checkpoint: "ck.mgc".into(),
+            model: "AdamGNN".into(),
+            dataset: "cora".into(),
+            n_nodes: 9,
+            pinned_structure: false,
+            forwards: 3,
+            total_ns: 42,
+        });
+        drop(t);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let report = validate_trace(&text).expect("infer trace validates");
+        assert_eq!(report.infers, 1);
+        // a truncated infer record must be rejected
+        assert!(validate_trace("{\"kind\": \"infer\", \"task\": \"t\"}\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! `MgError` — the workspace-wide typed error.
+//!
+//! It lives in mg-tensor because this is the one crate every other
+//! workspace crate already depends on, so fallible APIs anywhere in the
+//! stack (dataset generation, negative sampling, checkpoint I/O) can
+//! return the same type without a dependency cycle.
+//!
+//! Policy: conditions a *caller* can trigger with ordinary inputs — a
+//! graph too dense to sample balanced negatives from, a corrupt
+//! checkpoint file, a config that doesn't match an artifact — are
+//! `Result`s of this type. Programmer errors (shape mismatches inside a
+//! model, index bugs) stay panics/asserts.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Workspace-wide error for user-facing fallible operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MgError {
+    /// Operating-system I/O failure (open/read/write/rename).
+    Io { path: PathBuf, detail: String },
+    /// The file does not start with the checkpoint magic — it is not a
+    /// checkpoint at all (or the header itself was destroyed).
+    BadMagic { found: [u8; 4] },
+    /// The checkpoint was written by an unknown format version.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// A section's payload failed its CRC or decoded to nonsense.
+    Corrupt {
+        section: &'static str,
+        detail: String,
+    },
+    /// The file ended in the middle of a section.
+    Truncated {
+        section: &'static str,
+        needed: usize,
+        available: usize,
+    },
+    /// An artifact does not match what the caller asked to do with it
+    /// (wrong task, wrong model, wrong parameter shapes).
+    Mismatch { detail: String },
+    /// The graph has too few distinct non-edges for a balanced negative
+    /// sample of the requested size.
+    TooDense {
+        requested: usize,
+        available: usize,
+        nodes: usize,
+        edges: usize,
+    },
+    /// A caller-provided input violates a documented precondition.
+    InvalidInput { detail: String },
+}
+
+impl fmt::Display for MgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgError::Io { path, detail } => {
+                write!(f, "I/O error on {}: {detail}", path.display())
+            }
+            MgError::BadMagic { found } => {
+                write!(f, "not a checkpoint file (magic bytes {found:?})")
+            }
+            MgError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} is not supported \
+                     (this build reads version {supported})"
+                )
+            }
+            MgError::Corrupt { section, detail } => {
+                write!(f, "checkpoint section '{section}' is corrupt: {detail}")
+            }
+            MgError::Truncated {
+                section,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "checkpoint truncated in section '{section}': \
+                     needed {needed} bytes, only {available} available"
+                )
+            }
+            MgError::Mismatch { detail } => write!(f, "artifact mismatch: {detail}"),
+            MgError::TooDense {
+                requested,
+                available,
+                nodes,
+                edges,
+            } => {
+                write!(
+                    f,
+                    "{requested} non-edges requested but the graph has only {available} \
+                     distinct non-edges ({nodes} nodes, {edges} edges); it is too dense \
+                     for a balanced negative set — reduce the requested count or use a \
+                     sparser graph"
+                )
+            }
+            MgError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MgError {}
+
+impl MgError {
+    /// Convenience constructor wrapping a [`std::io::Error`] with the
+    /// path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, err: std::io::Error) -> Self {
+        MgError::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_facts() {
+        let e = MgError::TooDense {
+            requested: 20,
+            available: 3,
+            nodes: 10,
+            edges: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("20 non-edges"));
+        assert!(s.contains("too dense"));
+        let e = MgError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MgError::BadMagic { found: *b"ELF\x7f" });
+    }
+}

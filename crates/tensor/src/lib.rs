@@ -32,6 +32,7 @@
 
 mod backward;
 mod csr;
+mod error;
 pub mod gradcheck;
 mod matrix;
 mod ops;
@@ -40,8 +41,9 @@ mod par;
 mod tape;
 
 pub use csr::Csr;
+pub use error::MgError;
 pub use gradcheck::{check_gradients, check_gradients_sampled, GradCheckReport};
 pub use matrix::Matrix;
 pub use ops::{sigmoid, softmax_rows, student_t_target};
-pub use optim::{AdamConfig, Binding, ParamId, ParamStore};
+pub use optim::{AdamConfig, Binding, ParamId, ParamSnapshot, ParamStore};
 pub use tape::{Gradients, Tape, Var};

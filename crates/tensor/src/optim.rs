@@ -5,6 +5,7 @@
 //! differentiable leaves; after `backward`, [`ParamStore::step`] reads the
 //! gradients back and applies an Adam update.
 
+use crate::error::MgError;
 use crate::matrix::Matrix;
 use crate::tape::{Gradients, Tape, Var};
 
@@ -19,6 +20,21 @@ struct Param {
     m: Matrix,
     /// Adam second-moment estimate.
     v: Matrix,
+}
+
+/// Serializable state of one parameter: its value and Adam moments.
+///
+/// This is the unit mg-ckpt persists; name and shape double as the
+/// integrity check when a checkpoint is imported into a freshly built
+/// model ([`ParamStore::import_state`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSnapshot {
+    pub name: String,
+    pub value: Matrix,
+    /// Adam first-moment estimate.
+    pub m: Matrix,
+    /// Adam second-moment estimate.
+    pub v: Matrix,
 }
 
 /// Owns parameters and their Adam state.
@@ -153,6 +169,22 @@ impl ParamStore {
         }
     }
 
+    /// Copy every parameter onto `tape` as a *non-differentiable* leaf.
+    ///
+    /// The forward-only inference path uses this: backward skips
+    /// non-gradient leaves entirely, so no gradient storage is ever
+    /// allocated for the parameters and `backward`/`step` are never
+    /// meaningful on such a binding.
+    pub fn bind_frozen(&self, tape: &Tape) -> Binding {
+        Binding {
+            vars: self
+                .params
+                .iter()
+                .map(|p| tape.leaf(p.value.clone(), false))
+                .collect(),
+        }
+    }
+
     /// Apply one Adam step from the gradients of the given binding.
     ///
     /// Parameters whose gradient is absent (not reached by backward) are
@@ -187,6 +219,78 @@ impl ParamStore {
                 param.value.data_mut()[i] -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
             }
         }
+    }
+
+    /// Number of Adam steps taken so far (the bias-correction clock).
+    pub fn adam_t(&self) -> u64 {
+        self.t
+    }
+
+    /// Export the full optimizer state — every parameter's value and
+    /// Adam moments plus the step counter — for persistence (mg-ckpt).
+    pub fn export_state(&self) -> (Vec<ParamSnapshot>, u64) {
+        let snaps = self
+            .params
+            .iter()
+            .map(|p| ParamSnapshot {
+                name: p.name.clone(),
+                value: p.value.clone(),
+                m: p.m.clone(),
+                v: p.v.clone(),
+            })
+            .collect();
+        (snaps, self.t)
+    }
+
+    /// Overwrite this store's state with an exported snapshot.
+    ///
+    /// The store must already hold the same parameter list (same count,
+    /// names and shapes, in registration order) — i.e. the model must be
+    /// rebuilt with the same architecture before importing. Any
+    /// disagreement is an [`MgError::Mismatch`]; on error the store is
+    /// left untouched.
+    pub fn import_state(&mut self, snaps: &[ParamSnapshot], t: u64) -> Result<(), MgError> {
+        if snaps.len() != self.params.len() {
+            return Err(MgError::Mismatch {
+                detail: format!(
+                    "checkpoint has {} parameter tensors, model has {}",
+                    snaps.len(),
+                    self.params.len()
+                ),
+            });
+        }
+        for (p, s) in self.params.iter().zip(snaps) {
+            if p.name != s.name {
+                return Err(MgError::Mismatch {
+                    detail: format!(
+                        "parameter name mismatch: checkpoint '{}', model '{}'",
+                        s.name, p.name
+                    ),
+                });
+            }
+            if p.value.shape() != s.value.shape()
+                || s.m.shape() != s.value.shape()
+                || s.v.shape() != s.value.shape()
+            {
+                return Err(MgError::Mismatch {
+                    detail: format!(
+                        "parameter '{}' shape mismatch: checkpoint {:?}/{:?}/{:?}, model {:?}",
+                        s.name,
+                        s.value.shape(),
+                        s.m.shape(),
+                        s.v.shape(),
+                        p.value.shape()
+                    ),
+                });
+            }
+        }
+        for (p, s) in self.params.iter_mut().zip(snaps) {
+            p.value = s.value.clone();
+            p.m = s.m.clone();
+            p.v = s.v.clone();
+        }
+        self.t = t;
+        Ok(())
     }
 
     /// Snapshot all parameter values (for best-model checkpointing).
@@ -260,6 +364,87 @@ mod tests {
         store.value_mut(w).data_mut()[0] = 99.0;
         store.restore(&snap);
         assert_eq!(store.value(w).data(), &[1.0, 1.0]);
+    }
+
+    /// A run whose optimizer state was exported after k steps and
+    /// imported into a freshly built twin must continue identically —
+    /// the invariant checkpoint/resume is built on.
+    #[test]
+    fn export_import_resumes_identically() {
+        let target = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let cfg = AdamConfig::with_lr(0.05);
+        let step = |store: &mut ParamStore, w: ParamId| {
+            let tape = Tape::new();
+            let binding = store.bind(&tape);
+            let t = tape.constant(target.clone());
+            let diff = tape.sub(binding.var(w), t);
+            let sq = tape.mul_elem(diff, diff);
+            let loss = tape.sum_all(sq);
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &binding, &cfg);
+        };
+        let mut a = ParamStore::new();
+        let wa = a.add("w", Matrix::zeros(1, 3));
+        for _ in 0..7 {
+            step(&mut a, wa);
+        }
+        let (snaps, t) = a.export_state();
+        assert_eq!(t, 7);
+        let mut b = ParamStore::new();
+        let wb = b.add("w", Matrix::zeros(1, 3));
+        b.import_state(&snaps, t).unwrap();
+        for _ in 0..5 {
+            step(&mut a, wa);
+            step(&mut b, wb);
+        }
+        // bitwise: same moments + same t => identical Adam trajectories
+        assert_eq!(a.value(wa).data(), b.value(wb).data());
+        assert_eq!(a.adam_t(), b.adam_t());
+    }
+
+    #[test]
+    fn import_rejects_mismatches() {
+        let mut src = ParamStore::new();
+        src.add("w", Matrix::zeros(2, 2));
+        let (snaps, t) = src.export_state();
+        // wrong count
+        let mut dst = ParamStore::new();
+        assert!(matches!(
+            dst.import_state(&snaps, t),
+            Err(MgError::Mismatch { .. })
+        ));
+        // wrong name
+        let mut dst = ParamStore::new();
+        dst.add("b", Matrix::zeros(2, 2));
+        assert!(matches!(
+            dst.import_state(&snaps, t),
+            Err(MgError::Mismatch { .. })
+        ));
+        // wrong shape
+        let mut dst = ParamStore::new();
+        dst.add("w", Matrix::zeros(2, 3));
+        assert!(matches!(
+            dst.import_state(&snaps, t),
+            Err(MgError::Mismatch { .. })
+        ));
+        // exact twin succeeds
+        let mut dst = ParamStore::new();
+        dst.add("w", Matrix::zeros(2, 2));
+        assert!(dst.import_state(&snaps, t).is_ok());
+    }
+
+    #[test]
+    fn frozen_binding_yields_no_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 2, 2.0));
+        let tape = Tape::new();
+        let binding = store.bind_frozen(&tape);
+        let loss = tape.sum_all(binding.var(w));
+        let grads = tape.backward(loss);
+        assert!(
+            grads.get(binding.var(w)).is_none(),
+            "frozen leaves must not accumulate gradients"
+        );
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! every pool width) must reproduce them bit for bit — that is PR 1's
 //! kernel-level determinism guarantee promoted to whole training loops.
 
+// The golden suite deliberately stays on the deprecated `run_*_traced`
+// entry points: the checked-in traces pin the exact behaviour of that
+// compatibility surface, so any drift between the wrappers and the
+// TrainSession internals they delegate to fails here bit for bit.
+#![allow(deprecated)]
+
 use crate::golden::Golden;
 use mg_data::{
     make_graph_dataset, make_node_dataset, GraphDatasetKind, GraphGenConfig, NodeDatasetKind,

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example citation_node_classification`
 
 use adamgnn_repro::data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
-use adamgnn_repro::eval::{run_node_classification, NodeModelKind, TrainConfig};
+use adamgnn_repro::eval::{NodeModelKind, SessionKind, TrainConfig, TrainSession};
 
 fn main() {
     // A scaled-down Cora analogue (same class structure; see DESIGN.md for
@@ -41,12 +41,14 @@ fn main() {
         NodeModelKind::AdamGnn,
     ] {
         let started = std::time::Instant::now();
-        let res = run_node_classification(kind, &ds, &cfg);
+        let res = TrainSession::new(SessionKind::NodeClassification(kind), &cfg)
+            .run(&ds)
+            .expect("training run");
         println!(
             "{:10}  test accuracy = {:5.2}%   (val {:5.2}%, {} epochs, {:.1}s)",
             kind.name(),
             100.0 * res.test_metric,
-            100.0 * res.val_metric,
+            100.0 * res.val_metric.unwrap_or(f64::NAN),
             res.epochs_run,
             started.elapsed().as_secs_f64()
         );

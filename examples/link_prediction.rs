@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example link_prediction`
 
 use adamgnn_repro::data::{make_node_dataset, NodeDatasetKind, NodeGenConfig};
-use adamgnn_repro::eval::{run_link_prediction, NodeModelKind, TrainConfig};
+use adamgnn_repro::eval::{NodeModelKind, SessionKind, TrainConfig, TrainSession};
 
 fn main() {
     let ds = make_node_dataset(
@@ -38,12 +38,14 @@ fn main() {
         NodeModelKind::AdamGnn,
     ] {
         let started = std::time::Instant::now();
-        let res = run_link_prediction(kind, &ds, &cfg);
+        let res = TrainSession::new(SessionKind::LinkPrediction(kind), &cfg)
+            .run(&ds)
+            .expect("training run");
         println!(
             "{:10}  test ROC-AUC = {:.3}   (val {:.3}, {} epochs, {:.1}s)",
             kind.name(),
             res.test_metric,
-            res.val_metric,
+            res.val_metric.unwrap_or(f64::NAN),
             res.epochs_run,
             started.elapsed().as_secs_f64()
         );

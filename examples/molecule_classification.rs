@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example molecule_classification`
 
 use adamgnn_repro::data::{make_graph_dataset, GraphDatasetKind, GraphGenConfig};
-use adamgnn_repro::eval::graph_tasks::run_graph_classification;
-use adamgnn_repro::eval::{GraphModelKind, TrainConfig};
+use adamgnn_repro::eval::{GraphModelKind, SessionKind, TrainConfig, TrainSession};
 
 fn main() {
     let ds = make_graph_dataset(
@@ -41,12 +40,14 @@ fn main() {
         GraphModelKind::AdamGnn,
     ] {
         let started = std::time::Instant::now();
-        let res = run_graph_classification(kind, &ds, &cfg);
+        let res = TrainSession::new(SessionKind::GraphClassification(kind), &cfg)
+            .run(&ds)
+            .expect("training run");
         println!(
             "{:10}  test accuracy = {:5.2}%   ({:.3}s/epoch, total {:.1}s)",
             kind.name(),
-            100.0 * res.test_accuracy,
-            res.epoch_seconds,
+            100.0 * res.test_metric,
+            res.epoch_seconds.unwrap_or(f64::NAN),
             started.elapsed().as_secs_f64()
         );
     }

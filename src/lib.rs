@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the AdamGNN reproduction workspace for examples and integration tests.
 pub use adamgnn_core as core;
+pub use mg_ckpt as ckpt;
 pub use mg_data as data;
 pub use mg_eval as eval;
 pub use mg_graph as graph;

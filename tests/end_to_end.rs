@@ -6,10 +6,15 @@ use adamgnn_repro::data::{
     make_graph_dataset, make_node_dataset, GraphDatasetKind, GraphGenConfig, NodeDatasetKind,
     NodeGenConfig,
 };
-use adamgnn_repro::eval::graph_tasks::run_graph_classification;
-use adamgnn_repro::eval::{
-    run_link_prediction, run_node_classification, GraphModelKind, NodeModelKind, TrainConfig,
-};
+use adamgnn_repro::eval::{GraphModelKind, NodeModelKind, SessionKind, TrainConfig, TrainSession};
+
+fn run(
+    kind: SessionKind,
+    ds: &adamgnn_repro::data::NodeDataset,
+    cfg: &TrainConfig,
+) -> adamgnn_repro::eval::RunOutcome {
+    TrainSession::new(kind, cfg).run(ds).expect("session runs")
+}
 
 fn node_cfg() -> TrainConfig {
     TrainConfig {
@@ -37,7 +42,7 @@ fn every_node_model_trains_on_cora_like_data() {
     let ds = tiny_node(NodeDatasetKind::Cora);
     let chance = 1.0 / ds.num_classes as f64;
     for kind in NodeModelKind::all() {
-        let res = run_node_classification(kind, &ds, &node_cfg());
+        let res = run(SessionKind::NodeClassification(kind), &ds, &node_cfg());
         assert!(
             res.test_metric > chance,
             "{} did not beat chance: {:.3}",
@@ -55,7 +60,7 @@ fn every_node_model_runs_link_prediction() {
         NodeModelKind::TopKPool,
         NodeModelKind::AdamGnn,
     ] {
-        let res = run_link_prediction(kind, &ds, &node_cfg());
+        let res = run(SessionKind::LinkPrediction(kind), &ds, &node_cfg());
         assert!(
             res.test_metric > 0.5,
             "{} AUC at or below chance: {:.3}",
@@ -87,12 +92,14 @@ fn graph_classifiers_beat_chance_on_mutag_like_data() {
         GraphModelKind::SagPool,
         GraphModelKind::AdamGnn,
     ] {
-        let res = run_graph_classification(kind, &ds, &cfg);
+        let res = TrainSession::new(SessionKind::GraphClassification(kind), &cfg)
+            .run(&ds)
+            .expect("session runs");
         assert!(
-            res.test_accuracy > 0.5,
+            res.test_metric > 0.5,
             "{} accuracy at or below chance: {:.3}",
             kind.name(),
-            res.test_accuracy
+            res.test_metric
         );
     }
 }
@@ -100,8 +107,16 @@ fn graph_classifiers_beat_chance_on_mutag_like_data() {
 #[test]
 fn training_is_reproducible_under_fixed_seed() {
     let ds = tiny_node(NodeDatasetKind::Citeseer);
-    let a = run_node_classification(NodeModelKind::AdamGnn, &ds, &node_cfg());
-    let b = run_node_classification(NodeModelKind::AdamGnn, &ds, &node_cfg());
+    let a = run(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &ds,
+        &node_cfg(),
+    );
+    let b = run(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &ds,
+        &node_cfg(),
+    );
     assert_eq!(a.test_metric, b.test_metric);
     assert_eq!(a.epochs_run, b.epochs_run);
 }
@@ -112,10 +127,18 @@ fn adamgnn_benefits_from_multigrained_structure() {
     // with levels should not lose to itself without pooling (levels
     // effectively disabled through flyback-off).
     let ds = tiny_node(NodeDatasetKind::Cora);
-    let with = run_node_classification(NodeModelKind::AdamGnn, &ds, &node_cfg());
+    let with = run(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &ds,
+        &node_cfg(),
+    );
     let mut no_fly = node_cfg();
     no_fly.flyback = false;
-    let without = run_node_classification(NodeModelKind::AdamGnn, &ds, &no_fly);
+    let without = run(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &ds,
+        &no_fly,
+    );
     // allow slack: both train, flyback must not be catastrophically worse
     assert!(
         with.test_metric + 0.15 >= without.test_metric,
