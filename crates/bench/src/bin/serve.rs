@@ -1,0 +1,49 @@
+//! Standalone inference server: obtains the benchmark checkpoint
+//! (reusing `MG_CKPT_PATH` when it names a compatible one, training the
+//! small seeded job otherwise) and serves it over HTTP until killed.
+//!
+//! ```text
+//! MG_SERVE_ADDR=127.0.0.1:7878 cargo run --release -p mg-bench --bin serve
+//! curl -s localhost:7878/healthz
+//! curl -s localhost:7878/v1/nodes -d '{"ids": [0, 1, 2]}'
+//! ```
+//!
+//! All `MG_SERVE_*` knobs apply (see `ServeConfig::from_env`); with
+//! `MG_TRACE` set, every request appends a `serve` record.
+
+use mg_eval::FrozenModel;
+use mg_nn::GraphCtx;
+use mg_serve::{ServeConfig, Server};
+
+fn main() {
+    let scale = mg_bench::env_or("REPRO_NODE_SCALE", 0.08);
+    let epochs = mg_bench::env_or("REPRO_EPOCHS", 8);
+    let cfg = ServeConfig::from_env();
+    let server = match Server::start(cfg, move || {
+        let (path, ds, trained) = mg_bench::servebench::prepare_checkpoint(scale, epochs)
+            .map_err(|detail| mg_tensor::MgError::InvalidInput { detail })?;
+        eprintln!(
+            "serve: checkpoint {}{}",
+            path.display(),
+            if trained {
+                " (trained this run)"
+            } else {
+                " (reused)"
+            }
+        );
+        let fm = FrozenModel::load(&path)?;
+        let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+        Ok((fm, ctx))
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("serve: listening on {}", server.addr());
+    // serve until the process is killed
+    loop {
+        std::thread::park();
+    }
+}

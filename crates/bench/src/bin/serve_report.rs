@@ -1,0 +1,17 @@
+//! Online-serving benchmark: starts a real mg-serve server in-process on
+//! an ephemeral loopback port, smoke-tests the endpoint contract (typed
+//! rejections included), drives it at three concurrency levels, and
+//! writes `BENCH_serve.json` with throughput, p50/p99 latency, and the
+//! flush-size histogram.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin serve_report
+//! ```
+//!
+//! `MG_BENCH_SERVE_JSON` overrides the report path; `skip` suppresses
+//! the file. `MG_CKPT_PATH` supplies a compatible checkpoint to reuse.
+//! Exits non-zero when any smoke check or request fails.
+
+fn main() {
+    std::process::exit(mg_bench::servebench::emit_default());
+}

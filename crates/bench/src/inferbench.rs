@@ -21,6 +21,9 @@ use mg_data::{make_node_dataset, NodeDataset, NodeDatasetKind, NodeGenConfig};
 use mg_eval::{FrozenModel, NodeModelKind, SessionKind, TrainConfig, TrainSession};
 use mg_nn::GraphCtx;
 use mg_obs::{InferRecord, Trace};
+use mg_serve::{
+    ApiRequest, ApiResponse, LinksRequest, LinksResponse, ModelService, NodesRequest, NodesResponse,
+};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -52,8 +55,9 @@ impl InferBench {
 
 /// The benchmark's fixed dataset: the same seeded Cora analogue the
 /// traced-training benchmark uses, so the two reports describe one
-/// workload from both sides.
-fn bench_dataset(scale: f64) -> NodeDataset {
+/// workload from both sides. Shared with the serving benchmark
+/// (`servebench`), which loads the same checkpoint this job produces.
+pub(crate) fn bench_dataset(scale: f64) -> NodeDataset {
     make_node_dataset(
         NodeDatasetKind::Cora,
         &NodeGenConfig {
@@ -67,7 +71,7 @@ fn bench_dataset(scale: f64) -> NodeDataset {
 /// An existing checkpoint is reusable only when it describes this exact
 /// benchmark job; anything else (other dataset size, other task, corrupt
 /// file) means retrain rather than serve stale or mismatched weights.
-fn compatible(path: &Path, ds: &NodeDataset) -> bool {
+pub(crate) fn compatible(path: &Path, ds: &NodeDataset) -> bool {
     match FrozenModel::load(path) {
         Ok(m) => {
             let meta = m.meta();
@@ -82,7 +86,7 @@ fn compatible(path: &Path, ds: &NodeDataset) -> bool {
 
 /// Resolve the checkpoint location: an explicit override, else
 /// `MG_CKPT_PATH`, else a per-process temp default.
-fn checkpoint_destination(explicit: Option<&Path>) -> PathBuf {
+pub(crate) fn checkpoint_destination(explicit: Option<&Path>) -> PathBuf {
     if let Some(p) = explicit {
         return p.to_path_buf();
     }
@@ -92,20 +96,17 @@ fn checkpoint_destination(explicit: Option<&Path>) -> PathBuf {
     }
 }
 
-/// Run the inference benchmark: obtain a checkpoint, freeze it, measure
-/// `forwards` timed forward passes. `ckpt_path` overrides the
-/// environment-driven checkpoint location (tests use this to avoid
-/// cross-test env races).
-pub fn run_job(
+/// Obtain the benchmark checkpoint: reuse a compatible one at the
+/// resolved path, train the seeded job otherwise. Returns the path, the
+/// benchmark dataset, and whether training happened here. Shared with
+/// the serving benchmark so both reports describe one model.
+pub(crate) fn obtain_checkpoint(
     scale: f64,
     epochs: usize,
-    forwards: usize,
     ckpt_path: Option<&Path>,
-) -> Result<InferBench, String> {
-    let started = Instant::now();
+) -> Result<(PathBuf, NodeDataset, bool), String> {
     let ds = bench_dataset(scale);
     let path = checkpoint_destination(ckpt_path);
-
     let trained_here = if path.exists() && compatible(&path, &ds) {
         false
     } else {
@@ -128,15 +129,51 @@ pub fn run_job(
         .map_err(|e| format!("training the benchmark checkpoint failed: {e}"))?;
         true
     };
+    Ok((path, ds, trained_here))
+}
+
+/// Run the inference benchmark: obtain a checkpoint, freeze it, measure
+/// `forwards` timed forward passes. `ckpt_path` overrides the
+/// environment-driven checkpoint location (tests use this to avoid
+/// cross-test env races).
+pub fn run_job(
+    scale: f64,
+    epochs: usize,
+    forwards: usize,
+    ckpt_path: Option<&Path>,
+) -> Result<InferBench, String> {
+    let started = Instant::now();
+    let (path, ds, trained_here) = obtain_checkpoint(scale, epochs, ckpt_path)?;
 
     let model = FrozenModel::load(&path)
         .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
     let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+    let (meta_model, meta_dataset) = (model.meta().model.clone(), model.meta().dataset.clone());
+    let pinned_structure = model.structure().is_some();
+    // The sanity checks run through mg-serve's ModelService and wire
+    // types: offline inference exercises exactly the request/response
+    // path the online server exposes, so the two cannot drift.
+    let svc = ModelService::new(model, ctx)
+        .map_err(|e| format!("model/context pairing cannot serve: {e}"))?;
 
-    // Warm-up forward (untimed), reused as the prediction sanity check.
-    let labels = model
-        .predict_labels(&ctx)
-        .map_err(|e| format!("frozen forward failed: {e}"))?;
+    // Warm-up request (untimed), reused as the prediction sanity check.
+    // Encode → decode through the wire JSON to cover the serialization
+    // the server would perform (floats round-trip bitwise).
+    let all_ids: Vec<usize> = (0..ds.n()).collect();
+    let nodes_req = NodesRequest { ids: all_ids };
+    let nodes_req = NodesRequest::from_json(&nodes_req.to_json(), ds.n())
+        .map_err(|e| format!("nodes request did not round-trip: {e}"))?;
+    let labels = match svc
+        .handle_one(ApiRequest::Nodes(nodes_req))
+        .map_err(|e| format!("frozen forward failed: {e}"))?
+    {
+        ApiResponse::Nodes(resp) => {
+            let resp = NodesResponse::from_json(&resp.to_json())
+                .map_err(|e| format!("nodes response did not round-trip: {e}"))?;
+            resp.labels
+        }
+        ApiResponse::Links(_) => return Err("nodes request answered with link scores".into()),
+    };
     if labels.len() != ds.n() {
         return Err(format!(
             "frozen model produced {} predictions for {} nodes",
@@ -146,6 +183,9 @@ pub fn run_job(
     }
     let mut seen = vec![false; ds.num_classes];
     for &l in &labels {
+        if l >= seen.len() {
+            return Err(format!("label {l} outside the {} classes", seen.len()));
+        }
         seen[l] = true;
     }
     let distinct_classes = seen.iter().filter(|&&s| s).count();
@@ -154,10 +194,18 @@ pub fn run_job(
     let pairs: Vec<(usize, usize)> = (0..ds.n().saturating_sub(1).min(8))
         .map(|i| (i, i + 1))
         .collect();
-    for s in model
-        .score_links(&ctx, &pairs)
+    let links = match svc
+        .handle_one(ApiRequest::Links(LinksRequest { pairs }))
         .map_err(|e| format!("link scoring failed: {e}"))?
     {
+        ApiResponse::Links(resp) => {
+            LinksResponse::from_json(&resp.to_json())
+                .map_err(|e| format!("links response did not round-trip: {e}"))?
+                .scores
+        }
+        ApiResponse::Nodes(_) => return Err("links request answered with node outputs".into()),
+    };
+    for s in links {
         if !(0.0..=1.0).contains(&s) {
             return Err(format!("link score {s} outside [0, 1]"));
         }
@@ -165,8 +213,8 @@ pub fn run_job(
 
     let timer = Instant::now();
     for _ in 0..forwards {
-        let again = model
-            .node_outputs(&ctx)
+        let again = svc
+            .forward()
             .map_err(|e| format!("frozen forward failed: {e}"))?;
         // Inference is deterministic; a shape drift mid-loop is a bug.
         if again.rows() != ds.n() {
@@ -178,17 +226,17 @@ pub fn run_job(
     let bench = InferBench {
         checkpoint: path.display().to_string(),
         trained_here,
-        model: model.meta().model.clone(),
-        dataset: model.meta().dataset.clone(),
+        model: meta_model,
+        dataset: meta_dataset,
         n_nodes: ds.n(),
-        pinned_structure: model.structure().is_some(),
+        pinned_structure,
         forwards,
         total_ns,
         distinct_classes,
         total_s: started.elapsed().as_secs_f64(),
     };
 
-    let mut trace = Trace::from_env(&model.meta().task);
+    let mut trace = Trace::from_env(&svc.model().meta().task);
     trace.infer(&InferRecord {
         checkpoint: bench.checkpoint.clone(),
         model: bench.model.clone(),

@@ -20,6 +20,7 @@ use mg_eval::TrainConfig;
 
 pub mod inferbench;
 pub mod opsbench;
+pub mod servebench;
 pub mod trainreport;
 
 /// Read an environment variable with a typed default.

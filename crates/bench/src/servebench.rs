@@ -1,0 +1,448 @@
+//! Online-serving benchmark, exported as `BENCH_serve.json`.
+//!
+//! The `serve_report` binary is the online counterpart of `infer`: it
+//! obtains the same benchmark checkpoint (reusing `MG_CKPT_PATH` when
+//! compatible, training the seeded job otherwise), starts a real
+//! [`Server`] on an ephemeral loopback port, smoke-tests the endpoint
+//! contract with mixed valid and invalid requests (typed rejections
+//! asserted, not just non-200s), then drives the server at several
+//! concurrency levels over keep-alive connections:
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin serve_report
+//! ```
+//!
+//! Per level the report records throughput and p50/p99 latency; the
+//! final `/statsz` scrape contributes the flush-size histogram, which is
+//! the direct evidence of micro-batching (higher concurrency → more
+//! multi-request flushes). `MG_BENCH_SERVE_JSON` overrides the report
+//! path (`skip` suppresses it).
+
+use crate::inferbench::obtain_checkpoint;
+use mg_eval::FrozenModel;
+use mg_nn::GraphCtx;
+use mg_obs::Json;
+use mg_serve::{HttpClient, LinksRequest, NodesRequest, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Obtain (reuse or train) the benchmark checkpoint and its dataset —
+/// the standalone `serve` binary's startup path.
+pub fn prepare_checkpoint(
+    scale: f64,
+    epochs: usize,
+) -> Result<(PathBuf, mg_data::NodeDataset, bool), String> {
+    obtain_checkpoint(scale, epochs, None)
+}
+
+/// One concurrency level's measurements.
+#[derive(Clone, Debug)]
+pub struct LevelStats {
+    pub concurrency: usize,
+    pub requests: usize,
+    pub wall_s: f64,
+    pub throughput_rps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// Everything the serving benchmark produced.
+#[derive(Clone, Debug)]
+pub struct ServeBench {
+    pub checkpoint: String,
+    pub trained_here: bool,
+    pub model: String,
+    pub dataset: String,
+    pub n_nodes: usize,
+    pub max_batch: usize,
+    pub max_wait_us: u64,
+    /// Contract checks performed by the smoke phase (valid requests
+    /// answered, invalid ones rejected with the right typed code).
+    pub smoke_checks: usize,
+    pub levels: Vec<LevelStats>,
+    /// flush size -> flush count, from the final `/statsz` scrape.
+    pub batch_hist: Vec<(usize, u64)>,
+    pub flushes: u64,
+    pub total_s: f64,
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+/// The request a client issues on iteration `i`: alternating node
+/// lookups and link scorings with varying ids, so flushes are mixed.
+fn request_body(i: usize, n_nodes: usize) -> (&'static str, String) {
+    if i.is_multiple_of(2) {
+        let ids = vec![i % n_nodes, (i * 31 + 5) % n_nodes];
+        ("/v1/nodes", NodesRequest { ids }.to_json())
+    } else {
+        let pairs = vec![(i % n_nodes, (i * 17 + 3) % n_nodes)];
+        ("/v1/links", LinksRequest { pairs }.to_json())
+    }
+}
+
+/// Assert one smoke expectation against the live server.
+fn check(
+    client: &mut HttpClient,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    want_status: u16,
+    want_code: Option<&str>,
+) -> Result<(), String> {
+    let (status, resp) = client
+        .request(method, path, body)
+        .map_err(|e| format!("{method} {path}: transport failed: {e}"))?;
+    if status != want_status {
+        return Err(format!(
+            "{method} {path}: expected {want_status}, got {status} ({resp})"
+        ));
+    }
+    if let Some(code) = want_code {
+        let v = Json::parse(&resp).map_err(|e| format!("{method} {path}: body not JSON: {e}"))?;
+        if v.get("error").and_then(Json::as_str) != Some(code) {
+            return Err(format!(
+                "{method} {path}: expected error code {code:?}, got {resp}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The endpoint-contract smoke phase: valid requests answer 200, every
+/// class of invalid request is rejected with its typed code, and a
+/// rejection never wedges the connection. Returns the check count.
+fn smoke(addr: SocketAddr, n_nodes: usize) -> Result<usize, String> {
+    let mut c = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let good_nodes = NodesRequest {
+        ids: vec![0, n_nodes - 1],
+    }
+    .to_json();
+    let good_links = LinksRequest {
+        pairs: vec![(0, n_nodes - 1)],
+    }
+    .to_json();
+    let bad_id = NodesRequest {
+        ids: vec![n_nodes + 9],
+    }
+    .to_json();
+    type Case<'a> = (&'a str, &'a str, Option<&'a str>, u16, Option<&'a str>);
+    let cases: Vec<Case> = vec![
+        ("GET", "/healthz", None, 200, None),
+        ("POST", "/v1/nodes", Some(&good_nodes), 200, None),
+        ("POST", "/v1/links", Some(&good_links), 200, None),
+        (
+            "POST",
+            "/v1/nodes",
+            Some("not json"),
+            400,
+            Some("bad_request"),
+        ),
+        (
+            "POST",
+            "/v1/nodes",
+            Some(&bad_id),
+            400,
+            Some("invalid_input"),
+        ),
+        (
+            "POST",
+            "/v1/links",
+            Some("{\"pairs\": [[0]]}"),
+            400,
+            Some("bad_request"),
+        ),
+        ("GET", "/v1/nodes", None, 405, Some("method_not_allowed")),
+        ("POST", "/nope", None, 404, Some("not_found")),
+        // the same connection keeps serving after every rejection above
+        ("POST", "/v1/nodes", Some(&good_nodes), 200, None),
+        ("GET", "/statsz", None, 200, None),
+    ];
+    let n = cases.len();
+    for (method, path, body, status, code) in cases {
+        check(&mut c, method, path, body, status, code)?;
+    }
+    Ok(n)
+}
+
+/// Drive one concurrency level: `concurrency` keep-alive clients, each
+/// issuing `per_client` requests, every response checked for 200.
+fn drive_level(
+    addr: SocketAddr,
+    n_nodes: usize,
+    concurrency: usize,
+    per_client: usize,
+) -> Result<LevelStats, String> {
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..concurrency)
+        .map(|w| {
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let (path, body) = request_body(w * per_client + i, n_nodes);
+                    let t = Instant::now();
+                    let (status, resp) = client
+                        .request("POST", path, Some(&body))
+                        .map_err(|e| format!("request: {e}"))?;
+                    lat.push(t.elapsed().as_nanos() as u64);
+                    if status != 200 {
+                        return Err(format!("worker {w}: {path} answered {status}: {resp}"));
+                    }
+                }
+                Ok(lat)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(concurrency * per_client);
+    for worker in workers {
+        latencies.extend(worker.join().map_err(|_| "worker panicked".to_string())??);
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Ok(LevelStats {
+        concurrency,
+        requests: latencies.len(),
+        wall_s,
+        throughput_rps: latencies.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+    })
+}
+
+/// Run the serving benchmark end to end.
+pub fn run_job(
+    scale: f64,
+    epochs: usize,
+    per_client: usize,
+    concurrency_levels: &[usize],
+    ckpt_path: Option<&Path>,
+) -> Result<ServeBench, String> {
+    if concurrency_levels.len() < 3 {
+        return Err(format!(
+            "the report needs at least 3 concurrency levels, got {concurrency_levels:?}"
+        ));
+    }
+    let started = Instant::now();
+    let (path, ds, trained_here) = obtain_checkpoint(scale, epochs, ckpt_path)?;
+    let n_nodes = ds.n();
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_batch: 16,
+        max_wait: Duration::from_micros(300),
+        ..ServeConfig::default()
+    };
+    let (max_batch, max_wait_us) = (cfg.max_batch, cfg.max_wait.as_micros() as u64);
+    let init_path = path.clone();
+    let server = Server::start(cfg, move || {
+        let fm = FrozenModel::load(&init_path)?;
+        let ds = crate::inferbench::bench_dataset(scale);
+        let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+        Ok((fm, ctx))
+    })
+    .map_err(|e| format!("server failed to start: {e}"))?;
+    let addr = server.addr();
+
+    let result = (|| -> Result<ServeBench, String> {
+        let smoke_checks = smoke(addr, n_nodes)?;
+
+        let mut levels = Vec::new();
+        for &concurrency in concurrency_levels {
+            levels.push(drive_level(addr, n_nodes, concurrency, per_client)?);
+        }
+
+        // the final statsz scrape carries the batching evidence
+        let mut c = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let (status, body) = c
+            .request("GET", "/statsz", None)
+            .map_err(|e| format!("statsz: {e}"))?;
+        if status != 200 {
+            return Err(format!("statsz answered {status}"));
+        }
+        let v = Json::parse(&body).map_err(|e| format!("statsz body: {e}"))?;
+        let model = v
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("statsz lacks model")?
+            .to_string();
+        let dataset = v
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or("statsz lacks dataset")?
+            .to_string();
+        let batch = v.get("batch").ok_or("statsz lacks batch")?;
+        let flushes = batch
+            .get("flushes")
+            .and_then(Json::as_f64)
+            .ok_or("statsz lacks flushes")? as u64;
+        let mut batch_hist: Vec<(usize, u64)> = Vec::new();
+        for size in 1..=max_batch {
+            if let Some(count) = batch
+                .get("hist")
+                .and_then(|h| h.get(&size.to_string()))
+                .and_then(Json::as_f64)
+            {
+                batch_hist.push((size, count as u64));
+            }
+        }
+        Ok(ServeBench {
+            checkpoint: path.display().to_string(),
+            trained_here,
+            model,
+            dataset,
+            n_nodes,
+            max_batch,
+            max_wait_us,
+            smoke_checks,
+            levels,
+            batch_hist,
+            flushes,
+            total_s: started.elapsed().as_secs_f64(),
+        })
+    })();
+    server.shutdown();
+    result
+}
+
+/// Render the `BENCH_serve.json` document.
+pub fn to_json(b: &ServeBench) -> String {
+    let levels: Vec<String> = b
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"concurrency\": {}, \"requests\": {}, \"wall_s\": {:.3}, \
+                 \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                l.concurrency, l.requests, l.wall_s, l.throughput_rps, l.p50_ms, l.p99_ms
+            )
+        })
+        .collect();
+    let hist: Vec<String> = b
+        .batch_hist
+        .iter()
+        .map(|(size, count)| format!("\"{size}\": {count}"))
+        .collect();
+    format!(
+        "{{\n  \"task\": \"serve\",\n  \"model\": \"{}\",\n  \"dataset\": \"{}\",\n  \
+         \"checkpoint\": \"{}\",\n  \"trained_here\": {},\n  \"parallel_feature\": {},\n  \
+         \"n_nodes\": {},\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \
+         \"smoke_checks\": {},\n  \"levels\": [\n{}\n  ],\n  \
+         \"batch_hist\": {{{}}},\n  \"flushes\": {},\n  \"total_s\": {:.3}\n}}\n",
+        b.model,
+        b.dataset,
+        b.checkpoint.replace('\\', "/"),
+        b.trained_here,
+        cfg!(feature = "parallel"),
+        b.n_nodes,
+        b.max_batch,
+        b.max_wait_us,
+        b.smoke_checks,
+        levels.join(",\n"),
+        hist.join(", "),
+        b.flushes,
+        b.total_s,
+    )
+}
+
+/// Run the default-size job and write `BENCH_serve.json` (path
+/// overridable via `MG_BENCH_SERVE_JSON`; `skip` suppresses the file but
+/// still runs the measurement). Returns a process exit code.
+pub fn emit_default() -> i32 {
+    let b = match run_job(0.08, 8, 40, &[1, 4, 16], None) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("serve_report: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "serve_report: {} ({}) from {}{}, {} nodes, {} smoke checks, {} flushes",
+        b.model,
+        b.dataset,
+        b.checkpoint,
+        if b.trained_here {
+            " (trained this run)"
+        } else {
+            " (reused)"
+        },
+        b.n_nodes,
+        b.smoke_checks,
+        b.flushes,
+    );
+    for l in &b.levels {
+        eprintln!(
+            "  c={:>3}: {:>5} reqs, {:>8.1} req/s, p50 {:>7.3} ms, p99 {:>7.3} ms",
+            l.concurrency, l.requests, l.throughput_rps, l.p50_ms, l.p99_ms
+        );
+    }
+    let path = std::env::var("MG_BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&b);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end job: smoke passes, every level measures, and
+    /// the report is valid JSON with the required keys.
+    #[test]
+    fn job_serves_measures_and_reports() {
+        let path =
+            std::env::temp_dir().join(format!("mg_serve_bench_test_{}.mgc", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let b = run_job(0.03, 3, 6, &[1, 2, 4], Some(&path)).expect("job runs");
+        assert!(b.trained_here);
+        assert_eq!(b.smoke_checks, 10);
+        assert_eq!(b.levels.len(), 3);
+        for l in &b.levels {
+            assert!(l.requests > 0 && l.throughput_rps > 0.0);
+            assert!(l.p50_ms <= l.p99_ms);
+        }
+        assert!(b.flushes > 0, "the batcher must have flushed");
+        let total_flushed: u64 = b.batch_hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(
+            total_flushed, b.flushes,
+            "histogram accounts for every flush"
+        );
+        let json = to_json(&b);
+        let v = Json::parse(&json).expect("report is valid JSON");
+        for key in [
+            "model",
+            "checkpoint",
+            "levels",
+            "batch_hist",
+            "flushes",
+            "smoke_checks",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key} in {json}");
+        }
+        assert_eq!(v.get("levels").unwrap().as_arr().unwrap().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fewer_than_three_levels_is_refused() {
+        let err = run_job(0.03, 3, 2, &[1, 2], None).unwrap_err();
+        assert!(err.contains("at least 3"), "{err}");
+    }
+}

@@ -347,6 +347,64 @@ impl Checkpoint {
         let bytes = std::fs::read(path).map_err(|e| MgError::io(path, e))?;
         Checkpoint::from_bytes(&bytes)
     }
+
+    /// Cross-section consistency of a pinned pooling hierarchy.
+    ///
+    /// The structure section decodes independently of `meta`, so a
+    /// checkpoint can be bytewise intact (every CRC passes) yet describe
+    /// a hierarchy that does not chain from `meta.n_nodes` — replaying it
+    /// would index out of range mid-forward. Serving paths
+    /// (`FrozenModel::from_checkpoint`) call this to turn that class of
+    /// corruption into a typed [`MgError::Mismatch`] up front. Each level
+    /// must satisfy, with `prev` the node count of the level above
+    /// (starting at `meta.n_nodes`):
+    /// * every ego id indexes a `prev`-level node;
+    /// * the coarse graph is non-empty and no larger than `prev`
+    ///   (pooling never grows the graph), with at most one coarse column
+    ///   per coarse node anchored on an ego;
+    /// * the stored normalised adjacency is square over the coarse graph
+    ///   with one value per stored nonzero.
+    pub fn validate_structure(&self) -> Result<(), MgError> {
+        let Some(s) = &self.structure else {
+            return Ok(());
+        };
+        let mut prev = self.meta.n_nodes;
+        for (k, level) in s.levels.iter().enumerate() {
+            let mismatch = |detail: String| MgError::Mismatch {
+                detail: format!("structure level {k}: {detail}"),
+            };
+            let coarse = level.next_topo.n();
+            if coarse == 0 || coarse > prev {
+                return Err(mismatch(format!(
+                    "coarse graph has {coarse} nodes but pools {prev}"
+                )));
+            }
+            if let Some(&ego) = level.egos.iter().find(|&&e| e >= prev) {
+                return Err(mismatch(format!("ego {ego} out of range for {prev} nodes")));
+            }
+            if level.egos.is_empty() || level.egos.len() > coarse {
+                return Err(mismatch(format!(
+                    "{} egos cannot anchor {coarse} coarse nodes",
+                    level.egos.len()
+                )));
+            }
+            let (r, c) = (level.norm.csr.rows(), level.norm.csr.cols());
+            if r != coarse || c != coarse {
+                return Err(mismatch(format!(
+                    "normalised adjacency is {r}x{c} for a {coarse}-node coarse graph"
+                )));
+            }
+            if level.norm.values.len() != level.norm.csr.nnz() {
+                return Err(mismatch(format!(
+                    "{} adjacency values for {} stored nonzeros",
+                    level.norm.values.len(),
+                    level.norm.csr.nnz()
+                )));
+            }
+            prev = coarse;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +468,75 @@ mod tests {
             epoch_times: vec![0.01, 0.011, 0.009],
             structure: None,
         }
+    }
+
+    fn two_level_structure() -> FrozenStructure {
+        // 140-node graph pooled to 3 hyper-nodes, then to 2.
+        let coarse1 = mg_graph::Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let coarse2 = mg_graph::Topology::from_edges(2, &[(0, 1)]);
+        FrozenStructure {
+            levels: vec![
+                adamgnn_core::FrozenLevel {
+                    egos: vec![5, 60, 139],
+                    norm: mg_graph::gcn_norm(&coarse1),
+                    next_topo: std::rc::Rc::new(coarse1),
+                },
+                adamgnn_core::FrozenLevel {
+                    egos: vec![0, 2],
+                    norm: mg_graph::gcn_norm(&coarse2),
+                    next_topo: std::rc::Rc::new(coarse2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn structure_validation_accepts_consistent_chains() {
+        let mut ck = sample_checkpoint();
+        ck.validate_structure().expect("no structure is fine");
+        ck.structure = Some(two_level_structure());
+        ck.validate_structure().expect("consistent chain validates");
+    }
+
+    #[test]
+    fn structure_validation_rejects_doctored_sections() {
+        let doctor = |f: &mut dyn FnMut(&mut FrozenStructure)| {
+            let mut ck = sample_checkpoint();
+            let mut s = two_level_structure();
+            f(&mut s);
+            ck.structure = Some(s);
+            ck.validate_structure()
+        };
+        // ego beyond the graph the checkpoint claims to describe
+        let err = doctor(&mut |s| s.levels[0].egos[1] = 140).unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // second-level ego indexes the original graph, not the coarse one
+        let err = doctor(&mut |s| s.levels[1].egos[0] = 3).unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // coarse graph larger than what it pools
+        let big = mg_graph::Topology::from_edges(141, &[(0, 1)]);
+        let err = doctor(&mut |s| {
+            s.levels[0].norm = mg_graph::gcn_norm(&big);
+            s.levels[0].next_topo = std::rc::Rc::new(big.clone());
+        })
+        .unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // adjacency dimensions disagree with the coarse topology
+        let other = mg_graph::Topology::from_edges(5, &[(0, 1)]);
+        let err = doctor(&mut |s| s.levels[0].norm = mg_graph::gcn_norm(&other)).unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // value array out of step with the stored nonzeros
+        let err = doctor(&mut |s| {
+            s.levels[0].norm.values.pop();
+        })
+        .unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // more egos than coarse nodes
+        let err = doctor(&mut |s| s.levels[1].egos = vec![0, 1, 1]).unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
+        // empty ego list can anchor nothing
+        let err = doctor(&mut |s| s.levels[0].egos.clear()).unwrap_err();
+        assert!(matches!(err, MgError::Mismatch { .. }), "{err}");
     }
 
     #[test]

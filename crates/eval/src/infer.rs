@@ -44,6 +44,10 @@ impl FrozenModel {
     /// architecture, then overwrite every parameter with the saved
     /// tensors (names and shapes are validated by the import).
     pub fn from_checkpoint(ck: Checkpoint) -> Result<FrozenModel, MgError> {
+        // A pinned hierarchy that does not chain from the recorded graph
+        // dimensions would index out of range mid-forward; reject the
+        // artifact before building anything on top of it.
+        ck.validate_structure()?;
         let cfg = session::from_ckpt_config(&ck.config);
         let mut store = ParamStore::new();
         // throwaway init draws; import_state overwrites everything
@@ -127,7 +131,8 @@ impl FrozenModel {
     /// Per-node class predictions (argmax over the output rows).
     pub fn predict_labels(&self, ctx: &GraphCtx) -> Result<Vec<usize>, MgError> {
         let out = self.node_outputs(ctx)?;
-        Ok((0..out.rows()).map(|i| out.row_argmax(i)).collect())
+        let ids: Vec<usize> = (0..out.rows()).collect();
+        Self::labels_from(&out, &ids)
     }
 
     /// Link probabilities `sigma(h_u . h_v)` for the given node pairs.
@@ -137,15 +142,52 @@ impl FrozenModel {
         pairs: &[(usize, usize)],
     ) -> Result<Vec<f64>, MgError> {
         let h = self.node_outputs(ctx)?;
+        Self::link_scores_from(&h, pairs)
+    }
+
+    /// Batch entry point: gather the output rows for `ids` out of one
+    /// full forward's output matrix.
+    ///
+    /// Serving layers (mg-serve's micro-batcher, the `infer` bench) run
+    /// [`FrozenModel::node_outputs`] once per flush and answer every
+    /// coalesced request from the same matrix through these gathers —
+    /// which is why responses are bitwise identical however requests are
+    /// batched. Any out-of-range id rejects the whole request with
+    /// [`MgError::InvalidInput`]; there are no partial results.
+    pub fn embeddings_from(h: &Matrix, ids: &[usize]) -> Result<Vec<Vec<f64>>, MgError> {
+        Self::check_ids(h, ids)?;
+        Ok(ids.iter().map(|&i| h.row(i).to_vec()).collect())
+    }
+
+    /// Batch entry point: argmax labels for `ids` from one full
+    /// forward's output matrix (see [`FrozenModel::embeddings_from`]).
+    pub fn labels_from(h: &Matrix, ids: &[usize]) -> Result<Vec<usize>, MgError> {
+        Self::check_ids(h, ids)?;
+        Ok(ids.iter().map(|&i| h.row_argmax(i)).collect())
+    }
+
+    /// Batch entry point: link probabilities `sigma(h_u . h_v)` for
+    /// `pairs` from one full forward's output matrix (see
+    /// [`FrozenModel::embeddings_from`]).
+    pub fn link_scores_from(h: &Matrix, pairs: &[(usize, usize)]) -> Result<Vec<f64>, MgError> {
         if let Some(&(u, v)) = pairs.iter().find(|&&(u, v)| u >= h.rows() || v >= h.rows()) {
             return Err(MgError::InvalidInput {
                 detail: format!("link ({u}, {v}) out of range for {} nodes", h.rows()),
             });
         }
-        Ok(crate::metrics::pair_scores(&h, pairs)
+        Ok(crate::metrics::pair_scores(h, pairs)
             .into_iter()
             .map(|s| 1.0 / (1.0 + (-s).exp()))
             .collect())
+    }
+
+    fn check_ids(h: &Matrix, ids: &[usize]) -> Result<(), MgError> {
+        if let Some(&bad) = ids.iter().find(|&&i| i >= h.rows()) {
+            return Err(MgError::InvalidInput {
+                detail: format!("node id {bad} out of range for {} nodes", h.rows()),
+            });
+        }
+        Ok(())
     }
 
     /// Class prediction for each input graph.
@@ -244,6 +286,36 @@ mod tests {
             // two loads predict identically (frozen forwards are pure)
             let again = FrozenModel::load(&path).unwrap();
             assert_eq!(labels, again.predict_labels(&ctx).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A bytewise-intact checkpoint whose structure section disagrees
+    /// with the recorded graph dimensions must be rejected at load, not
+    /// detonate mid-forward.
+    #[test]
+    fn frozen_model_rejects_doctored_structure() {
+        let dir = std::env::temp_dir().join("mg_infer_test_doctored");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = trained_checkpoint(&dir, NodeModelKind::AdamGnn);
+        let mut ck = Checkpoint::load(&path).unwrap();
+        let structure = ck.structure.as_mut().expect("AdamGNN pins structure");
+        // point one ego past the graph the checkpoint claims to describe
+        structure.levels[0].egos[0] = ck.meta.n_nodes + 7;
+        let doctored = dir.join("doctored.mgck");
+        ck.save(&doctored).unwrap();
+        // the file itself is valid: every CRC passes on reload
+        let reloaded = Checkpoint::load(&doctored).expect("doctored file decodes");
+        assert!(reloaded.structure.is_some());
+        match FrozenModel::load(&doctored) {
+            Err(MgError::Mismatch { detail }) => {
+                assert!(
+                    detail.contains("out of range"),
+                    "unhelpful detail: {detail}"
+                )
+            }
+            Err(other) => panic!("doctored structure must be a Mismatch, got {other}"),
+            Ok(_) => panic!("doctored structure must not load"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

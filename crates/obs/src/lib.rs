@@ -27,7 +27,10 @@
 //!   registry, folding the `MG_KERNEL_STATS` story into the same file;
 //! * `run_end` — best validation / test metrics and total wall time;
 //! * `infer` — one frozen-model inference job: checkpoint provenance
-//!   plus forward-pass throughput ([`InferRecord`]).
+//!   plus forward-pass throughput ([`InferRecord`]);
+//! * `serve` — one online-inference request served by mg-serve: endpoint,
+//!   HTTP status, micro-batch size, queue wait and the batched forward's
+//!   wall time ([`ServeRecord`]).
 //!
 //! [`validate_trace`] re-parses an emitted trace and checks the schema;
 //! the `train_report` binary and the obs-smoke CI job run it on every
@@ -40,6 +43,6 @@ pub mod trace;
 pub mod validate;
 
 pub use json::Json;
-pub use record::{BetaStats, EpochRecord, InferRecord, RunEnd, RunMeta};
+pub use record::{BetaStats, EpochRecord, InferRecord, RunEnd, RunMeta, ServeRecord};
 pub use trace::{Stopwatch, Trace};
 pub use validate::{validate_trace, TraceReport};

@@ -219,6 +219,49 @@ impl InferRecord {
     }
 }
 
+/// One served online-inference request, emitted as `kind: "serve"`.
+///
+/// mg-serve emits one record per HTTP request, successful or rejected.
+/// Requests that reached the micro-batcher carry the flush they rode in
+/// (`batch_size`, shared `forward_ns`, per-request `queue_ns`); requests
+/// rejected before batching (malformed JSON, unknown route, payload cap,
+/// queue-full backpressure) record zeros there — the `status` field is
+/// what distinguishes the outcomes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRecord {
+    /// Request path (e.g. `/v1/nodes`).
+    pub endpoint: String,
+    /// HTTP status the server answered with.
+    pub status: u16,
+    /// Node ids / node pairs in the request body (0 when the body never
+    /// parsed).
+    pub items: usize,
+    /// Requests coalesced into the flush this one was served by (0 for
+    /// requests rejected before batching).
+    pub batch_size: usize,
+    /// Time spent queued before its flush started, ns.
+    pub queue_ns: u64,
+    /// Wall time of the flush's single batched forward, ns (shared by
+    /// every request in the batch).
+    pub forward_ns: u64,
+}
+
+impl ServeRecord {
+    pub(crate) fn to_json_line(&self, task: &str) -> String {
+        format!(
+            "{{\"kind\": \"serve\", \"task\": {}, \"endpoint\": {}, \"status\": {}, \
+             \"items\": {}, \"batch_size\": {}, \"queue_ns\": {}, \"forward_ns\": {}}}",
+            string(task),
+            string(&self.endpoint),
+            self.status,
+            self.items,
+            self.batch_size,
+            self.queue_ns,
+            self.forward_ns,
+        )
+    }
+}
+
 /// Final results of a run, emitted as `kind: "run_end"`.
 #[derive(Clone, Debug)]
 pub struct RunEnd {
@@ -356,6 +399,24 @@ mod tests {
         assert_eq!(v.get("checkpoint").unwrap().as_str(), Some("out/ck.mgc"));
         assert_eq!(v.get("forwards").unwrap().as_f64(), Some(10.0));
         assert_eq!(v.get("pinned_structure"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn serve_line_parses() {
+        let rec = ServeRecord {
+            endpoint: "/v1/nodes".into(),
+            status: 200,
+            items: 4,
+            batch_size: 3,
+            queue_ns: 1_500,
+            forward_ns: 90_000,
+        };
+        let v = Json::parse(&rec.to_json_line("serve")).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("serve"));
+        assert_eq!(v.get("endpoint").unwrap().as_str(), Some("/v1/nodes"));
+        assert_eq!(v.get("status").unwrap().as_f64(), Some(200.0));
+        assert_eq!(v.get("batch_size").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("queue_ns").unwrap().as_f64(), Some(1500.0));
     }
 
     #[test]

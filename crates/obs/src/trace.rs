@@ -13,7 +13,9 @@
 //! Records append to the file, so several runs in one process (or one
 //! table sweep) share a single chronologically ordered trace.
 
-use crate::record::{kernel_stats_json_line, EpochRecord, InferRecord, RunEnd, RunMeta};
+use crate::record::{
+    kernel_stats_json_line, EpochRecord, InferRecord, RunEnd, RunMeta, ServeRecord,
+};
 use crate::summary::render_summary;
 use std::fs::OpenOptions;
 use std::io::{BufWriter, Write};
@@ -157,6 +159,24 @@ impl Trace {
         if let Some(inner) = &mut self.inner {
             let line = rec.to_json_line(&inner.task);
             Self::write_line(inner, &line);
+        }
+    }
+
+    /// Emit one `serve` record describing a served online-inference
+    /// request (mg-serve emits one per HTTP request, including rejects).
+    pub fn serve(&mut self, rec: &ServeRecord) {
+        if let Some(inner) = &mut self.inner {
+            let line = rec.to_json_line(&inner.task);
+            Self::write_line(inner, &line);
+        }
+    }
+
+    /// Flush buffered records to the sink without ending the run. A
+    /// long-lived server calls this after each record so a trace reader
+    /// (or a crash) never loses the tail of the file.
+    pub fn flush(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            let _ = inner.out.flush();
         }
     }
 

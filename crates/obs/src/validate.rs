@@ -17,6 +17,8 @@ pub struct TraceReport {
     pub run_ends: usize,
     /// `infer` records (frozen-model inference jobs).
     pub infers: usize,
+    /// `serve` records (one per online-inference request).
+    pub serves: usize,
     /// Per-epoch `train_ns` values, in emission order.
     pub epoch_train_ns: Vec<u64>,
     /// Per-epoch `eval_ns` values, in emission order.
@@ -62,6 +64,15 @@ const INFER_KEYS: &[&str] = &[
     "pinned_structure",
     "forwards",
     "total_ns",
+];
+const SERVE_KEYS: &[&str] = &[
+    "task",
+    "endpoint",
+    "status",
+    "items",
+    "batch_size",
+    "queue_ns",
+    "forward_ns",
 ];
 
 fn require_keys(v: &Json, keys: &[&str], line_no: usize) -> Result<(), String> {
@@ -115,6 +126,10 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
             "infer" => {
                 require_keys(&v, INFER_KEYS, line_no)?;
                 report.infers += 1;
+            }
+            "serve" => {
+                require_keys(&v, SERVE_KEYS, line_no)?;
+                report.serves += 1;
             }
             other => return Err(format!("line {line_no}: unknown kind {other:?}")),
         }
@@ -205,6 +220,37 @@ mod tests {
         assert_eq!(report.infers, 1);
         // a truncated infer record must be rejected
         assert!(validate_trace("{\"kind\": \"infer\", \"task\": \"t\"}\n").is_err());
+    }
+
+    #[test]
+    fn serve_record_validates() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut t = Trace::to_writer("serve", Box::new(Shared(buf.clone())));
+        t.serve(&crate::record::ServeRecord {
+            endpoint: "/v1/links".into(),
+            status: 200,
+            items: 2,
+            batch_size: 5,
+            queue_ns: 100,
+            forward_ns: 9000,
+        });
+        t.serve(&crate::record::ServeRecord {
+            endpoint: "/v1/nodes".into(),
+            status: 400,
+            items: 0,
+            batch_size: 0,
+            queue_ns: 0,
+            forward_ns: 0,
+        });
+        drop(t);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let report = validate_trace(&text).expect("serve trace validates");
+        assert_eq!(report.serves, 2);
+        // a serve record missing its batching keys must be rejected
+        assert!(validate_trace(
+            "{\"kind\": \"serve\", \"task\": \"serve\", \"endpoint\": \"/v1/nodes\"}\n"
+        )
+        .is_err());
     }
 
     #[test]

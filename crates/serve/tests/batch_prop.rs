@@ -1,0 +1,130 @@
+//! Property tests isolating the micro-batcher: however concurrent
+//! submissions interleave across flush windows, every submitter gets
+//! exactly the answer sequential execution would have given it, and a
+//! full queue pushes back instead of dropping work.
+
+use mg_serve::{BatchCfg, Batcher, ServeError};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The executor contract mg-serve's model thread obeys: a pure function
+/// of each request, independent of its flush companions. Any executor
+/// of this shape makes batched == sequential hold by construction; the
+/// batcher's job is to never break it by merging, reordering within a
+/// reply, or dropping.
+fn pure(req: u64) -> u64 {
+    req.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of concurrent submitters — random request
+    /// values, thread counts, batch caps, straggler windows, submission
+    /// jitter — yields each submitter exactly the sequential answer.
+    #[test]
+    fn any_interleaving_matches_sequential(
+        reqs in proptest::collection::vec(0u64..1_000_000, 1..40),
+        max_batch in 1usize..9,
+        wait_us in 0u64..800,
+        jitter_us in 0u64..200,
+    ) {
+        let batcher: Arc<Batcher<u64, u64>> = Arc::new(Batcher::new(BatchCfg {
+            max_batch,
+            max_wait: Duration::from_micros(wait_us),
+            max_queue: 1024,
+        }));
+        let flusher = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                b.serve_loop(|batch| {
+                    let out = batch.into_iter().map(|r| Ok(pure(r))).collect();
+                    (out, 1)
+                })
+            })
+        };
+        let workers: Vec<_> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &req)| {
+                let b = Arc::clone(&batcher);
+                let nap = Duration::from_micros((i as u64 * 7) % (jitter_us + 1));
+                std::thread::spawn(move || {
+                    std::thread::sleep(nap);
+                    let rx = b.submit(req).expect("queue has room");
+                    rx.recv().expect("flusher answers")
+                })
+            })
+            .collect();
+        for (worker, &req) in workers.into_iter().zip(&reqs) {
+            let (result, meta) = worker.join().unwrap();
+            // bitwise the sequential answer, whatever flush it rode in
+            prop_assert_eq!(result.unwrap(), pure(req));
+            prop_assert!(meta.batch_size >= 1 && meta.batch_size <= max_batch);
+        }
+        batcher.close();
+        flusher.join().unwrap();
+    }
+}
+
+/// A queue at capacity rejects loudly and drops nothing: every submit is
+/// either answered correctly or refused with a typed `Overloaded`, and
+/// the two tallies account for every attempt.
+#[test]
+fn queue_full_is_backpressure_not_loss() {
+    let batcher: Arc<Batcher<u64, u64>> = Arc::new(Batcher::new(BatchCfg {
+        max_batch: 2,
+        max_wait: Duration::from_micros(200),
+        max_queue: 4,
+    }));
+    let answered = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    // a deliberately slow flusher so the tiny queue actually fills
+    let flusher = {
+        let b = Arc::clone(&batcher);
+        std::thread::spawn(move || {
+            b.serve_loop(|batch| {
+                std::thread::sleep(Duration::from_micros(500));
+                let out = batch.into_iter().map(|r| Ok(pure(r))).collect();
+                (out, 1)
+            })
+        })
+    };
+    const PER_THREAD: u64 = 50;
+    let workers: Vec<_> = (0..8u64)
+        .map(|t| {
+            let b = Arc::clone(&batcher);
+            let (answered, rejected) = (Arc::clone(&answered), Arc::clone(&rejected));
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let req = t * PER_THREAD + i;
+                    match b.submit(req) {
+                        Ok(rx) => {
+                            let (result, _) = rx.recv().expect("accepted work is answered");
+                            assert_eq!(result.unwrap(), pure(req), "accepted answer is exact");
+                            answered.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(ServeError::Overloaded { depth }) => {
+                            assert!(depth >= 4, "rejected below capacity");
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    batcher.close();
+    flusher.join().unwrap();
+    let (a, r) = (
+        answered.load(Ordering::SeqCst),
+        rejected.load(Ordering::SeqCst),
+    );
+    assert_eq!(a + r, 8 * PER_THREAD, "every submit accounted for");
+    assert!(a > 0, "backpressure must not starve the queue entirely");
+}
