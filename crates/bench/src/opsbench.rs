@@ -42,6 +42,31 @@ impl OpTiming {
     }
 }
 
+/// A single-thread kernel-variant comparison: the shipped baseline
+/// kernel against an alternative implementation of the same product
+/// (blocked vs scalar matmul, fused vs unfused spmm chain). Both run on
+/// the calling thread, so the ratio is a pure kernel-quality number that
+/// is meaningful even on a one-core host where pool speedups are not.
+#[derive(Clone, Debug)]
+pub struct VariantTiming {
+    pub op: &'static str,
+    pub baseline: &'static str,
+    pub variant: &'static str,
+    pub baseline_ns: f64,
+    pub variant_ns: f64,
+}
+
+impl VariantTiming {
+    /// Baseline / variant ratio (>1 means the variant is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.variant_ns > 0.0 {
+            self.baseline_ns / self.variant_ns
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Median of `samples` timed runs of `f`, in ns.
 fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     // one untimed warm-up pass so allocators and the pool are hot
@@ -144,6 +169,87 @@ pub fn run_suite(threads: usize, samples: usize) -> Vec<OpTiming> {
     out
 }
 
+/// Time the kernel variants single-threaded: the blocked matmul family
+/// against the scalar kernels at 512³, and the fused spmm+bias+ReLU
+/// against the unfused three-pass chain the GCN layer used to run
+/// (spmm, then a bias broadcast materialising the pre-activation, then
+/// an elementwise ReLU). The blocked entry points are always compiled,
+/// so this works in every feature mode.
+pub fn run_variant_suite(samples: usize) -> Vec<VariantTiming> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a512 = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let b512 = Matrix::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let g = random_graph(2000, 8000, 1);
+    let norm = gcn_norm(&g);
+    let x = Matrix::uniform(2000, 64, -1.0, 1.0, &mut rng);
+    let bias: Vec<f64> = (0..64).map(|_| rng.random_range(-1.0..1.0)).collect();
+
+    let mut out = Vec::new();
+    let mut record = |op: &'static str,
+                      baseline: &'static str,
+                      variant: &'static str,
+                      base_f: &dyn Fn(),
+                      var_f: &dyn Fn()| {
+        let baseline_ns = median_ns(samples, base_f);
+        let variant_ns = median_ns(samples, var_f);
+        out.push(VariantTiming {
+            op,
+            baseline,
+            variant,
+            baseline_ns,
+            variant_ns,
+        });
+    };
+
+    record(
+        "matmul_512x512x512",
+        "scalar",
+        "blocked",
+        &|| {
+            black_box(a512.matmul_serial(&b512));
+        },
+        &|| {
+            black_box(a512.matmul_blocked(&b512));
+        },
+    );
+    record(
+        "matmul_tn_512",
+        "scalar",
+        "blocked",
+        &|| {
+            black_box(a512.matmul_tn_serial(&b512));
+        },
+        &|| {
+            black_box(a512.matmul_tn_blocked(&b512));
+        },
+    );
+    record(
+        "matmul_nt_512",
+        "scalar",
+        "blocked",
+        &|| {
+            black_box(a512.matmul_nt_serial(&b512));
+        },
+        &|| {
+            black_box(a512.matmul_nt_blocked(&b512));
+        },
+    );
+    record(
+        "spmm_bias_relu_2k_nodes_8k_edges_d64",
+        "unfused_chain",
+        "fused",
+        &|| {
+            let agg = norm.csr.spmm_serial(&norm.values, &x);
+            let z = Matrix::from_fn(agg.rows(), agg.cols(), |i, j| agg[(i, j)] + bias[j]);
+            black_box(z.map(|v| v.max(0.0)));
+        },
+        &|| {
+            black_box(norm.csr.spmm_bias_relu_serial(&norm.values, &x, &bias));
+        },
+    );
+    out
+}
+
 /// The oversubscription warning for a given configuration, if any.
 pub fn oversubscription_warning(pool: usize, host: usize) -> Option<String> {
     (pool > host).then(|| {
@@ -160,7 +266,7 @@ pub fn oversubscription_warning(pool: usize, host: usize) -> Option<String> {
 /// When the pool is wider than the host the report refuses to claim
 /// speedups: every op gets `"speedup": null` and a top-level `warning`
 /// explains why (see [`oversubscription_warning`]).
-pub fn to_json(threads: usize, timings: &[OpTiming]) -> String {
+pub fn to_json(threads: usize, timings: &[OpTiming], variants: &[VariantTiming]) -> String {
     let host = host_threads();
     let warning = oversubscription_warning(threads, host);
     let entries: Vec<String> = timings
@@ -177,15 +283,35 @@ pub fn to_json(threads: usize, timings: &[OpTiming]) -> String {
             )
         })
         .collect();
+    // Variant comparisons are single-threaded, so their speedups are
+    // real regardless of oversubscription.
+    let variant_entries: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"op\": \"{}\", \"baseline\": \"{}\", \"variant\": \"{}\", \
+                 \"baseline_ns\": {:.0}, \"variant_ns\": {:.0}, \"speedup\": {:.3}}}",
+                v.op,
+                v.baseline,
+                v.variant,
+                v.baseline_ns,
+                v.variant_ns,
+                v.speedup(),
+            )
+        })
+        .collect();
     let warning_line = match &warning {
         Some(w) => format!("  \"warning\": \"{w}\",\n"),
         None => String::new(),
     };
     format!(
         "{{\n  \"host_threads\": {host},\n  \"pool_threads\": {threads},\n  \
-         \"parallel_feature\": {},\n{warning_line}  \"ops\": [\n{}\n  ]\n}}\n",
+         \"parallel_feature\": {},\n  \"fast_kernels_feature\": {},\n{warning_line}  \
+         \"ops\": [\n{}\n  ],\n  \"kernel_variants\": [\n{}\n  ]\n}}\n",
         cfg!(feature = "parallel"),
-        entries.join(",\n")
+        cfg!(feature = "fast-kernels"),
+        entries.join(",\n"),
+        variant_entries.join(",\n")
     )
 }
 
@@ -208,10 +334,22 @@ pub fn emit_default() {
             t.speedup()
         );
     }
+    let variants = run_variant_suite(7);
+    for v in &variants {
+        eprintln!(
+            "var {:<38} {:<13} {:>12.0} ns   {:<8} {:>12.0} ns   x{:.2}",
+            v.op,
+            v.baseline,
+            v.baseline_ns,
+            v.variant,
+            v.variant_ns,
+            v.speedup()
+        );
+    }
     if let Some(w) = oversubscription_warning(threads, host_threads()) {
         eprintln!("warning: {w}");
     }
-    let json = to_json(threads, &timings);
+    let json = to_json(threads, &timings, &variants);
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
@@ -229,10 +367,27 @@ mod tests {
         assert!(timings
             .iter()
             .all(|t| t.serial_ns > 0.0 && t.parallel_ns > 0.0));
-        let json = to_json(2, &timings);
+        let json = to_json(2, &timings, &[]);
         assert!(json.contains("\"pool_threads\": 2"));
         assert!(json.contains("\"op\": \"matmul_512x512x512\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"kernel_variants\""));
+    }
+
+    #[test]
+    fn variant_suite_covers_blocked_and_fused() {
+        let variants = run_variant_suite(1);
+        let ops: Vec<_> = variants.iter().map(|v| v.op).collect();
+        assert!(ops.contains(&"matmul_512x512x512"));
+        assert!(ops.contains(&"matmul_tn_512"));
+        assert!(ops.contains(&"matmul_nt_512"));
+        assert!(ops.contains(&"spmm_bias_relu_2k_nodes_8k_edges_d64"));
+        assert!(variants
+            .iter()
+            .all(|v| v.baseline_ns > 0.0 && v.variant_ns > 0.0));
+        let json = to_json(1, &[], &variants);
+        assert!(json.contains("\"baseline\": \"scalar\""));
+        assert!(json.contains("\"variant\": \"fused\""));
     }
 
     #[test]
@@ -254,13 +409,13 @@ mod tests {
             parallel_ns: 50.0,
         }];
         // pool wider than the host: warning present, speedups nulled
-        let over = to_json(host_threads() + 1, &timings);
+        let over = to_json(host_threads() + 1, &timings, &[]);
         assert!(over.contains("\"warning\""));
         assert!(over.contains("oversubscription"));
         assert!(over.contains("\"speedup\": null"));
         assert!(!over.contains("\"speedup\": 2.000"));
         // a pool the host can actually run: numeric speedup, no warning
-        let ok = to_json(1, &timings);
+        let ok = to_json(1, &timings, &[]);
         assert!(!ok.contains("\"warning\""));
         assert!(ok.contains("\"speedup\": 2.000"));
         assert!(ok.contains(&format!("\"host_threads\": {}", host_threads())));

@@ -49,6 +49,11 @@ impl GcnLayer {
     }
 
     /// Forward with an explicit (possibly coarsened/weighted) adjacency.
+    ///
+    /// ReLU layers run the aggregate → bias → activation chain as the
+    /// fused `spmm_bias_relu` kernel (one pass, no materialised
+    /// intermediates); the fusion is bitwise identical to the unfused
+    /// chain in both forward and backward, so traces do not change.
     pub fn forward_adj(
         &self,
         tape: &Tape,
@@ -58,6 +63,9 @@ impl GcnLayer {
         h: Var,
     ) -> Var {
         let hw = tape.matmul(h, bind.var(self.w));
+        if self.act == Activation::Relu {
+            return tape.spmm_bias_relu(csr, adj_values, hw, bind.var(self.b));
+        }
         let agg = tape.spmm(csr, adj_values, hw);
         let z = tape.add_bias(agg, bind.var(self.b));
         apply_act(tape, z, self.act)

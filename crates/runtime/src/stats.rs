@@ -7,6 +7,7 @@
 //! `Instant` reads per kernel call, which is noise next to the kernels
 //! it measures.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -91,9 +92,40 @@ impl KernelStats {
     }
 }
 
+thread_local! {
+    /// Nesting depth of [`timed`] scopes on this thread.
+    static TIMED_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Restores the thread-local depth even if `f` unwinds, so a panicking
+/// kernel cannot permanently mute the registry on its thread.
+struct DepthGuard;
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        TIMED_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
 /// Time `f` and record it under `name`.
+///
+/// Only the *outermost* timed scope on a thread records: when a timed
+/// kernel calls another timed kernel (a fused op wrapping the primitive
+/// it fuses, say), the inner call runs unrecorded instead of counting
+/// the same nanoseconds under two names. The registry thus stays a
+/// partition of wall time — summing `total_ns` over ops never exceeds
+/// the time actually spent in kernels.
 #[inline]
 pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let depth = TIMED_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    let _guard = DepthGuard;
+    if depth > 0 {
+        return f();
+    }
     let start = Instant::now();
     let out = f();
     KernelStats::record(name, start.elapsed().as_nanos() as u64);
@@ -124,6 +156,47 @@ mod tests {
         assert_eq!(v, 42);
         let snap = KernelStats::snapshot();
         assert!(snap.iter().any(|(n, s)| *n == "test_op_b" && s.calls >= 1));
+    }
+
+    #[test]
+    fn nested_timed_records_outermost_only() {
+        timed("test_op_outer", || timed("test_op_inner", || 1 + 1));
+        let snap = KernelStats::snapshot();
+        assert!(
+            snap.iter()
+                .any(|(n, s)| *n == "test_op_outer" && s.calls == 1),
+            "outermost scope must record"
+        );
+        assert!(
+            !snap.iter().any(|(n, _)| *n == "test_op_inner"),
+            "nested scope must not double-count into the registry"
+        );
+    }
+
+    #[test]
+    fn sibling_timed_calls_both_record() {
+        timed("test_op_sib1", || ());
+        timed("test_op_sib2", || ());
+        let snap = KernelStats::snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, s)| *n == "test_op_sib1" && s.calls == 1));
+        assert!(snap
+            .iter()
+            .any(|(n, s)| *n == "test_op_sib2" && s.calls == 1));
+    }
+
+    #[test]
+    fn panicking_timed_scope_does_not_mute_thread() {
+        let r = std::panic::catch_unwind(|| timed("test_op_panics", || panic!("boom")));
+        assert!(r.is_err());
+        timed("test_op_after_panic", || ());
+        let snap = KernelStats::snapshot();
+        assert!(
+            snap.iter()
+                .any(|(n, s)| *n == "test_op_after_panic" && s.calls == 1),
+            "depth must unwind back to zero after a panic"
+        );
     }
 
     #[test]

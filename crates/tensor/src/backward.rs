@@ -163,6 +163,38 @@ impl Tape {
                         acc!(*dense, csr.spmm_t(vals.data(), &g));
                     }
                 }
+                Op::SpmmBiasRelu {
+                    csr,
+                    values,
+                    dense,
+                    bias,
+                } => {
+                    // ReLU mask from the fused output itself: for finite
+                    // pre-activations z, `out = max(z + b, 0) > 0` holds
+                    // exactly where `z + b > 0`, so no cached
+                    // pre-activation is needed. The three gradient
+                    // kernels below are the same ones the unfused
+                    // relu → add_bias → spmm sweep runs, in the same
+                    // order, keeping fused backward bitwise identical.
+                    let gz = g.zip(out, |gx, y| if y > 0.0 { gx } else { 0.0 });
+                    if nodes[bias.0].requires_grad {
+                        let mut gb = Matrix::zeros(1, gz.cols());
+                        for r in 0..gz.rows() {
+                            for (o, &x) in gb.row_mut(0).iter_mut().zip(gz.row(r)) {
+                                *o += x;
+                            }
+                        }
+                        acc!(*bias, gb);
+                    }
+                    let x = &nodes[dense.0].value;
+                    if nodes[values.0].requires_grad {
+                        acc!(*values, csr.spmm_grad_values(&gz, x));
+                    }
+                    if nodes[dense.0].requires_grad {
+                        let vals = &nodes[values.0].value;
+                        acc!(*dense, csr.spmm_t(vals.data(), &gz));
+                    }
+                }
                 Op::SpmmT { csr, values, dense } => {
                     let x = &nodes[dense.0].value;
                     if nodes[values.0].requires_grad {

@@ -161,6 +161,38 @@ impl Tape {
         self.push(value, Op::Spmm { csr, values, dense }, rg)
     }
 
+    /// Fused `relu(csr(values) * dense + bias)` — the GCN layer's
+    /// spmm → add_bias → relu chain as a single kernel, skipping the two
+    /// intermediate tape nodes. Element-for-element the forward applies
+    /// the same operations in the same order as the unfused chain, and
+    /// the backward composes the same three gradient kernels, so fusing
+    /// is bitwise invisible to training traces. `bias` must be `1 x d`.
+    pub fn spmm_bias_relu(&self, csr: Rc<Csr>, values: Var, dense: Var, bias: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let vv = &nodes[values.0].value;
+            let bv = &nodes[bias.0].value;
+            assert_eq!(
+                vv.shape(),
+                (1, csr.nnz()),
+                "spmm_bias_relu: values must be 1 x nnz"
+            );
+            assert_eq!(bv.rows(), 1, "spmm_bias_relu: bias must be 1 x d");
+            csr.spmm_bias_relu(vv.data(), &nodes[dense.0].value, bv.row(0))
+        };
+        let rg = self.rg3(values, dense, bias);
+        self.push(
+            value,
+            Op::SpmmBiasRelu {
+                csr,
+                values,
+                dense,
+                bias,
+            },
+            rg,
+        )
+    }
+
     /// Sparse-dense product with the structural transpose: `csr(values)ᵀ * dense`.
     pub fn spmm_t(&self, csr: Rc<Csr>, values: Var, dense: Var) -> Var {
         let value = {

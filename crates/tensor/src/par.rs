@@ -22,8 +22,19 @@
 
 use std::ops::Range;
 
-/// Minimum output rows per chunk for dense row-partitioned kernels.
-pub(crate) const MIN_ROWS: usize = 8;
+/// Minimum mul-adds per chunk for the dense matmul family.
+///
+/// Gating on output rows alone mis-sizes chunks at both extremes: a fat
+/// 8 x 512 x 512 product (~2M mul-adds) never split under the old
+/// 8-row minimum, while a tall-thin 10k x 4 x 4 one shattered into
+/// chunks carrying less work than a single pool hand-off. Chunks are
+/// therefore sized by estimated work: `matmul_512x512x512` measures
+/// ~0.33 ns per mul-add serial (`BENCH_ops.json`, 44,943,298 ns /
+/// 512^3), so a 131,072 mul-add chunk carries ~44 µs — safely two
+/// orders above the ~2.7 µs pool hand-off cost measured for
+/// `MIN_ELEMS` below — while still letting that fat 8-row product
+/// split into one chunk per row.
+pub(crate) const MIN_MATMUL_WORK: usize = 131_072;
 /// Minimum rows per chunk for sparse kernels (cheap per-row work).
 pub(crate) const MIN_SPARSE_ROWS: usize = 64;
 /// Minimum elements per chunk for flat elementwise kernels.
@@ -46,6 +57,16 @@ pub(crate) const MIN_ELEMS: usize = 32_768;
 #[inline]
 pub(crate) fn use_parallel(rows: usize, min_rows: usize) -> bool {
     mg_runtime::current_threads() > 1 && rows / min_rows.max(1) > 1
+}
+
+/// Rows per chunk for a matmul-family kernel whose every output row
+/// costs `per_row_work` mul-adds, sized so each chunk carries at least
+/// [`MIN_MATMUL_WORK`] of them. Any partition yields bitwise-identical
+/// results (each row is reduced serially inside one chunk), so this
+/// only tunes scheduling granularity, never numerics.
+#[inline]
+pub(crate) fn matmul_chunk_rows(per_row_work: usize) -> usize {
+    MIN_MATMUL_WORK.div_ceil(per_row_work.max(1)).max(1)
 }
 
 /// Run `body(range, block)` over disjoint contiguous row ranges covering
@@ -164,4 +185,62 @@ pub(crate) fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
 #[inline]
 pub(crate) fn timed<R>(_name: &'static str, f: impl FnOnce() -> R) -> R {
     f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fat shape from the dispatch-gate bug report: 8 output rows,
+    /// 512 inner, 512 cols is ~2M mul-adds and must split row-by-row.
+    #[test]
+    fn fat_shape_gets_single_row_chunks() {
+        assert_eq!(matmul_chunk_rows(512 * 512), 1);
+    }
+
+    /// A tall-thin 10k x 4 x 4 product carries 16 mul-adds per row;
+    /// chunks must grow until they hold MIN_MATMUL_WORK of them instead
+    /// of shattering into 8-row slivers worth less than a pool hand-off.
+    #[test]
+    fn tall_thin_shape_gets_work_sized_chunks() {
+        let chunk = matmul_chunk_rows(4 * 4);
+        assert_eq!(chunk, MIN_MATMUL_WORK.div_ceil(16));
+        // 10k rows no longer split at all: total work is ~160k mul-adds,
+        // barely one chunk's worth.
+        assert_eq!(10_000 / chunk, 1);
+    }
+
+    #[test]
+    fn degenerate_row_work_still_positive() {
+        assert!(matmul_chunk_rows(0) >= 1);
+        assert_eq!(matmul_chunk_rows(usize::MAX), 1);
+    }
+
+    /// End-to-end gate check: under a multi-thread pool the fat shape is
+    /// now seen as parallelizable (the old `MIN_ROWS = 8` constant made
+    /// `use_parallel` report one chunk and forced it serial), and the
+    /// runtime actually hands out more than one disjoint row range.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn fat_shape_splits_under_multi_thread_pool() {
+        use std::sync::{Arc, Mutex};
+        let pool = Arc::new(mg_runtime::Pool::new(4));
+        mg_runtime::with_pool(pool, || {
+            let min_rows = matmul_chunk_rows(512 * 512);
+            assert!(use_parallel(8, min_rows), "fat 8-row matmul must split");
+            let seen: Mutex<Vec<std::ops::Range<usize>>> = Mutex::new(Vec::new());
+            mg_runtime::parallel_rows(8, min_rows, &|range| {
+                seen.lock().unwrap().push(range);
+            });
+            let mut ranges = seen.into_inner().unwrap();
+            ranges.sort_by_key(|r| r.start);
+            assert!(ranges.len() > 1, "expected multiple chunks, got {ranges:?}");
+            // Disjoint cover of 0..8.
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, 8);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        });
+    }
 }

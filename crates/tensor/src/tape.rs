@@ -79,6 +79,16 @@ pub(crate) enum Op {
         values: Var,
         dense: Var,
     },
+    /// Fused `relu(csr(values) * dense + bias)` — the GCN layer's
+    /// per-level chain as one node. Shares `csr` like [`Op::Spmm`]. The
+    /// backward needs no cached pre-activation: `out > 0` holds exactly
+    /// where the pre-activation was `> 0`.
+    SpmmBiasRelu {
+        csr: Rc<Csr>,
+        values: Var,
+        dense: Var,
+        bias: Var,
+    },
     GatherRows {
         src: Var,
         idx: Rc<Vec<usize>>,
@@ -248,6 +258,11 @@ impl Tape {
     pub(crate) fn rg2(&self, a: Var, b: Var) -> bool {
         let nodes = self.nodes.borrow();
         nodes[a.0].requires_grad || nodes[b.0].requires_grad
+    }
+
+    pub(crate) fn rg3(&self, a: Var, b: Var, c: Var) -> bool {
+        let nodes = self.nodes.borrow();
+        nodes[a.0].requires_grad || nodes[b.0].requires_grad || nodes[c.0].requires_grad
     }
 }
 

@@ -194,6 +194,34 @@ fn grad_spmm_t_values_and_dense() {
     assert!(rep.ok(TOL), "{rep:?}");
 }
 
+/// Fused `relu(csr(values) * dense + bias)` — all three inputs get
+/// gradients through the single fused node.
+#[test]
+fn grad_spmm_bias_relu_values_dense_and_bias() {
+    let csr = sample_csr();
+    let vals = rand_m(1, csr.nnz(), 96);
+    let dense = rand_m(3, 4, 97);
+    let bias = rand_m(1, 4, 98);
+
+    // Guard against the ReLU kink: central differences are only valid when
+    // no pre-activation sits near zero. The seeds above were chosen so this
+    // holds; the assert turns a silently flaky test into a loud one.
+    let pre = {
+        let agg = csr.spmm_serial(vals.data(), &dense);
+        Matrix::from_fn(agg.rows(), agg.cols(), |i, j| agg[(i, j)] + bias[(0, j)])
+    };
+    assert!(
+        pre.data().iter().all(|v| v.abs() > 100.0 * EPS),
+        "pre-activation too close to ReLU kink for a reliable gradcheck"
+    );
+
+    let rep = check_gradients(&[vals, dense, bias], EPS, |t, v| {
+        let y = t.spmm_bias_relu(csr.clone(), v[0], v[1], v[2]);
+        project(t, y, 99)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
 #[test]
 fn grad_gather_rows_with_repeats() {
     let idx = Rc::new(vec![2usize, 0, 2, 1]);

@@ -1,0 +1,342 @@
+//! Parity and contract tests for the matmul kernel family.
+//!
+//! Three concerns live here:
+//!
+//! 1. **Blocked-vs-scalar parity.** The blocked kernels reassociate the
+//!    k-sum (8-wide unrolling, kc-panels), so against the scalar golden
+//!    path they are compared under a relative tolerance — except on
+//!    inputs where every intermediate is exactly representable (small
+//!    integers), where any summation order gives the same bits and we
+//!    demand exact equality.
+//! 2. **Non-finite propagation.** All three product kernels — scalar,
+//!    blocked, and the dispatched entry points — must propagate NaN/Inf
+//!    from either operand, even when the matching lhs entry is `0.0`
+//!    (`0.0 * NaN = NaN`, `0.0 * inf = NaN`). This pins the resolved
+//!    zero-skip contract: dense kernels never skip on a zero operand.
+//! 3. **Fused spmm+bias+ReLU equivalence.** The fused kernel and tape op
+//!    must be *bitwise* equal to the unfused spmm → add_bias → relu
+//!    chain, forward and backward — that is what keeps the golden traces
+//!    byte-identical when the GCN layer takes the fused path.
+
+use std::rc::Rc;
+
+use mg_tensor::{Csr, Matrix, Tape};
+use proptest::prelude::*;
+
+/// Relative tolerance for blocked-vs-scalar comparisons. The kernels do
+/// the same multiplies in a different association order; for the sizes
+/// tested (k < 100, |entries| <= 10) the reassociation error is far
+/// below this.
+const REL_TOL: f64 = 1e-12;
+
+fn assert_close(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        let scale = 1.0f64.max(g.abs()).max(w.abs());
+        assert!(
+            (g - w).abs() <= REL_TOL * scale,
+            "{what}: entry {i} diverged: got {g}, want {w}"
+        );
+    }
+}
+
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Small-integer-valued matrix: every product and partial sum in a
+/// matmul over these is an exactly-representable integer, so *any*
+/// summation order yields identical bits.
+fn int_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4i8..=4, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data.into_iter().map(f64::from).collect()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // -- blocked vs scalar: tolerance on general inputs ------------------
+
+    #[test]
+    fn blocked_matmul_close_to_scalar(a in matrix(1..24, 1..90), c in 1..24usize) {
+        // k up to 90 crosses the KC=64 panel boundary and the 8-wide
+        // unroll remainder.
+        let b = Matrix::from_fn(a.cols(), c, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        assert_close(&a.matmul_blocked(&b), &a.matmul_serial(&b), "matmul");
+    }
+
+    #[test]
+    fn blocked_matmul_tn_close_to_scalar(a in matrix(1..90, 1..16), q in 1..16usize) {
+        // a: k x m, b: k x q -> aT b is m x q; k up to 90 crosses KC.
+        let b = Matrix::from_fn(a.rows(), q, |i, j| ((i * 17 + j * 5) % 11) as f64 - 5.0);
+        assert_close(&a.matmul_tn_blocked(&b), &a.matmul_tn_serial(&b), "matmul_tn");
+    }
+
+    #[test]
+    fn blocked_matmul_nt_close_to_scalar(a in matrix(1..24, 1..90), q in 1..80usize) {
+        // a: n x p, b: q x p -> a bT is n x q; q up to 80 crosses the
+        // nt kernel's jc-tile boundary, p up to 90 crosses the unroll.
+        let b = Matrix::from_fn(q, a.cols(), |i, j| ((i * 23 + j * 3) % 9) as f64 - 4.0);
+        assert_close(&a.matmul_nt_blocked(&b), &a.matmul_nt_serial(&b), "matmul_nt");
+    }
+
+    // -- blocked vs scalar: bitwise on exactly-representable inputs ------
+
+    #[test]
+    fn blocked_kernels_bitwise_on_integer_inputs(a in int_matrix(1..12, 1..70), c in 1..12usize) {
+        let b = Matrix::from_fn(a.cols(), c, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
+        prop_assert_eq!(a.matmul_blocked(&b).data(), a.matmul_serial(&b).data());
+        let bt = Matrix::from_fn(c, a.cols(), |i, j| ((i * 5 + j) % 7) as f64 - 3.0);
+        prop_assert_eq!(a.matmul_nt_blocked(&bt).data(), a.matmul_nt_serial(&bt).data());
+        let btn = Matrix::from_fn(a.rows(), c, |i, j| ((i + j * 11) % 9) as f64 - 4.0);
+        prop_assert_eq!(a.matmul_tn_blocked(&btn).data(), a.matmul_tn_serial(&btn).data());
+    }
+}
+
+// -- non-finite propagation (resolved zero-skip contract) ----------------
+
+/// Every way to run each product, including the dispatched entry points
+/// (which take the blocked path under `fast-kernels` and the scalar path
+/// otherwise) — the contract must hold for all of them.
+type KernelFn = fn(&Matrix, &Matrix) -> Matrix;
+
+fn mm_variants() -> [(&'static str, KernelFn); 3] {
+    [
+        ("matmul_serial", |a, b| a.matmul_serial(b)),
+        ("matmul_blocked", |a, b| a.matmul_blocked(b)),
+        ("matmul", |a, b| a.matmul(b)),
+    ]
+}
+
+fn tn_variants() -> [(&'static str, KernelFn); 3] {
+    [
+        ("matmul_tn_serial", |a, b| a.matmul_tn_serial(b)),
+        ("matmul_tn_blocked", |a, b| a.matmul_tn_blocked(b)),
+        ("matmul_tn", |a, b| a.matmul_tn(b)),
+    ]
+}
+
+fn nt_variants() -> [(&'static str, KernelFn); 3] {
+    [
+        ("matmul_nt_serial", |a, b| a.matmul_nt_serial(b)),
+        ("matmul_nt_blocked", |a, b| a.matmul_nt_blocked(b)),
+        ("matmul_nt", |a, b| a.matmul_nt(b)),
+    ]
+}
+
+/// k values probing the unrolled body (poison inside the first 8-group),
+/// the scalar remainder (poison past the last full 8-group), and a kc
+/// panel crossing.
+const NAN_CASES: [(usize, usize); 4] = [(5, 2), (19, 17), (19, 4), (70, 66)];
+
+// In every case below the poison index is paired with a `0.0` lhs entry
+// in the first output row/column, so a kernel that skipped zero lhs
+// entries would (wrongly) produce a finite value there.
+
+#[test]
+fn nonfinite_rhs_propagates_through_all_matmul_variants() {
+    for &(k, pk) in &NAN_CASES {
+        for poison in [f64::NAN, f64::INFINITY] {
+            // a: 2 x k, row 0 has 0.0 exactly at the poison index.
+            let mut a = Matrix::from_fn(2, k, |i, j| (i * k + j) as f64 * 0.25 + 1.0);
+            a.data_mut()[pk] = 0.0;
+            // b: k x 3, poison at (pk, 1).
+            let mut b = Matrix::from_fn(k, 3, |i, j| (i + j) as f64 * 0.5 + 1.0);
+            b.data_mut()[pk * 3 + 1] = poison;
+            for (name, f) in mm_variants() {
+                let out = f(&a, &b);
+                // 0.0 * NaN and 0.0 * inf are both NaN: row 0 must not
+                // be rescued by a zero-skip.
+                assert!(
+                    out[(0, 1)].is_nan(),
+                    "{name} k={k} pk={pk} poison={poison}: row0"
+                );
+                // Row 1 multiplies the poison by a finite nonzero value.
+                assert!(!out[(1, 1)].is_finite(), "{name}: row1");
+                // Unrelated columns stay finite.
+                assert!(
+                    out[(0, 0)].is_finite() && out[(0, 2)].is_finite(),
+                    "{name}: spill"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nonfinite_rhs_propagates_through_all_matmul_tn_variants() {
+    for &(k, pk) in &NAN_CASES {
+        for poison in [f64::NAN, f64::INFINITY] {
+            // a: k x 2 (lhs is transposed), column 0 has 0.0 at row pk.
+            let mut a = Matrix::from_fn(k, 2, |i, j| (i * 2 + j) as f64 * 0.25 + 1.0);
+            a.data_mut()[pk * 2] = 0.0;
+            let mut b = Matrix::from_fn(k, 3, |i, j| (i + j) as f64 * 0.5 + 1.0);
+            b.data_mut()[pk * 3 + 1] = poison;
+            for (name, f) in tn_variants() {
+                let out = f(&a, &b); // 2 x 3
+                assert!(
+                    out[(0, 1)].is_nan(),
+                    "{name} k={k} pk={pk} poison={poison}: col0"
+                );
+                assert!(!out[(1, 1)].is_finite(), "{name}: col1");
+                assert!(
+                    out[(0, 0)].is_finite() && out[(0, 2)].is_finite(),
+                    "{name}: spill"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nonfinite_rhs_propagates_through_all_matmul_nt_variants() {
+    for &(k, pk) in &NAN_CASES {
+        for poison in [f64::NAN, f64::INFINITY] {
+            // a: 2 x k, row 0 has 0.0 at the poison index.
+            let mut a = Matrix::from_fn(2, k, |i, j| (i * k + j) as f64 * 0.25 + 1.0);
+            a.data_mut()[pk] = 0.0;
+            // b: 3 x k (rhs is transposed), poison at (1, pk).
+            let mut b = Matrix::from_fn(3, k, |i, j| (i + j) as f64 * 0.5 + 1.0);
+            b.data_mut()[k + pk] = poison;
+            for (name, f) in nt_variants() {
+                let out = f(&a, &b); // 2 x 3
+                assert!(
+                    out[(0, 1)].is_nan(),
+                    "{name} k={k} pk={pk} poison={poison}: row0"
+                );
+                assert!(!out[(1, 1)].is_finite(), "{name}: row1");
+                assert!(
+                    out[(0, 0)].is_finite() && out[(0, 2)].is_finite(),
+                    "{name}: spill"
+                );
+            }
+        }
+    }
+}
+
+// -- fused spmm + bias + relu: bitwise equivalence -----------------------
+
+fn fused_fixture() -> (Rc<Csr>, Vec<f64>, Matrix, Vec<f64>) {
+    let mut coo = Vec::new();
+    for i in 0..40u32 {
+        for j in 0..12u32 {
+            if (i * 7 + j * 3) % 5 == 0 {
+                coo.push((i, j));
+            }
+        }
+    }
+    let csr = Rc::new(Csr::from_coo(40, 12, &coo));
+    let vals: Vec<f64> = (0..csr.nnz())
+        .map(|e| ((e * 13) % 17) as f64 * 0.3 - 2.4)
+        .collect();
+    let x = Matrix::from_fn(12, 6, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.25 - 2.0);
+    let bias: Vec<f64> = (0..6).map(|j| (j as f64) * 0.4 - 1.0).collect();
+    (csr, vals, x, bias)
+}
+
+#[test]
+fn fused_kernel_bitwise_matches_unfused_chain() {
+    let (csr, vals, x, bias) = fused_fixture();
+    let agg = csr.spmm_serial(&vals, &x);
+    let unfused = Matrix::from_fn(agg.rows(), agg.cols(), |i, j| {
+        (agg[(i, j)] + bias[j]).max(0.0)
+    });
+    let fused = csr.spmm_bias_relu_serial(&vals, &x, &bias);
+    assert_eq!(
+        fused.data(),
+        unfused.data(),
+        "fused forward must be bitwise"
+    );
+    // Mixed signs on both sides of the ReLU, or the test proves nothing.
+    assert!(fused.data().contains(&0.0));
+    assert!(fused.data().iter().any(|&v| v > 0.0));
+}
+
+/// The fused tape op must be indistinguishable — to the bit — from the
+/// chain it replaces, in value *and* in every gradient. This is the
+/// property that lets the GCN layer switch to the fused node without
+/// perturbing golden traces.
+#[test]
+fn fused_tape_op_bitwise_matches_unfused_tape_chain() {
+    let (csr, vals, x, bias) = fused_fixture();
+    let run = |fused: bool| {
+        let t = Tape::new();
+        let v = t.leaf(Matrix::from_vec(1, vals.len(), vals.clone()), true);
+        let d = t.leaf(x.clone(), true);
+        let b = t.leaf(Matrix::from_vec(1, bias.len(), bias.clone()), true);
+        let y = if fused {
+            t.spmm_bias_relu(csr.clone(), v, d, b)
+        } else {
+            let h = t.spmm(csr.clone(), v, d);
+            let hb = t.add_bias(h, b);
+            t.relu(hb)
+        };
+        let out = t.value_cloned(y);
+        let loss = t.sum_all(y);
+        let g = t.backward(loss);
+        (
+            out,
+            g.get(v).unwrap().clone(),
+            g.get(d).unwrap().clone(),
+            g.get(b).unwrap().clone(),
+        )
+    };
+    let (fo, fgv, fgd, fgb) = run(true);
+    let (uo, ugv, ugd, ugb) = run(false);
+    assert_eq!(fo.data(), uo.data(), "forward value");
+    assert_eq!(fgv.data(), ugv.data(), "grad wrt sparse values");
+    assert_eq!(fgd.data(), ugd.data(), "grad wrt dense input");
+    assert_eq!(fgb.data(), ugb.data(), "grad wrt bias");
+}
+
+// -- dispatch parity across pool widths ----------------------------------
+
+/// The dispatched entry points must be bitwise-stable across pool widths
+/// 1..=4 and equal to the same build's serial reference (scalar by
+/// default, blocked under `fast-kernels`). The scalar-vs-blocked pairing
+/// is the *tolerance* comparison above; this one is exact.
+#[cfg(feature = "parallel")]
+mod pool_dispatch {
+    use super::*;
+    use mg_runtime::{with_pool, Pool};
+    use std::sync::Arc;
+
+    #[test]
+    fn dispatched_kernels_bitwise_across_pools() {
+        let a = Matrix::from_fn(96, 70, |i, j| ((i * 3 + j * 13) % 23) as f64 * 0.25 - 2.5);
+        let b = Matrix::from_fn(70, 50, |i, j| ((i * 5 + j * 7) % 17) as f64 * 0.5 - 4.0);
+        let bt = Matrix::from_fn(50, 70, |i, j| ((i * 11 + j) % 13) as f64 * 0.75 - 4.5);
+        let (mm_ref, tn_ref, nt_ref) = if cfg!(feature = "fast-kernels") {
+            (
+                a.matmul_blocked(&b),
+                a.matmul_tn_blocked(&a),
+                a.matmul_nt_blocked(&bt),
+            )
+        } else {
+            (
+                a.matmul_serial(&b),
+                a.matmul_tn_serial(&a),
+                a.matmul_nt_serial(&bt),
+            )
+        };
+        for threads in 1..=4 {
+            let pool = Arc::new(Pool::new(threads));
+            let (mm, tn, nt) =
+                with_pool(pool, || (a.matmul(&b), a.matmul_tn(&a), a.matmul_nt(&bt)));
+            assert_eq!(mm.data(), mm_ref.data(), "matmul @ {threads} threads");
+            assert_eq!(tn.data(), tn_ref.data(), "matmul_tn @ {threads} threads");
+            assert_eq!(nt.data(), nt_ref.data(), "matmul_nt @ {threads} threads");
+        }
+    }
+}

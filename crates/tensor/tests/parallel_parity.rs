@@ -25,6 +25,35 @@ fn pools() -> impl Iterator<Item = Arc<Pool>> {
     THREADS.map(|k| Arc::new(Pool::new(k)))
 }
 
+/// Bitwise references for the dispatched matmul family. The parallel
+/// contract is always "bitwise equal to the same build's serial run":
+/// by default that serial run is the scalar kernel, under `fast-kernels`
+/// it is the blocked kernel (the scalar-vs-blocked pairing is
+/// tolerance-checked in `kernel_parity.rs`, not here).
+fn matmul_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    if cfg!(feature = "fast-kernels") {
+        a.matmul_blocked(b)
+    } else {
+        a.matmul_serial(b)
+    }
+}
+
+fn matmul_tn_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    if cfg!(feature = "fast-kernels") {
+        a.matmul_tn_blocked(b)
+    } else {
+        a.matmul_tn_serial(b)
+    }
+}
+
+fn matmul_nt_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    if cfg!(feature = "fast-kernels") {
+        a.matmul_nt_blocked(b)
+    } else {
+        a.matmul_nt_serial(b)
+    }
+}
+
 /// Strategy: a random matrix with the given shape bounds. Shapes go well
 /// past the parallel thresholds so chunked paths actually run.
 fn matrix(
@@ -61,7 +90,7 @@ proptest! {
         )
             .prop_map(move |(a, b)| (Matrix::from_vec(r, k, a), Matrix::from_vec(k, c, b)))
     })) {
-        let reference = a.matmul_serial(&b);
+        let reference = matmul_ref(&a, &b);
         for pool in pools() {
             let got = with_pool(pool.clone(), || a.matmul(&b));
             prop_assert_eq!(got.data(), reference.data());
@@ -72,7 +101,7 @@ proptest! {
     fn matmul_tn_parity(a in matrix(1..48, 1..20), q in 1..20usize) {
         // a: n x p; b must be n x q
         let b = Matrix::from_fn(a.rows(), q, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
-        let reference = a.matmul_tn_serial(&b);
+        let reference = matmul_tn_ref(&a, &b);
         for pool in pools() {
             let got = with_pool(pool.clone(), || a.matmul_tn(&b));
             prop_assert_eq!(got.data(), reference.data());
@@ -83,7 +112,7 @@ proptest! {
     fn matmul_nt_parity(a in matrix(1..48, 1..16), rows_b in 1..37usize) {
         // a: n x p; b must be q x p
         let b = Matrix::from_fn(rows_b, a.cols(), |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
-        let reference = a.matmul_nt_serial(&b);
+        let reference = matmul_nt_ref(&a, &b);
         for pool in pools() {
             let got = with_pool(pool.clone(), || a.matmul_nt(&b));
             prop_assert_eq!(got.data(), reference.data());
@@ -118,6 +147,17 @@ proptest! {
         let reference = csr.spmm_serial(&vals, &x);
         for pool in pools() {
             let got = with_pool(pool.clone(), || csr.spmm(&vals, &x));
+            prop_assert_eq!(got.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn spmm_bias_relu_parity((csr, vals) in csr_with_values(200, 60), d in 1..24usize) {
+        let x = Matrix::from_fn(60, d, |i, j| ((i * 13 + j * 5) % 17) as f64 * 0.25 - 2.0);
+        let bias: Vec<f64> = (0..d).map(|j| (j % 5) as f64 * 0.3 - 0.6).collect();
+        let reference = csr.spmm_bias_relu_serial(&vals, &x, &bias);
+        for pool in pools() {
+            let got = with_pool(pool.clone(), || csr.spmm_bias_relu(&vals, &x, &bias));
             prop_assert_eq!(got.data(), reference.data());
         }
     }
@@ -235,9 +275,9 @@ fn one_thread_degrades_to_serial() {
     let pool = Arc::new(Pool::new(1));
     assert!(!pool.is_parallel());
     let (mm, tn, nt) = with_pool(pool, || (a.matmul(&b), a.matmul_tn(&a), a.matmul_nt(&a)));
-    assert_eq!(mm, a.matmul_serial(&b));
-    assert_eq!(tn, a.matmul_tn_serial(&a));
-    assert_eq!(nt, a.matmul_nt_serial(&a));
+    assert_eq!(mm, matmul_ref(&a, &b));
+    assert_eq!(tn, matmul_tn_ref(&a, &a));
+    assert_eq!(nt, matmul_nt_ref(&a, &a));
 }
 
 /// The kernel-stats registry sees the dispatched ops.

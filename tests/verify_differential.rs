@@ -28,10 +28,9 @@ fn reruns_are_bitwise_repeatable() {
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::assert_identical;
-    use mg_verify::{
-        check_against_file, goldens_dir, graph_cls_run, link_pred_run, node_cls_run, with_threads,
-        Compare, Golden,
-    };
+    #[cfg(not(feature = "fast-kernels"))]
+    use mg_verify::{check_against_file, goldens_dir, Compare};
+    use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, with_threads, Golden};
 
     type RunFn = fn(u64) -> Golden;
 
@@ -42,7 +41,11 @@ mod parallel {
     ];
 
     /// Every pool width reproduces the serial build's checked-in goldens
-    /// bit for bit.
+    /// bit for bit. Compiled out under `fast-kernels`: the blocked
+    /// kernels reassociate sums, so only the within-build checks
+    /// (`reruns_are_bitwise_repeatable`, `variant_runs_agree_across_pool_widths`)
+    /// apply there — the goldens themselves stay pinned to the scalar path.
+    #[cfg(not(feature = "fast-kernels"))]
     #[test]
     fn all_pool_widths_reproduce_serial_goldens() {
         for threads in 1..=4 {
