@@ -19,6 +19,7 @@ use mg_data::{GraphGenConfig, NodeGenConfig};
 use mg_eval::TrainConfig;
 
 pub mod inferbench;
+pub mod memreport;
 pub mod opsbench;
 pub mod servebench;
 pub mod trainreport;

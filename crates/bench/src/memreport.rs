@@ -1,0 +1,266 @@
+//! Retained-vs-checkpointed peak-tape-memory benchmark, exported as
+//! `BENCH_mem.json`.
+//!
+//! The `mem_report` binary runs the three mg-verify fixtures (node
+//! classification, link prediction, graph classification — the exact
+//! runs pinned by the golden-trace suite) twice each: once on the
+//! retaining tape and once with per-level checkpointing forced on via
+//! `with_ckpt_tape`. For every task it reports the maximum
+//! `peak_tape_bytes` any epoch recorded (harvested from the mg-obs trace
+//! the run emits under `MG_TRACE`), the reduction checkpointing bought,
+//! and whether the two runs' training traces stayed bitwise identical —
+//! the whole point of recompute-on-backward is that they must.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin mem_report
+//! ```
+//!
+//! `MG_BENCH_MEM_JSON` overrides the report path (`skip` suppresses the
+//! file but still runs and checks everything). The node-classification
+//! fixture (2-level AdamGNN) must show at least a 30% peak reduction or
+//! the job fails — that floor is what keeps the checkpoint scopes
+//! meaningfully placed as the forward pass evolves.
+
+use adamgnn_core::with_ckpt_tape;
+use mg_obs::validate_trace;
+use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, Compare, Golden};
+
+/// Minimum acceptable peak reduction on the node-classification fixture.
+pub const NC_REDUCTION_FLOOR: f64 = 0.30;
+
+/// One task's retained-vs-checkpointed measurement.
+#[derive(Clone, Debug)]
+pub struct TaskMem {
+    pub task: &'static str,
+    pub epochs: usize,
+    /// max over epochs of `peak_tape_bytes`, retaining tape.
+    pub retained_peak: u64,
+    /// max over epochs of `peak_tape_bytes`, checkpointed tape.
+    pub checkpointed_peak: u64,
+    /// Whether the two runs' training traces compared bitwise equal.
+    pub bitwise_identical: bool,
+}
+
+impl TaskMem {
+    /// Fractional peak reduction (0.42 = checkpointing dropped the
+    /// high-water mark by 42%).
+    pub fn reduction(&self) -> f64 {
+        if self.retained_peak == 0 {
+            return 0.0;
+        }
+        1.0 - self.checkpointed_peak as f64 / self.retained_peak as f64
+    }
+}
+
+/// Run one fixture with tracing into `trace_path` and harvest the
+/// epoch-peak maximum. The trace file is truncated first so each
+/// measurement describes exactly one run.
+fn measured_run(
+    run: fn(u64) -> Golden,
+    ckpt: bool,
+    trace_path: &str,
+) -> Result<(Golden, u64, usize), String> {
+    std::fs::write(trace_path, "").map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+    let golden = with_ckpt_tape(ckpt, || run(0));
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
+    let report = validate_trace(&text).map_err(|e| format!("invalid trace {trace_path}: {e}"))?;
+    let peak = report
+        .epoch_peak_tape_bytes
+        .iter()
+        .copied()
+        .max()
+        .ok_or_else(|| format!("trace {trace_path} has no epoch records"))?;
+    Ok((golden, peak, report.epochs))
+}
+
+/// Measure all three fixtures. Fails if any task's checkpointed trace
+/// diverges from its retained trace, if checkpointing ever *raises* a
+/// peak, or if the node-classification reduction misses
+/// [`NC_REDUCTION_FLOOR`].
+pub fn run_all() -> Result<Vec<TaskMem>, String> {
+    let trace_path = std::env::temp_dir()
+        .join(format!("mg_mem_report_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let prev_trace = std::env::var_os("MG_TRACE");
+    std::env::set_var("MG_TRACE", &trace_path);
+    let result = run_all_traced(&trace_path);
+    match prev_trace {
+        Some(v) => std::env::set_var("MG_TRACE", v),
+        None => std::env::remove_var("MG_TRACE"),
+    }
+    let _ = std::fs::remove_file(&trace_path);
+    result
+}
+
+type RunFn = fn(u64) -> Golden;
+
+fn run_all_traced(trace_path: &str) -> Result<Vec<TaskMem>, String> {
+    const FIXTURES: [(&str, RunFn); 3] = [
+        ("node_classification", node_cls_run),
+        ("link_prediction", link_pred_run),
+        ("graph_classification", graph_cls_run),
+    ];
+    let mut out = Vec::new();
+    for (task, run) in FIXTURES {
+        let (retained_golden, retained_peak, epochs) = measured_run(run, false, trace_path)?;
+        let (ckpt_golden, checkpointed_peak, ckpt_epochs) = measured_run(run, true, trace_path)?;
+        if epochs != ckpt_epochs {
+            return Err(format!(
+                "{task}: retained ran {epochs} epochs but checkpointed ran {ckpt_epochs}"
+            ));
+        }
+        let bitwise_identical = retained_golden
+            .compare(&ckpt_golden, Compare::Bitwise)
+            .is_ok();
+        if !bitwise_identical {
+            let e = retained_golden
+                .compare(&ckpt_golden, Compare::Bitwise)
+                .unwrap_err();
+            return Err(format!("{task}: checkpointed trace diverged: {e}"));
+        }
+        if checkpointed_peak > retained_peak {
+            return Err(format!(
+                "{task}: checkpointing raised the peak ({checkpointed_peak} > {retained_peak})"
+            ));
+        }
+        out.push(TaskMem {
+            task,
+            epochs,
+            retained_peak,
+            checkpointed_peak,
+            bitwise_identical,
+        });
+    }
+    let nc = &out[0];
+    if nc.reduction() < NC_REDUCTION_FLOOR {
+        return Err(format!(
+            "node_classification peak reduction {:.1}% is below the {:.0}% floor \
+             ({} -> {} bytes)",
+            nc.reduction() * 100.0,
+            NC_REDUCTION_FLOOR * 100.0,
+            nc.retained_peak,
+            nc.checkpointed_peak
+        ));
+    }
+    Ok(out)
+}
+
+/// Render the `BENCH_mem.json` document.
+pub fn to_json(tasks: &[TaskMem]) -> String {
+    let rows = tasks
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"task\": \"{}\", \"epochs\": {}, \"retained_peak_bytes\": {}, \
+                 \"checkpointed_peak_bytes\": {}, \"reduction\": {:.4}, \
+                 \"bitwise_identical\": {}}}",
+                t.task,
+                t.epochs,
+                t.retained_peak,
+                t.checkpointed_peak,
+                t.reduction(),
+                t.bitwise_identical
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"peak_tape_bytes\",\n  \"parallel_feature\": {},\n  \
+         \"fast_kernels_feature\": {},\n  \"nc_reduction_floor\": {:.2},\n  \
+         \"tasks\": [\n{rows}\n  ]\n}}\n",
+        cfg!(feature = "parallel"),
+        cfg!(feature = "fast-kernels"),
+        NC_REDUCTION_FLOOR,
+    )
+}
+
+/// Run the three fixtures and write `BENCH_mem.json` (path overridable
+/// via `MG_BENCH_MEM_JSON`; `skip` suppresses the file but still runs
+/// every check). Returns a process exit code.
+pub fn emit_default() -> i32 {
+    let tasks = match run_all() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mem_report: {e}");
+            return 1;
+        }
+    };
+    for t in &tasks {
+        eprintln!(
+            "mem_report: {} peak {} -> {} bytes ({:.1}% reduction, bitwise {})",
+            t.task,
+            t.retained_peak,
+            t.checkpointed_peak,
+            t.reduction() * 100.0,
+            if t.bitwise_identical {
+                "ok"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    let path = std::env::var("MG_BENCH_MEM_JSON").unwrap_or_else(|_| "BENCH_mem.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&tasks);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        let t = TaskMem {
+            task: "node_classification",
+            epochs: 8,
+            retained_peak: 1000,
+            checkpointed_peak: 600,
+            bitwise_identical: true,
+        };
+        assert!((t.reduction() - 0.4).abs() < 1e-12);
+        let zero = TaskMem {
+            retained_peak: 0,
+            checkpointed_peak: 0,
+            ..t
+        };
+        assert_eq!(zero.reduction(), 0.0);
+    }
+
+    #[test]
+    fn json_has_promised_fields() {
+        let tasks = vec![TaskMem {
+            task: "node_classification",
+            epochs: 8,
+            retained_peak: 1000,
+            checkpointed_peak: 600,
+            bitwise_identical: true,
+        }];
+        let json = to_json(&tasks);
+        for key in [
+            "\"bench\"",
+            "\"parallel_feature\"",
+            "\"fast_kernels_feature\"",
+            "\"nc_reduction_floor\"",
+            "\"retained_peak_bytes\"",
+            "\"checkpointed_peak_bytes\"",
+            "\"reduction\"",
+            "\"bitwise_identical\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Checkpointed-tape toggle for the AdamGNN forward pass.
+//!
+//! Three layers of control, in precedence order:
+//!
+//! 1. [`with_ckpt_tape`] — a thread-local override for the duration of a
+//!    closure. Tests and the memory-report bench use it to compare
+//!    retained vs checkpointed runs in one process without touching the
+//!    environment (env mutation is racy under the parallel test runner).
+//! 2. [`AdamGnnConfig::checkpoint`](crate::AdamGnnConfig) — the builder
+//!    toggle, defaulted from the environment at config construction.
+//! 3. The `MG_CKPT_TAPE` environment variable (`1`/`true`/`on`) — the
+//!    operational switch; the retaining tape stays the golden default.
+//!
+//! Checkpointing changes *when* forward values are resident, never what
+//! they are: gradients are bitwise identical either way (enforced by the
+//! replay fingerprint check in mg-tensor and the differential suites).
+
+use std::cell::Cell;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Run `f` with tape checkpointing forced on or off for this thread,
+/// overriding both the config field and `MG_CKPT_TAPE`. Restores the
+/// previous override on exit (also on panic).
+pub fn with_ckpt_tape<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(on))));
+    f()
+}
+
+/// The config-construction default: true when `MG_CKPT_TAPE` is set to
+/// `1`, `true` or `on`.
+pub(crate) fn env_default() -> bool {
+    std::env::var("MG_CKPT_TAPE").is_ok_and(|v| matches!(v.as_str(), "1" | "true" | "on"))
+}
+
+/// Effective toggle for a forward pass with the given config default.
+pub(crate) fn resolve(cfg_default: bool) -> bool {
+    OVERRIDE.with(|c| c.get()).unwrap_or(cfg_default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_restores() {
+        assert!(!resolve(false));
+        assert!(resolve(true));
+        with_ckpt_tape(true, || {
+            assert!(resolve(false), "override beats config default");
+            assert!(resolve(true));
+        });
+        with_ckpt_tape(false, || {
+            assert!(!resolve(true), "override beats config default");
+        });
+        assert!(!resolve(false), "override restored on exit");
+    }
+
+    #[test]
+    fn nested_overrides_unwind() {
+        with_ckpt_tape(true, || {
+            with_ckpt_tape(false, || assert!(!resolve(true)));
+            assert!(resolve(false), "outer override restored");
+        });
+    }
+}

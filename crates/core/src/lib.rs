@@ -23,6 +23,7 @@
 //! See `DESIGN.md` at the repository root for the substrate inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
 
+pub mod ckpt;
 pub mod decompose;
 pub mod explain;
 pub mod faults;
@@ -32,6 +33,7 @@ pub mod loss;
 pub mod model;
 pub mod structure;
 
+pub use ckpt::with_ckpt_tape;
 pub use decompose::{
     decomposed_loss, decomposed_loss_frozen, record_loss_freeze, LossBreakdown, LossFreeze,
 };

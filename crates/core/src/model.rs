@@ -31,6 +31,11 @@ pub struct AdamGnnConfig {
     /// Include Eq. 2's linearity term `f^c = sigmoid(h_jᵀ h_i)` in the
     /// fitness (ablation knob; the paper always keeps it on).
     pub linearity: bool,
+    /// Run the forward blocks through tape checkpoint scopes
+    /// (recompute-on-backward; see `crate::ckpt`). Bitwise-invisible to
+    /// gradients and traces — it only changes peak tape memory. Defaults
+    /// from `MG_CKPT_TAPE`; [`crate::ckpt::with_ckpt_tape`] overrides it.
+    pub checkpoint: bool,
 }
 
 impl AdamGnnConfig {
@@ -44,6 +49,7 @@ impl AdamGnnConfig {
             flyback: true,
             dropout: 0.5,
             linearity: true,
+            checkpoint: crate::ckpt::env_default(),
         }
     }
 }
@@ -212,6 +218,11 @@ impl AdamGnn {
         rng: &mut StdRng,
         frozen: Option<&FrozenStructure>,
     ) -> (AdamGnnOutput, FrozenStructure) {
+        // Recompute-on-backward for the big forward blocks. Every scope
+        // closes before any early `break`, so no abort paths are needed;
+        // checkpointing never changes the values or gradients, only when
+        // interior buffers are resident (see crate::ckpt).
+        let ckpt = crate::ckpt::resolve(self.cfg.checkpoint);
         // ---- primary node representation (Eq. 1) ----
         let x = ctx.x_var(tape);
         let mut h0 = self.gcn0.forward(tape, bind, ctx, x);
@@ -247,7 +258,10 @@ impl AdamGnn {
             if pairs.is_empty() {
                 break;
             }
-            // per-pair fitness φ (differentiable)
+            // per-pair fitness φ (differentiable); its attention
+            // intermediates (per-pair gathers of h) dominate the level's
+            // tape footprint, so they recompute on backward.
+            let fit_scope = ckpt.then(|| tape.begin_checkpoint());
             let phi = pair_fitness_with(
                 tape,
                 bind,
@@ -257,6 +271,9 @@ impl AdamGnn {
                 n_prev,
                 self.cfg.linearity,
             );
+            if let Some(scope) = fit_scope {
+                tape.end_checkpoint(scope, &[phi]);
+            }
             let phi_data: Vec<f64> = tape.value(phi).data().to_vec();
             // adaptive ego selection (discrete; pinned on frozen replays)
             let egos = match frozen {
@@ -273,6 +290,9 @@ impl AdamGnn {
                 egos_l1 = Rc::new(egos.clone());
             }
             let plan = build_s_plan(&topo, &pairs, &phi_data, self.cfg.lambda, &egos);
+            // pooling block: S_k assembly, hyper features, the level GCN
+            // and the unpool chain. Only its three outputs stay resident.
+            let pool_scope = ckpt.then(|| tape.begin_checkpoint());
             // S_k values on the tape: φ entries + constant ones
             let phi_ext = with_unit_row(tape, phi);
             let gather_idx: Vec<usize> = plan
@@ -324,6 +344,9 @@ impl AdamGnn {
             for (csr, vals) in s_chain.iter().rev() {
                 up = tape.spmm(csr.clone(), *vals, up);
             }
+            if let Some(scope) = pool_scope {
+                tape.end_checkpoint(scope, &[s_vals, h_k, up]);
+            }
             unpooled.push(up);
 
             levels.push(LevelState {
@@ -347,6 +370,7 @@ impl AdamGnn {
 
         // ---- flyback aggregation (Eq. 4) ----
         let (h, beta) = if self.cfg.flyback && !unpooled.is_empty() {
+            let fly_scope = ckpt.then(|| tape.begin_checkpoint());
             let h0w = tape.leaky_relu(tape.matmul(h0, bind.var(self.fly.w)), ATT_SLOPE);
             let _ = h0w; // note: W applies to the *message* side per Eq. 4
             let rhs = tape.matmul(tape.leaky_relu(h0, ATT_SLOPE), bind.var(self.fly.a_rhs));
@@ -362,6 +386,9 @@ impl AdamGnn {
             for (k, &up) in unpooled.iter().enumerate() {
                 let b_k = tape.slice_cols(beta, k, k + 1);
                 h = tape.add(h, tape.mul_col(up, b_k));
+            }
+            if let Some(scope) = fly_scope {
+                tape.end_checkpoint(scope, &[h, beta]);
             }
             (h, Some(beta))
         } else {
@@ -544,6 +571,44 @@ mod tests {
             tape.value_cloned(out.h)
         };
         assert_eq!(run(1), run(99));
+    }
+
+    #[test]
+    fn checkpointed_forward_backward_is_bitwise_identical() {
+        let (ctx, _) = two_community_ctx();
+        let (store, model) = small_model(2, true);
+        let run = |on: bool| {
+            crate::ckpt::with_ckpt_tape(on, || {
+                let tape = Tape::new();
+                let bind = store.bind(&tape);
+                let out = model.forward(&tape, &bind, &ctx, true, &mut seeds::forward_rng());
+                let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
+                let grads = tape.backward(loss);
+                let gbits: Vec<Matrix> = store
+                    .param_ids()
+                    .into_iter()
+                    .filter_map(|p| grads.get(bind.var(p)).cloned())
+                    .collect();
+                (
+                    tape.value_cloned(loss),
+                    tape.value_cloned(out.h),
+                    gbits,
+                    tape.peak_tape_bytes(),
+                )
+            })
+        };
+        let (loss_r, h_r, grads_r, peak_r) = run(false);
+        let (loss_c, h_c, grads_c, peak_c) = run(true);
+        assert_eq!(loss_r, loss_c, "loss must be bitwise identical");
+        assert_eq!(h_r, h_c, "representations must be bitwise identical");
+        assert_eq!(grads_r.len(), grads_c.len());
+        for (gr, gc) in grads_r.iter().zip(&grads_c) {
+            assert_eq!(gr, gc, "gradients must be bitwise identical");
+        }
+        assert!(
+            peak_c < peak_r,
+            "checkpointing must lower the tape high-water mark ({peak_c} >= {peak_r})"
+        );
     }
 
     #[test]

@@ -256,6 +256,7 @@ pub(crate) fn node_clustering_session(
                 grad_norms: s.grad_norms,
                 beta: s.beta,
                 level_sizes: s.level_sizes,
+                peak_tape_bytes: s.peak_tape_bytes,
             });
         }
         if hooks.due(epoch + 1, epoch + 1 == cfg.epochs) {

@@ -161,6 +161,7 @@ pub(crate) fn graph_classification_session(
         }
         let mut batch_losses = Vec::new();
         let mut last_grad_norms = Vec::new();
+        let mut epoch_peak_tape_bytes = 0u64;
         for chunk in order.chunks(batch) {
             let tape = Tape::new();
             let bind = store.bind(&tape);
@@ -183,6 +184,7 @@ pub(crate) fn graph_classification_session(
             let mut grads = tape.backward(loss);
             if obs.enabled() {
                 last_grad_norms = telemetry::grad_norms(&store, &bind, &grads);
+                epoch_peak_tape_bytes = epoch_peak_tape_bytes.max(tape.peak_tape_bytes() as u64);
             }
             store.step(&mut grads, &bind, &adam);
         }
@@ -208,6 +210,7 @@ pub(crate) fn graph_classification_session(
                 grad_norms: std::mem::take(&mut last_grad_norms),
                 beta: None,
                 level_sizes: Vec::new(),
+                peak_tape_bytes: epoch_peak_tape_bytes,
             });
         }
         let mut stop = false;

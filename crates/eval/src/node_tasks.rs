@@ -240,6 +240,7 @@ pub(crate) fn node_classification_session(
                 grad_norms: s.grad_norms,
                 beta: s.beta,
                 level_sizes: s.level_sizes,
+                peak_tape_bytes: s.peak_tape_bytes,
             });
         }
         let mut stop = false;
@@ -460,6 +461,7 @@ pub(crate) fn link_prediction_session(
                 grad_norms: s.grad_norms,
                 beta: s.beta,
                 level_sizes: s.level_sizes,
+                peak_tape_bytes: s.peak_tape_bytes,
             });
         }
         let mut stop = false;

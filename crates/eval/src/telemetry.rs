@@ -20,6 +20,10 @@ pub(crate) struct StepObs {
     pub grad_norms: Vec<(String, f64)>,
     pub beta: Option<BetaStats>,
     pub level_sizes: Vec<usize>,
+    /// High-water mark of live tape bytes for this step's tape —
+    /// retained runs see the full forward footprint, checkpointed runs
+    /// the reduced one (see `Tape::peak_tape_bytes`).
+    pub peak_tape_bytes: u64,
 }
 
 /// L2 norm per parameter tensor, in registration order. Parameters the
@@ -79,6 +83,7 @@ pub(crate) fn collect_step(
         grad_norms: grad_norms(store, bind, grads),
         beta,
         level_sizes,
+        peak_tape_bytes: tape.peak_tape_bytes() as u64,
     }
 }
 
@@ -123,5 +128,6 @@ mod tests {
         assert!(obs.beta.is_none());
         assert!(obs.level_sizes.is_empty());
         assert_eq!(obs.grad_norms, vec![("w".to_string(), 1.0)]);
+        assert!(obs.peak_tape_bytes > 0, "tape held at least the leaf");
     }
 }

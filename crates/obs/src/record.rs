@@ -132,6 +132,11 @@ pub struct EpochRecord {
     pub beta: Option<BetaStats>,
     /// Hyper-node count per pooling level that actually formed.
     pub level_sizes: Vec<usize>,
+    /// High-water mark of live tape bytes across the epoch's training
+    /// tapes (max over batches for mini-batch loops). Retained tapes
+    /// report the full forward footprint; checkpointed tapes
+    /// (`MG_CKPT_TAPE=1`) the reduced one.
+    pub peak_tape_bytes: u64,
 }
 
 impl EpochRecord {
@@ -159,7 +164,7 @@ impl EpochRecord {
             "{{\"kind\": \"epoch\", \"task\": {}, \"epoch\": {}, \"loss_total\": {}, \
              \"loss_task\": {}, \"loss_kl\": {}, \"loss_recon\": {}, \"val_metric\": {}, \
              \"train_ns\": {}, \"eval_ns\": {}, \"grad_norms\": [{}], \"beta\": {}, \
-             \"level_sizes\": [{}]}}",
+             \"level_sizes\": [{}], \"peak_tape_bytes\": {}}}",
             string(task),
             self.epoch,
             number(self.loss_total),
@@ -172,6 +177,7 @@ impl EpochRecord {
             norms,
             beta,
             levels,
+            self.peak_tape_bytes,
         )
     }
 }
@@ -334,6 +340,7 @@ mod tests {
             grad_norms: vec![("w\"eird".into(), 2.0), ("b".into(), f64::NAN)],
             beta: Some(BetaStats::from_flat(&[0.25, 0.75, 0.5, 0.5], 2)),
             level_sizes: vec![6, 3],
+            peak_tape_bytes: 4096,
         };
         let line = rec.to_json_line("node_classification");
         let v = Json::parse(&line).expect("valid JSON");
@@ -346,6 +353,7 @@ mod tests {
         let beta = v.get("beta").unwrap();
         assert_eq!(beta.get("mean").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(v.get("level_sizes").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("peak_tape_bytes").unwrap().as_f64(), Some(4096.0));
     }
 
     #[test]

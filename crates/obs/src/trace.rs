@@ -242,6 +242,7 @@ mod tests {
             grad_norms: vec![],
             beta: None,
             level_sizes: vec![],
+            peak_tape_bytes: 256,
         }
     }
 

@@ -23,6 +23,8 @@ pub struct TraceReport {
     pub epoch_train_ns: Vec<u64>,
     /// Per-epoch `eval_ns` values, in emission order.
     pub epoch_eval_ns: Vec<u64>,
+    /// Per-epoch `peak_tape_bytes` values, in emission order.
+    pub epoch_peak_tape_bytes: Vec<u64>,
 }
 
 const RUN_START_KEYS: &[&str] = &[
@@ -52,6 +54,7 @@ const EPOCH_KEYS: &[&str] = &[
     "grad_norms",
     "beta",
     "level_sizes",
+    "peak_tape_bytes",
 ];
 const RUN_END_KEYS: &[&str] = &["task", "epochs_run", "best_val", "test_metric", "wall_s"];
 const KERNEL_KEYS: &[&str] = &["task", "kernels"];
@@ -113,6 +116,7 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
                 };
                 report.epoch_train_ns.push(ns("train_ns")?);
                 report.epoch_eval_ns.push(ns("eval_ns")?);
+                report.epoch_peak_tape_bytes.push(ns("peak_tape_bytes")?);
                 report.epochs += 1;
             }
             "kernel_stats" => {
@@ -187,6 +191,7 @@ mod tests {
             grad_norms: vec![],
             beta: None,
             level_sizes: vec![],
+            peak_tape_bytes: 512,
         });
         t.kernel_stats();
         t.run_end(1, None, None);
@@ -199,6 +204,7 @@ mod tests {
         assert_eq!(report.run_ends, 1);
         assert_eq!(report.epoch_train_ns, vec![7]);
         assert_eq!(report.epoch_eval_ns, vec![3]);
+        assert_eq!(report.epoch_peak_tape_bytes, vec![512]);
     }
 
     #[test]
@@ -260,5 +266,13 @@ mod tests {
         assert!(validate_trace("{\"kind\": \"mystery\"}\n").is_err());
         // an epoch record missing its loss decomposition keys
         assert!(validate_trace("{\"kind\": \"epoch\", \"task\": \"t\", \"epoch\": 0}\n").is_err());
+        // an otherwise-complete epoch record missing only peak_tape_bytes
+        let no_peak = "{\"kind\": \"epoch\", \"task\": \"t\", \"epoch\": 0, \
+             \"loss_total\": 1.0, \"loss_task\": null, \"loss_kl\": null, \
+             \"loss_recon\": null, \"val_metric\": null, \"train_ns\": 1, \
+             \"eval_ns\": 1, \"grad_norms\": [], \"beta\": null, \
+             \"level_sizes\": []}\n";
+        let err = validate_trace(no_peak).expect_err("peak_tape_bytes is required");
+        assert!(err.contains("peak_tape_bytes"), "error was: {err}");
     }
 }

@@ -4,7 +4,16 @@
 //! outputs on the tape, so a single backward sweep suffices. Gradients
 //! accumulate into a side table ([`Gradients`]) rather than the nodes
 //! themselves.
+//!
+//! Checkpointed segments (see [`crate::checkpoint`]) are re-materialised
+//! lazily: before a node is processed, its own value and its inputs are
+//! replayed if a scope dropped them, and a segment's interior is dropped
+//! again as soon as the sweep passes below its start — so at any moment
+//! at most the segments under the sweep cursor are resident, which is
+//! what bounds peak memory.
 
+use crate::checkpoint::segment_containing;
+use crate::error::MgError;
 use crate::matrix::Matrix;
 use crate::ops::{kl_distributions, sigmoid, softmax_rows};
 use crate::tape::{Gradients, Op, Tape, Var};
@@ -13,25 +22,50 @@ impl Tape {
     /// Run reverse-mode differentiation from the scalar `loss` node.
     ///
     /// # Panics
-    /// Panics if `loss` is not `1 x 1`.
+    /// Panics if `loss` is not `1 x 1`, or if a checkpointed segment
+    /// fails its replay consistency check (use [`Tape::try_backward`] to
+    /// handle that as a typed error instead).
     pub fn backward(&self, loss: Var) -> Gradients {
-        let nodes = self.nodes.borrow();
+        self.try_backward(loss)
+            .unwrap_or_else(|e| panic!("backward: {e}"))
+    }
+
+    /// [`Tape::backward`], surfacing checkpoint-replay divergence as
+    /// [`MgError::Corrupt`] instead of silently wrong gradients. On a
+    /// retaining tape (no checkpoint scopes) this never errors.
+    pub fn try_backward(&self, loss: Var) -> Result<Gradients, MgError> {
+        assert!(
+            self.open_scope.get().is_none(),
+            "backward: a checkpoint scope is still open"
+        );
+        let mut nodes = self.nodes.borrow_mut();
+        let segments = self.segments.borrow();
         assert_eq!(
-            nodes[loss.0].value.shape(),
+            nodes[loss.0].shape,
             (1, 1),
             "backward: loss must be a 1x1 scalar"
         );
         let mut grads: Vec<Option<Matrix>> = (0..nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
+        // Segments with start above the sweep cursor can never be needed
+        // again (a node's inputs always precede it), so they are
+        // re-dropped the moment the cursor passes below their start.
+        let mut live_seg = segments.len();
+
         for i in (0..=loss.0).rev() {
+            while live_seg > 0 && segments[live_seg - 1].start > i {
+                self.redrop_segment(&mut nodes, &segments[live_seg - 1]);
+                live_seg -= 1;
+            }
             if !nodes[i].requires_grad {
                 grads[i] = None;
                 continue;
             }
             let Some(g) = grads[i].take() else { continue };
+            self.ensure_for_backward(&mut nodes, &segments, i)?;
             let node = &nodes[i];
-            let out = &node.value;
+            let out = node.val();
 
             // Accumulate `delta` into the gradient of `v` if it needs one.
             macro_rules! acc {
@@ -50,7 +84,7 @@ impl Tape {
                 ($v:expr) => {{
                     let v: Var = $v;
                     grads[v.0].get_or_insert_with(|| {
-                        let (r, c) = nodes[v.0].value.shape();
+                        let (r, c) = nodes[v.0].shape;
                         Matrix::zeros(r, c)
                     })
                 }};
@@ -71,10 +105,10 @@ impl Tape {
                 }
                 Op::MulElem(a, b) => {
                     if nodes[a.0].requires_grad {
-                        acc!(*a, g.zip(&nodes[b.0].value, |gx, bv| gx * bv));
+                        acc!(*a, g.zip(nodes[b.0].val(), |gx, bv| gx * bv));
                     }
                     if nodes[b.0].requires_grad {
-                        acc!(*b, g.zip(&nodes[a.0].value, |gx, av| gx * av));
+                        acc!(*b, g.zip(nodes[a.0].val(), |gx, av| gx * av));
                     }
                 }
                 Op::Scale(a, alpha) => {
@@ -98,10 +132,10 @@ impl Tape {
                 }
                 Op::MatMul(a, b) => {
                     if nodes[a.0].requires_grad {
-                        acc!(*a, g.matmul_nt(&nodes[b.0].value));
+                        acc!(*a, g.matmul_nt(nodes[b.0].val()));
                     }
                     if nodes[b.0].requires_grad {
-                        acc!(*b, nodes[a.0].value.matmul_tn(&g));
+                        acc!(*b, nodes[a.0].val().matmul_tn(&g));
                     }
                 }
                 Op::Transpose(a) => {
@@ -110,14 +144,14 @@ impl Tape {
                 Op::Relu(a) => {
                     acc!(
                         *a,
-                        g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 })
+                        g.zip(nodes[a.0].val(), |gx, x| if x > 0.0 { gx } else { 0.0 })
                     );
                 }
                 Op::LeakyRelu(a, slope) => {
                     let s = *slope;
                     acc!(
                         *a,
-                        g.zip(&nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { s * gx })
+                        g.zip(nodes[a.0].val(), |gx, x| if x > 0.0 { gx } else { s * gx })
                     );
                 }
                 Op::Sigmoid(a) => {
@@ -151,12 +185,12 @@ impl Tape {
                     acc!(*a, gx);
                 }
                 Op::Spmm { csr, values, dense } => {
-                    let x = &nodes[dense.0].value;
+                    let x = nodes[dense.0].val();
                     if nodes[values.0].requires_grad {
                         acc!(*values, csr.spmm_grad_values(&g, x));
                     }
                     if nodes[dense.0].requires_grad {
-                        let vals = &nodes[values.0].value;
+                        let vals = nodes[values.0].val();
                         // gX = Aᵀ g — under `parallel`, `spmm_t` builds the
                         // transpose cache on the shared `Rc<Csr>` the first
                         // time and reuses it on every later epoch.
@@ -186,23 +220,23 @@ impl Tape {
                         }
                         acc!(*bias, gb);
                     }
-                    let x = &nodes[dense.0].value;
+                    let x = nodes[dense.0].val();
                     if nodes[values.0].requires_grad {
                         acc!(*values, csr.spmm_grad_values(&gz, x));
                     }
                     if nodes[dense.0].requires_grad {
-                        let vals = &nodes[values.0].value;
+                        let vals = nodes[values.0].val();
                         acc!(*dense, csr.spmm_t(vals.data(), &gz));
                     }
                 }
                 Op::SpmmT { csr, values, dense } => {
-                    let x = &nodes[dense.0].value;
+                    let x = nodes[dense.0].val();
                     if nodes[values.0].requires_grad {
                         // out[c,:] += v_k x[r,:]  =>  dv_k = g[c,:].x[r,:]
                         acc!(*values, csr.spmm_t_grad_values(&g, x));
                     }
                     if nodes[dense.0].requires_grad {
-                        let vals = &nodes[values.0].value;
+                        let vals = nodes[values.0].val();
                         // gX = A g
                         acc!(*dense, csr.spmm(vals.data(), &g));
                     }
@@ -238,7 +272,7 @@ impl Tape {
                     acc!(*scores, gx);
                 }
                 Op::RowDot(a, b) => {
-                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let (av, bv) = (nodes[a.0].val(), nodes[b.0].val());
                     if nodes[a.0].requires_grad {
                         let mut ga = Matrix::zeros(av.rows(), av.cols());
                         for r in 0..av.rows() {
@@ -261,7 +295,7 @@ impl Tape {
                     }
                 }
                 Op::MulCol { a, col } => {
-                    let (av, cv) = (&nodes[a.0].value, &nodes[col.0].value);
+                    let (av, cv) = (nodes[a.0].val(), nodes[col.0].val());
                     if nodes[a.0].requires_grad {
                         let mut ga = Matrix::zeros(av.rows(), av.cols());
                         for r in 0..av.rows() {
@@ -284,7 +318,7 @@ impl Tape {
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for v in parts {
-                        let w = nodes[v.0].value.cols();
+                        let w = nodes[v.0].shape.1;
                         if nodes[v.0].requires_grad {
                             let part = Matrix::from_fn(g.rows(), w, |r, c| g[(r, off + c)]);
                             acc!(*v, part);
@@ -293,7 +327,7 @@ impl Tape {
                     }
                 }
                 Op::SliceCols { src, start, end } => {
-                    let (rows, cols) = nodes[src.0].value.shape();
+                    let (rows, cols) = nodes[src.0].shape;
                     let mut gs = Matrix::zeros(rows, cols);
                     for r in 0..rows {
                         for c in *start..*end {
@@ -304,25 +338,25 @@ impl Tape {
                 }
                 Op::SumAll(a) => {
                     let gs = g.scalar();
-                    let (r, c) = nodes[a.0].value.shape();
+                    let (r, c) = nodes[a.0].shape;
                     acc!(*a, Matrix::full(r, c, gs));
                 }
                 Op::MeanAll(a) => {
-                    let (r, c) = nodes[a.0].value.shape();
+                    let (r, c) = nodes[a.0].shape;
                     let gs = g.scalar() / (r * c) as f64;
                     acc!(*a, Matrix::full(r, c, gs));
                 }
                 Op::MeanRows(a) => {
-                    let (r, c) = nodes[a.0].value.shape();
+                    let (r, c) = nodes[a.0].shape;
                     let inv = 1.0 / r as f64;
                     acc!(*a, Matrix::from_fn(r, c, |_, j| g[(0, j)] * inv));
                 }
                 Op::SumRows(a) => {
-                    let (r, c) = nodes[a.0].value.shape();
+                    let (r, c) = nodes[a.0].shape;
                     acc!(*a, Matrix::from_fn(r, c, |_, j| g[(0, j)]));
                 }
                 Op::MaxRows { src, argmax } => {
-                    let (r, c) = nodes[src.0].value.shape();
+                    let (r, c) = nodes[src.0].shape;
                     let mut gs = Matrix::zeros(r, c);
                     for (j, &arg) in argmax.iter().enumerate() {
                         gs[(arg, j)] = g[(0, j)];
@@ -335,7 +369,7 @@ impl Tape {
                     nodes: node_set,
                 } => {
                     let gs = g.scalar() / node_set.len() as f64;
-                    let (r, c) = nodes[logp.0].value.shape();
+                    let (r, c) = nodes[logp.0].shape;
                     let mut gl = Matrix::zeros(r, c);
                     for &row in node_set.iter() {
                         gl[(row, targets[row])] -= gs;
@@ -348,7 +382,7 @@ impl Tape {
                     labels,
                     cache,
                 } => {
-                    let hv = &nodes[h.0].value;
+                    let hv = nodes[h.0].val();
                     let gs = g.scalar() / pairs.len() as f64;
                     let mut gh = Matrix::zeros(hv.rows(), hv.cols());
                     for ((&(pi, pj), &y), &z) in
@@ -370,7 +404,7 @@ impl Tape {
                     cache,
                     target,
                 } => {
-                    let hv = &nodes[h.0].value;
+                    let hv = nodes[h.0].val();
                     let (n, d) = hv.shape();
                     let t = &cache.t;
                     let (q, self_p) = kl_distributions(t);
@@ -403,7 +437,7 @@ impl Tape {
                     acc!(*a, g.zip(out, |gx, y| gx * y));
                 }
                 Op::Ln(a) => {
-                    acc!(*a, g.zip(&nodes[a.0].value, |gx, x| gx / x));
+                    acc!(*a, g.zip(nodes[a.0].val(), |gx, x| gx / x));
                 }
                 Op::ColNormalize { src, inv_std } => {
                     // y = (x - mu) * inv_std; with batch statistics:
@@ -426,8 +460,8 @@ impl Tape {
                     });
                     acc!(*src, gx);
                 }
-                Op::Reshape(src) => {
-                    let (r, c) = nodes[src.0].value.shape();
+                Op::Reshape { src, .. } => {
+                    let (r, c) = nodes[src.0].shape;
                     acc!(*src, Matrix::from_vec(r, c, g.data().to_vec()));
                 }
                 Op::Dropout { src, mask } => {
@@ -440,7 +474,20 @@ impl Tape {
             }
             // Intermediate gradients are dropped once consumed to bound memory.
         }
-        Gradients { grads }
+        // Leave the tape in its checkpointed state: any segment the sweep
+        // materialised (or never reached) ends with its interior dropped.
+        while live_seg > 0 {
+            self.redrop_segment(&mut nodes, &segments[live_seg - 1]);
+            live_seg -= 1;
+        }
+        debug_assert!(
+            nodes
+                .iter()
+                .enumerate()
+                .all(|(i, n)| n.value.is_some() || segment_containing(&segments, i).is_some()),
+            "every dropped value must belong to a segment"
+        );
+        Ok(Gradients { grads })
     }
 }
 

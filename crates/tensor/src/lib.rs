@@ -31,6 +31,7 @@
 //! ```
 
 mod backward;
+mod checkpoint;
 mod csr;
 mod error;
 pub mod gradcheck;
@@ -40,6 +41,7 @@ mod optim;
 mod par;
 mod tape;
 
+pub use checkpoint::{CheckpointScope, KeepVars};
 pub use csr::Csr;
 pub use error::MgError;
 pub use gradcheck::{check_gradients, check_gradients_sampled, GradCheckReport};

@@ -1,149 +1,101 @@
-//! Forward op constructors on [`Tape`].
+//! Forward op constructors on [`Tape`] and the shared op evaluator.
 //!
-//! Every method computes its result eagerly, validates shapes with
-//! assertions (shape bugs should fail loudly at the call site, not three
-//! ops later), and records the op for the backward pass in
-//! [`crate::backward`].
+//! Every constructor validates shapes and builds whatever payload the op
+//! needs (dropout masks, argmax rows, cached logits/kernels), then
+//! records the op; the actual value is computed by [`eval_op`] — the
+//! *same* function checkpoint replay calls in `backward`. Sharing one
+//! evaluator is what makes recompute-on-backward bitwise identical to
+//! the retaining tape by construction: replay runs the same code on the
+//! same inputs, and every data-dependent or stochastic choice is frozen
+//! into the payload at record time.
+//!
+//! Shape assertions live in [`eval_op`] so shape bugs fail loudly at the
+//! call site (and again, identically, on replay), not three ops later.
 
 use std::rc::Rc;
 
 use crate::csr::Csr;
 use crate::matrix::Matrix;
-use crate::tape::{BceCache, KlCache, Op, Tape, Var};
+use crate::tape::{BceCache, KlCache, Node, Op, Tape, Var};
 
 impl Tape {
-    /// Elementwise sum `a + b`.
-    pub fn add(&self, a: Var, b: Var) -> Var {
+    /// Evaluate `op` against the current tape and record the result.
+    fn record(&self, op: Op, requires_grad: bool) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x + y)
+            eval_op(&nodes, &op)
         };
-        let rg = self.rg2(a, b);
-        self.push(value, Op::Add(a, b), rg)
+        self.push(value, op, requires_grad)
+    }
+
+    /// Elementwise sum `a + b`.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.record(Op::Add(a, b), self.rg2(a, b))
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&self, a: Var, b: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x - y)
-        };
-        let rg = self.rg2(a, b);
-        self.push(value, Op::Sub(a, b), rg)
+        self.record(Op::Sub(a, b), self.rg2(a, b))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul_elem(&self, a: Var, b: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip(&nodes[b.0].value, |x, y| x * y)
-        };
-        let rg = self.rg2(a, b);
-        self.push(value, Op::MulElem(a, b), rg)
+        self.record(Op::MulElem(a, b), self.rg2(a, b))
     }
 
     /// Multiply by a compile-time constant scalar.
     pub fn scale(&self, a: Var, alpha: f64) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(|x| x * alpha);
-        let rg = self.rg(a);
-        self.push(value, Op::Scale(a, alpha), rg)
+        self.record(Op::Scale(a, alpha), self.rg(a))
     }
 
     /// Add a constant scalar to every element.
     pub fn add_scalar(&self, a: Var, c: f64) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(|x| x + c);
-        let rg = self.rg(a);
-        self.push(value, Op::AddScalar(a, c), rg)
+        self.record(Op::AddScalar(a, c), self.rg(a))
     }
 
     /// Broadcast-add a `1 x d` bias row to every row of `a (n x d)`.
     pub fn add_bias(&self, a: Var, bias: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let (av, bv) = (&nodes[a.0].value, &nodes[bias.0].value);
-            assert_eq!(bv.rows(), 1, "add_bias: bias must be 1 x d");
-            assert_eq!(av.cols(), bv.cols(), "add_bias: width mismatch");
-            let brow = bv.row(0).to_vec();
-            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] + brow[j])
-        };
-        let rg = self.rg2(a, bias);
-        self.push(value, Op::AddBias(a, bias), rg)
+        self.record(Op::AddBias(a, bias), self.rg2(a, bias))
     }
 
     /// Dense matrix product.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            nodes[a.0].value.matmul(&nodes[b.0].value)
-        };
-        let rg = self.rg2(a, b);
-        self.push(value, Op::MatMul(a, b), rg)
+        self.record(Op::MatMul(a, b), self.rg2(a, b))
     }
 
     /// Materialised transpose.
     pub fn transpose(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.transpose();
-        let rg = self.rg(a);
-        self.push(value, Op::Transpose(a), rg)
+        self.record(Op::Transpose(a), self.rg(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(|x| x.max(0.0));
-        let rg = self.rg(a);
-        self.push(value, Op::Relu(a), rg)
+        self.record(Op::Relu(a), self.rg(a))
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&self, a: Var, slope: f64) -> Var {
-        let value = self.nodes.borrow()[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { slope * x });
-        let rg = self.rg(a);
-        self.push(value, Op::LeakyRelu(a, slope), rg)
+        self.record(Op::LeakyRelu(a, slope), self.rg(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(sigmoid);
-        let rg = self.rg(a);
-        self.push(value, Op::Sigmoid(a), rg)
+        self.record(Op::Sigmoid(a), self.rg(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(f64::tanh);
-        let rg = self.rg(a);
-        self.push(value, Op::Tanh(a), rg)
+        self.record(Op::Tanh(a), self.rg(a))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self, a: Var) -> Var {
-        let value = {
-            let av = &self.nodes.borrow()[a.0].value;
-            softmax_rows(av)
-        };
-        let rg = self.rg(a);
-        self.push(value, Op::SoftmaxRows(a), rg)
+        self.record(Op::SoftmaxRows(a), self.rg(a))
     }
 
     /// Row-wise log-softmax (numerically stable).
     pub fn log_softmax_rows(&self, a: Var) -> Var {
-        let value = {
-            let av = &self.nodes.borrow()[a.0].value;
-            let mut out = Matrix::zeros(av.rows(), av.cols());
-            for i in 0..av.rows() {
-                let row = av.row(i);
-                let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln();
-                for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
-                    *o = x - lse;
-                }
-            }
-            out
-        };
-        let rg = self.rg(a);
-        self.push(value, Op::LogSoftmaxRows(a), rg)
+        self.record(Op::LogSoftmaxRows(a), self.rg(a))
     }
 
     /// Sparse-dense product `csr(values) * dense`.
@@ -151,14 +103,8 @@ impl Tape {
     /// `values` must be a `1 x nnz` variable; gradients reach both the
     /// sparse values and the dense operand.
     pub fn spmm(&self, csr: Rc<Csr>, values: Var, dense: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let vv = &nodes[values.0].value;
-            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm: values must be 1 x nnz");
-            csr.spmm(vv.data(), &nodes[dense.0].value)
-        };
         let rg = self.rg2(values, dense);
-        self.push(value, Op::Spmm { csr, values, dense }, rg)
+        self.record(Op::Spmm { csr, values, dense }, rg)
     }
 
     /// Fused `relu(csr(values) * dense + bias)` — the GCN layer's
@@ -168,21 +114,8 @@ impl Tape {
     /// the backward composes the same three gradient kernels, so fusing
     /// is bitwise invisible to training traces. `bias` must be `1 x d`.
     pub fn spmm_bias_relu(&self, csr: Rc<Csr>, values: Var, dense: Var, bias: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let vv = &nodes[values.0].value;
-            let bv = &nodes[bias.0].value;
-            assert_eq!(
-                vv.shape(),
-                (1, csr.nnz()),
-                "spmm_bias_relu: values must be 1 x nnz"
-            );
-            assert_eq!(bv.rows(), 1, "spmm_bias_relu: bias must be 1 x d");
-            csr.spmm_bias_relu(vv.data(), &nodes[dense.0].value, bv.row(0))
-        };
         let rg = self.rg3(values, dense, bias);
-        self.push(
-            value,
+        self.record(
             Op::SpmmBiasRelu {
                 csr,
                 values,
@@ -195,202 +128,94 @@ impl Tape {
 
     /// Sparse-dense product with the structural transpose: `csr(values)ᵀ * dense`.
     pub fn spmm_t(&self, csr: Rc<Csr>, values: Var, dense: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let vv = &nodes[values.0].value;
-            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm_t: values must be 1 x nnz");
-            csr.spmm_t(vv.data(), &nodes[dense.0].value)
-        };
         let rg = self.rg2(values, dense);
-        self.push(value, Op::SpmmT { csr, values, dense }, rg)
+        self.record(Op::SpmmT { csr, values, dense }, rg)
     }
 
     /// Select rows by index (with repetition allowed).
     pub fn gather_rows(&self, src: Var, idx: Rc<Vec<usize>>) -> Var {
-        let value = {
-            let sv = &self.nodes.borrow()[src.0].value;
-            let mut out = Matrix::zeros(idx.len(), sv.cols());
-            for (r, &i) in idx.iter().enumerate() {
-                assert!(i < sv.rows(), "gather_rows: index {i} out of range");
-                out.row_mut(r).copy_from_slice(sv.row(i));
-            }
-            out
-        };
-        let rg = self.rg(src);
-        self.push(value, Op::GatherRows { src, idx }, rg)
+        self.record(Op::GatherRows { src, idx }, self.rg(src))
     }
 
     /// Sum rows of `src` into `n_seg` buckets given per-row segment ids.
     pub fn segment_sum(&self, src: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
-        let value = {
-            let sv = &self.nodes.borrow()[src.0].value;
-            assert_eq!(sv.rows(), seg.len(), "segment_sum: length mismatch");
-            let mut out = Matrix::zeros(n_seg, sv.cols());
-            for (r, &s) in seg.iter().enumerate() {
-                assert!(s < n_seg, "segment_sum: segment {s} out of range");
-                let src_row = sv.row(r);
-                for (o, &x) in out.row_mut(s).iter_mut().zip(src_row) {
-                    *o += x;
-                }
-            }
-            out
-        };
-        let rg = self.rg(src);
-        self.push(value, Op::SegmentSum { src, seg, n_seg }, rg)
+        self.record(Op::SegmentSum { src, seg, n_seg }, self.rg(src))
     }
 
     /// Softmax over entries sharing a segment id. `scores` is `n_e x 1`.
     ///
     /// Segments need not be contiguous. Empty segments are fine.
     pub fn segment_softmax(&self, scores: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
-        let value = {
-            let sv = &self.nodes.borrow()[scores.0].value;
-            assert_eq!(sv.cols(), 1, "segment_softmax: scores must be n x 1");
-            assert_eq!(sv.rows(), seg.len(), "segment_softmax: length mismatch");
-            segment_softmax(sv.data(), &seg, n_seg)
-        };
         let rg = self.rg(scores);
-        self.push(value, Op::SegmentSoftmax { scores, seg, n_seg }, rg)
+        self.record(Op::SegmentSoftmax { scores, seg, n_seg }, rg)
     }
 
     /// Per-row dot product `out[i] = a[i,:] . b[i,:]`, yielding `n x 1`.
     pub fn row_dot(&self, a: Var, b: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
-            assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
-            Matrix::from_fn(av.rows(), 1, |i, _| av.row_dot(i, bv, i))
-        };
-        let rg = self.rg2(a, b);
-        self.push(value, Op::RowDot(a, b), rg)
+        self.record(Op::RowDot(a, b), self.rg2(a, b))
     }
 
     /// Scale row `i` of `a` by `col[i]` (`col` is `n x 1`).
     pub fn mul_col(&self, a: Var, col: Var) -> Var {
-        let value = {
-            let nodes = self.nodes.borrow();
-            let (av, cv) = (&nodes[a.0].value, &nodes[col.0].value);
-            assert_eq!(cv.cols(), 1, "mul_col: col must be n x 1");
-            assert_eq!(av.rows(), cv.rows(), "mul_col: height mismatch");
-            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] * cv[(i, 0)])
-        };
-        let rg = self.rg2(a, col);
-        self.push(value, Op::MulCol { a, col }, rg)
+        self.record(Op::MulCol { a, col }, self.rg2(a, col))
     }
 
     /// Concatenate matrices along columns (all must share row count).
     pub fn concat_cols(&self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols: no inputs");
-        let value = {
-            let nodes = self.nodes.borrow();
-            let rows = nodes[parts[0].0].value.rows();
-            let total: usize = parts.iter().map(|v| nodes[v.0].value.cols()).sum();
-            let mut out = Matrix::zeros(rows, total);
-            let mut off = 0;
-            for v in parts {
-                let pv = &nodes[v.0].value;
-                assert_eq!(pv.rows(), rows, "concat_cols: row mismatch");
-                for i in 0..rows {
-                    out.row_mut(i)[off..off + pv.cols()].copy_from_slice(pv.row(i));
-                }
-                off += pv.cols();
-            }
-            out
-        };
         let rg = parts.iter().any(|&v| self.rg(v));
-        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+        self.record(Op::ConcatCols(parts.to_vec()), rg)
     }
 
     /// Take the column slice `[start, end)`.
     pub fn slice_cols(&self, src: Var, start: usize, end: usize) -> Var {
-        let value = {
-            let sv = &self.nodes.borrow()[src.0].value;
-            assert!(start < end && end <= sv.cols(), "slice_cols: bad range");
-            Matrix::from_fn(sv.rows(), end - start, |i, j| sv[(i, start + j)])
-        };
-        let rg = self.rg(src);
-        self.push(value, Op::SliceCols { src, start, end }, rg)
+        self.record(Op::SliceCols { src, start, end }, self.rg(src))
     }
 
     /// Sum of all elements, as a `1 x 1` matrix.
     pub fn sum_all(&self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.nodes.borrow()[a.0].value.sum()]);
-        let rg = self.rg(a);
-        self.push(value, Op::SumAll(a), rg)
+        self.record(Op::SumAll(a), self.rg(a))
     }
 
     /// Mean of all elements, as a `1 x 1` matrix.
     pub fn mean_all(&self, a: Var) -> Var {
-        let value = {
-            let av = &self.nodes.borrow()[a.0].value;
-            Matrix::from_vec(1, 1, vec![av.sum() / av.len() as f64])
-        };
-        let rg = self.rg(a);
-        self.push(value, Op::MeanAll(a), rg)
+        self.record(Op::MeanAll(a), self.rg(a))
     }
 
     /// Column-wise mean over rows: `n x d -> 1 x d`.
     pub fn mean_rows(&self, a: Var) -> Var {
-        let value = {
-            let av = &self.nodes.borrow()[a.0].value;
-            assert!(av.rows() > 0, "mean_rows of empty matrix");
-            let mut out = Matrix::zeros(1, av.cols());
-            for i in 0..av.rows() {
-                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
-                    *o += x;
-                }
-            }
-            let n = av.rows() as f64;
-            for o in out.data_mut() {
-                *o /= n;
-            }
-            out
-        };
-        let rg = self.rg(a);
-        self.push(value, Op::MeanRows(a), rg)
+        self.record(Op::MeanRows(a), self.rg(a))
     }
 
     /// Column-wise sum over rows: `n x d -> 1 x d`.
     pub fn sum_rows(&self, a: Var) -> Var {
-        let value = {
-            let av = &self.nodes.borrow()[a.0].value;
-            let mut out = Matrix::zeros(1, av.cols());
-            for i in 0..av.rows() {
-                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
-                    *o += x;
-                }
-            }
-            out
-        };
-        let rg = self.rg(a);
-        self.push(value, Op::SumRows(a), rg)
+        self.record(Op::SumRows(a), self.rg(a))
     }
 
     /// Column-wise max over rows: `n x d -> 1 x d` (subgradient to argmax row).
     pub fn max_rows(&self, a: Var) -> Var {
-        let (value, argmax) = {
-            let av = &self.nodes.borrow()[a.0].value;
+        let argmax = {
+            let nodes = self.nodes.borrow();
+            let av = nodes[a.0].val();
             assert!(av.rows() > 0, "max_rows of empty matrix");
-            let mut out = Matrix::full(1, av.cols(), f64::NEG_INFINITY);
+            let mut best = vec![f64::NEG_INFINITY; av.cols()];
             let mut argmax = vec![0usize; av.cols()];
             for i in 0..av.rows() {
                 for (j, &x) in av.row(i).iter().enumerate() {
-                    if x > out[(0, j)] {
-                        out[(0, j)] = x;
+                    if x > best[j] {
+                        best[j] = x;
                         argmax[j] = i;
                     }
                 }
             }
-            (out, argmax)
+            argmax
         };
-        let rg = self.rg(a);
-        self.push(
-            value,
+        self.record(
             Op::MaxRows {
                 src: a,
                 argmax: Rc::new(argmax),
             },
-            rg,
+            self.rg(a),
         )
     }
 
@@ -400,20 +225,8 @@ impl Tape {
     /// `targets` is indexed by absolute row, so it must cover every row
     /// mentioned in `nodes`.
     pub fn nll_loss(&self, logp: Var, targets: Rc<Vec<usize>>, nodes: Rc<Vec<usize>>) -> Var {
-        let value = {
-            let lv = &self.nodes.borrow()[logp.0].value;
-            assert!(!nodes.is_empty(), "nll_loss: empty node set");
-            let mut acc = 0.0;
-            for &i in nodes.iter() {
-                let t = targets[i];
-                assert!(t < lv.cols(), "nll_loss: target {t} out of range");
-                acc -= lv[(i, t)];
-            }
-            Matrix::from_vec(1, 1, vec![acc / nodes.len() as f64])
-        };
         let rg = self.rg(logp);
-        self.push(
-            value,
+        self.record(
             Op::NllLoss {
                 logp,
                 targets,
@@ -431,24 +244,16 @@ impl Tape {
     pub fn bce_pairs(&self, h: Var, pairs: Rc<Vec<(usize, usize)>>, labels: Rc<Vec<f64>>) -> Var {
         assert_eq!(pairs.len(), labels.len(), "bce_pairs: length mismatch");
         assert!(!pairs.is_empty(), "bce_pairs: empty pair set");
-        let (value, logits) = {
-            let hv = &self.nodes.borrow()[h.0].value;
-            let mut logits = Vec::with_capacity(pairs.len());
-            let mut acc = 0.0;
-            for (&(i, j), &y) in pairs.iter().zip(labels.iter()) {
-                let z = hv.row_dot(i, hv, j);
-                logits.push(z);
-                // numerically stable BCE-with-logits
-                acc += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
-            }
-            (
-                Matrix::from_vec(1, 1, vec![acc / pairs.len() as f64]),
-                logits,
-            )
+        let logits = {
+            let nodes = self.nodes.borrow();
+            let hv = nodes[h.0].val();
+            pairs
+                .iter()
+                .map(|&(i, j)| hv.row_dot(i, hv, j))
+                .collect::<Vec<f64>>()
         };
         let rg = self.rg(h);
-        self.push(
-            value,
+        self.record(
             Op::BcePairs {
                 h,
                 pairs,
@@ -486,23 +291,317 @@ impl Tape {
 
     fn student_t_kl_inner(&self, h: Var, egos: Rc<Vec<usize>>, target: Option<Rc<Matrix>>) -> Var {
         assert!(!egos.is_empty(), "student_t_kl: no egos");
-        let (value, t) = {
-            let hv = &self.nodes.borrow()[h.0].value;
-            let n = hv.rows();
-            let m = egos.len();
-            let mut t = Matrix::zeros(n, m);
-            for j in 0..n {
-                for (c, &e) in egos.iter().enumerate() {
-                    let mut d2 = 0.0;
-                    for (a, b) in hv.row(j).iter().zip(hv.row(e)) {
-                        let diff = a - b;
-                        d2 += diff * diff;
+        let t = {
+            let nodes = self.nodes.borrow();
+            student_t_kernel(nodes[h.0].val(), &egos)
+        };
+        let rg = self.rg(h);
+        self.record(
+            Op::StudentTKl {
+                h,
+                egos,
+                cache: Rc::new(KlCache { t }),
+                target,
+            },
+            rg,
+        )
+    }
+
+    /// Inverted dropout with keep probability `1 - p`. The mask is drawn
+    /// once at forward time from `rng` and replayed in backward (and by
+    /// checkpoint recomputation — replay never touches the RNG).
+    pub fn dropout(&self, src: Var, p: f64, rng: &mut impl rand::RngExt) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0,1)");
+        if p == 0.0 {
+            return src;
+        }
+        let keep = 1.0 - p;
+        let mask: Vec<f64> = {
+            let len = self.nodes.borrow()[src.0].val().len();
+            (0..len)
+                .map(|_| {
+                    if rng.random::<f64>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
                     }
-                    t[(j, c)] = 1.0 / (1.0 + d2);
+                })
+                .collect()
+        };
+        self.record(
+            Op::Dropout {
+                src,
+                mask: Rc::new(mask),
+            },
+            self.rg(src),
+        )
+    }
+
+    /// Row-major reshape to `rows x cols` (element count must match).
+    pub fn reshape(&self, src: Var, rows: usize, cols: usize) -> Var {
+        self.record(Op::Reshape { src, rows, cols }, self.rg(src))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        self.record(Op::Exp(a), self.rg(a))
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// # Panics
+    /// Panics (via the non-finite tape check) if any input is <= 0.
+    pub fn ln(&self, a: Var) -> Var {
+        self.record(Op::Ln(a), self.rg(a))
+    }
+
+    /// Per-column standardisation ("graph norm"): every column is shifted
+    /// to zero mean and scaled to unit variance over the rows. The
+    /// normalisation GIN stacks need in place of batch norm; statistics
+    /// are per-call (per graph), so eval needs no running averages.
+    pub fn col_normalize(&self, src: Var) -> Var {
+        let eps = 1e-5;
+        let inv_std = {
+            let nodes = self.nodes.borrow();
+            let sv = nodes[src.0].val();
+            let (n, d) = sv.shape();
+            assert!(n > 0, "col_normalize of empty matrix");
+            let mean = col_means(sv);
+            let mut var = vec![0.0f64; d];
+            for i in 0..n {
+                for ((v, &x), &m) in var.iter_mut().zip(sv.row(i)).zip(&mean) {
+                    *v += (x - m) * (x - m);
                 }
             }
-            let (q, self_p) = kl_distributions(&t);
-            let p = match &target {
+            var.iter()
+                .map(|&v| 1.0 / (v / n as f64 + eps).sqrt())
+                .collect::<Vec<f64>>()
+        };
+        self.record(
+            Op::ColNormalize {
+                src,
+                inv_std: Rc::new(inv_std),
+            },
+            self.rg(src),
+        )
+    }
+
+    /// Convenience: mean cross-entropy from raw logits over a node subset.
+    pub fn cross_entropy(
+        &self,
+        logits: Var,
+        targets: Rc<Vec<usize>>,
+        nodes: Rc<Vec<usize>>,
+    ) -> Var {
+        let logp = self.log_softmax_rows(logits);
+        self.nll_loss(logp, targets, nodes)
+    }
+}
+
+/// Evaluate `op` from node values and its payload — the single forward
+/// evaluator, used both when an op is first recorded and when checkpoint
+/// replay re-materialises a dropped value. Every input it touches must be
+/// materialised; leaves cannot be evaluated (they hold data, not ops).
+pub(crate) fn eval_op(nodes: &[Node], op: &Op) -> Matrix {
+    let v = |x: Var| nodes[x.0].val();
+    match op {
+        Op::Leaf => unreachable!("leaves hold data and are never replayed"),
+        Op::Add(a, b) => v(*a).zip(v(*b), |x, y| x + y),
+        Op::Sub(a, b) => v(*a).zip(v(*b), |x, y| x - y),
+        Op::MulElem(a, b) => v(*a).zip(v(*b), |x, y| x * y),
+        Op::Scale(a, alpha) => {
+            let alpha = *alpha;
+            v(*a).map(|x| x * alpha)
+        }
+        Op::AddScalar(a, c) => {
+            let c = *c;
+            v(*a).map(|x| x + c)
+        }
+        Op::AddBias(a, bias) => {
+            let (av, bv) = (v(*a), v(*bias));
+            assert_eq!(bv.rows(), 1, "add_bias: bias must be 1 x d");
+            assert_eq!(av.cols(), bv.cols(), "add_bias: width mismatch");
+            let brow = bv.row(0).to_vec();
+            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] + brow[j])
+        }
+        Op::MatMul(a, b) => v(*a).matmul(v(*b)),
+        Op::Transpose(a) => v(*a).transpose(),
+        Op::Relu(a) => v(*a).map(|x| x.max(0.0)),
+        Op::LeakyRelu(a, slope) => {
+            let s = *slope;
+            v(*a).map(|x| if x > 0.0 { x } else { s * x })
+        }
+        Op::Sigmoid(a) => v(*a).map(sigmoid),
+        Op::Tanh(a) => v(*a).map(f64::tanh),
+        Op::SoftmaxRows(a) => softmax_rows(v(*a)),
+        Op::LogSoftmaxRows(a) => {
+            let av = v(*a);
+            let mut out = Matrix::zeros(av.rows(), av.cols());
+            for i in 0..av.rows() {
+                let row = av.row(i);
+                let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln();
+                for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
+                    *o = x - lse;
+                }
+            }
+            out
+        }
+        Op::Spmm { csr, values, dense } => {
+            let vv = v(*values);
+            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm: values must be 1 x nnz");
+            csr.spmm(vv.data(), v(*dense))
+        }
+        Op::SpmmT { csr, values, dense } => {
+            let vv = v(*values);
+            assert_eq!(vv.shape(), (1, csr.nnz()), "spmm_t: values must be 1 x nnz");
+            csr.spmm_t(vv.data(), v(*dense))
+        }
+        Op::SpmmBiasRelu {
+            csr,
+            values,
+            dense,
+            bias,
+        } => {
+            let (vv, bv) = (v(*values), v(*bias));
+            assert_eq!(
+                vv.shape(),
+                (1, csr.nnz()),
+                "spmm_bias_relu: values must be 1 x nnz"
+            );
+            assert_eq!(bv.rows(), 1, "spmm_bias_relu: bias must be 1 x d");
+            csr.spmm_bias_relu(vv.data(), v(*dense), bv.row(0))
+        }
+        Op::GatherRows { src, idx } => {
+            let sv = v(*src);
+            let mut out = Matrix::zeros(idx.len(), sv.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                assert!(i < sv.rows(), "gather_rows: index {i} out of range");
+                out.row_mut(r).copy_from_slice(sv.row(i));
+            }
+            out
+        }
+        Op::SegmentSum { src, seg, n_seg } => {
+            let sv = v(*src);
+            assert_eq!(sv.rows(), seg.len(), "segment_sum: length mismatch");
+            let mut out = Matrix::zeros(*n_seg, sv.cols());
+            for (r, &s) in seg.iter().enumerate() {
+                assert!(s < *n_seg, "segment_sum: segment {s} out of range");
+                let src_row = sv.row(r);
+                for (o, &x) in out.row_mut(s).iter_mut().zip(src_row) {
+                    *o += x;
+                }
+            }
+            out
+        }
+        Op::SegmentSoftmax { scores, seg, n_seg } => {
+            let sv = v(*scores);
+            assert_eq!(sv.cols(), 1, "segment_softmax: scores must be n x 1");
+            assert_eq!(sv.rows(), seg.len(), "segment_softmax: length mismatch");
+            segment_softmax(sv.data(), seg, *n_seg)
+        }
+        Op::RowDot(a, b) => {
+            let (av, bv) = (v(*a), v(*b));
+            assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
+            Matrix::from_fn(av.rows(), 1, |i, _| av.row_dot(i, bv, i))
+        }
+        Op::MulCol { a, col } => {
+            let (av, cv) = (v(*a), v(*col));
+            assert_eq!(cv.cols(), 1, "mul_col: col must be n x 1");
+            assert_eq!(av.rows(), cv.rows(), "mul_col: height mismatch");
+            Matrix::from_fn(av.rows(), av.cols(), |i, j| av[(i, j)] * cv[(i, 0)])
+        }
+        Op::ConcatCols(parts) => {
+            let rows = v(parts[0]).rows();
+            let total: usize = parts.iter().map(|&p| v(p).cols()).sum();
+            let mut out = Matrix::zeros(rows, total);
+            let mut off = 0;
+            for &p in parts {
+                let pv = v(p);
+                assert_eq!(pv.rows(), rows, "concat_cols: row mismatch");
+                for i in 0..rows {
+                    out.row_mut(i)[off..off + pv.cols()].copy_from_slice(pv.row(i));
+                }
+                off += pv.cols();
+            }
+            out
+        }
+        Op::SliceCols { src, start, end } => {
+            let sv = v(*src);
+            assert!(*start < *end && *end <= sv.cols(), "slice_cols: bad range");
+            Matrix::from_fn(sv.rows(), end - start, |i, j| sv[(i, start + j)])
+        }
+        Op::SumAll(a) => Matrix::from_vec(1, 1, vec![v(*a).sum()]),
+        Op::MeanAll(a) => {
+            let av = v(*a);
+            Matrix::from_vec(1, 1, vec![av.sum() / av.len() as f64])
+        }
+        Op::MeanRows(a) => {
+            let av = v(*a);
+            assert!(av.rows() > 0, "mean_rows of empty matrix");
+            let mut out = Matrix::zeros(1, av.cols());
+            for i in 0..av.rows() {
+                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
+            }
+            let n = av.rows() as f64;
+            for o in out.data_mut() {
+                *o /= n;
+            }
+            out
+        }
+        Op::SumRows(a) => {
+            let av = v(*a);
+            let mut out = Matrix::zeros(1, av.cols());
+            for i in 0..av.rows() {
+                for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
+            }
+            out
+        }
+        Op::MaxRows { src, argmax } => {
+            // The recorded argmax rows pin the exact forward maxima, so
+            // replay is a gather, not a re-scan.
+            let sv = v(*src);
+            Matrix::from_fn(1, sv.cols(), |_, j| sv[(argmax[j], j)])
+        }
+        Op::NllLoss {
+            logp,
+            targets,
+            nodes: node_set,
+        } => {
+            let lv = v(*logp);
+            assert!(!node_set.is_empty(), "nll_loss: empty node set");
+            let mut acc = 0.0;
+            for &i in node_set.iter() {
+                let t = targets[i];
+                assert!(t < lv.cols(), "nll_loss: target {t} out of range");
+                acc -= lv[(i, t)];
+            }
+            Matrix::from_vec(1, 1, vec![acc / node_set.len() as f64])
+        }
+        Op::BcePairs {
+            pairs,
+            labels,
+            cache,
+            ..
+        } => {
+            // The cached logits are authoritative: they were computed
+            // from `h` at record time and pin the exact pair scores.
+            let mut acc = 0.0;
+            for (&z, &y) in cache.logits.iter().zip(labels.iter()) {
+                // numerically stable BCE-with-logits
+                acc += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+            }
+            Matrix::from_vec(1, 1, vec![acc / pairs.len() as f64])
+        }
+        Op::StudentTKl { cache, target, .. } => {
+            let t = &cache.t;
+            let (n, m) = t.shape();
+            let (q, self_p) = kl_distributions(t);
+            let p = match target {
                 Some(p) => {
                     assert_eq!(p.shape(), (n, m), "student_t_kl: target shape mismatch");
                     p.as_ref()
@@ -518,138 +617,68 @@ impl Tape {
                     }
                 }
             }
-            (Matrix::from_vec(1, 1, vec![loss / n as f64]), t)
-        };
-        let rg = self.rg(h);
-        self.push(
-            value,
-            Op::StudentTKl {
-                h,
-                egos,
-                cache: Rc::new(KlCache { t }),
-                target,
-            },
-            rg,
-        )
-    }
-
-    /// Inverted dropout with keep probability `1 - p`. The mask is drawn
-    /// once at forward time from `rng` and replayed in backward.
-    pub fn dropout(&self, src: Var, p: f64, rng: &mut impl rand::RngExt) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0,1)");
-        if p == 0.0 {
-            return src;
+            Matrix::from_vec(1, 1, vec![loss / n as f64])
         }
-        let keep = 1.0 - p;
-        let (value, mask) = {
-            let sv = &self.nodes.borrow()[src.0].value;
-            let mask: Vec<f64> = (0..sv.len())
-                .map(|_| {
-                    if rng.random::<f64>() < keep {
-                        1.0 / keep
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            let mut out = sv.clone();
-            for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+        Op::Dropout { src, mask } => {
+            let mut out = v(*src).clone();
+            for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
                 *o *= m;
             }
-            (out, mask)
-        };
-        let rg = self.rg(src);
-        self.push(
-            value,
-            Op::Dropout {
-                src,
-                mask: Rc::new(mask),
-            },
-            rg,
-        )
-    }
-
-    /// Row-major reshape to `rows x cols` (element count must match).
-    pub fn reshape(&self, src: Var, rows: usize, cols: usize) -> Var {
-        let value = {
-            let sv = &self.nodes.borrow()[src.0].value;
+            out
+        }
+        Op::Reshape { src, rows, cols } => {
+            let sv = v(*src);
             assert_eq!(sv.len(), rows * cols, "reshape: element count mismatch");
-            Matrix::from_vec(rows, cols, sv.data().to_vec())
-        };
-        let rg = self.rg(src);
-        self.push(value, Op::Reshape(src), rg)
+            Matrix::from_vec(*rows, *cols, sv.data().to_vec())
+        }
+        Op::ColNormalize { src, inv_std } => {
+            // Means are recomputed with the identical loop order; the
+            // stored `inv_std` pins the variance side, so the output is
+            // bit-for-bit the forward value.
+            let sv = v(*src);
+            let mean = col_means(sv);
+            Matrix::from_fn(sv.rows(), sv.cols(), |i, j| {
+                (sv[(i, j)] - mean[j]) * inv_std[j]
+            })
+        }
+        Op::Exp(a) => v(*a).map(f64::exp),
+        Op::Ln(a) => v(*a).map(f64::ln),
     }
+}
 
-    /// Elementwise exponential.
-    pub fn exp(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(f64::exp);
-        let rg = self.rg(a);
-        self.push(value, Op::Exp(a), rg)
+/// Per-column means accumulated in row-major order (shared between
+/// `col_normalize`'s variance pass and [`eval_op`]'s replay so both
+/// produce identical bits).
+fn col_means(m: &Matrix) -> Vec<f64> {
+    let (n, d) = m.shape();
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (acc, &x) in mean.iter_mut().zip(m.row(i)) {
+            *acc += x;
+        }
     }
-
-    /// Elementwise natural logarithm.
-    ///
-    /// # Panics
-    /// Panics (via the non-finite tape check) if any input is <= 0.
-    pub fn ln(&self, a: Var) -> Var {
-        let value = self.nodes.borrow()[a.0].value.map(f64::ln);
-        let rg = self.rg(a);
-        self.push(value, Op::Ln(a), rg)
+    for acc in &mut mean {
+        *acc /= n as f64;
     }
+    mean
+}
 
-    /// Per-column standardisation ("graph norm"): every column is shifted
-    /// to zero mean and scaled to unit variance over the rows. The
-    /// normalisation GIN stacks need in place of batch norm; statistics
-    /// are per-call (per graph), so eval needs no running averages.
-    pub fn col_normalize(&self, src: Var) -> Var {
-        let eps = 1e-5;
-        let (value, inv_std) = {
-            let sv = &self.nodes.borrow()[src.0].value;
-            let (n, d) = sv.shape();
-            assert!(n > 0, "col_normalize of empty matrix");
-            let mut mean = vec![0.0f64; d];
-            for i in 0..n {
-                for (m, &x) in mean.iter_mut().zip(sv.row(i)) {
-                    *m += x;
-                }
+/// The Student-t kernel `t[j, c] = (1 + ||h_j - h_{ego_c}||^2)^{-1}`.
+fn student_t_kernel(h: &Matrix, egos: &[usize]) -> Matrix {
+    let n = h.rows();
+    let m = egos.len();
+    let mut t = Matrix::zeros(n, m);
+    for j in 0..n {
+        for (c, &e) in egos.iter().enumerate() {
+            let mut d2 = 0.0;
+            for (a, b) in h.row(j).iter().zip(h.row(e)) {
+                let diff = a - b;
+                d2 += diff * diff;
             }
-            for m in &mut mean {
-                *m /= n as f64;
-            }
-            let mut var = vec![0.0f64; d];
-            for i in 0..n {
-                for ((v, &x), &m) in var.iter_mut().zip(sv.row(i)).zip(&mean) {
-                    *v += (x - m) * (x - m);
-                }
-            }
-            let inv_std: Vec<f64> = var
-                .iter()
-                .map(|&v| 1.0 / (v / n as f64 + eps).sqrt())
-                .collect();
-            let out = Matrix::from_fn(n, d, |i, j| (sv[(i, j)] - mean[j]) * inv_std[j]);
-            (out, inv_std)
-        };
-        let rg = self.rg(src);
-        self.push(
-            value,
-            Op::ColNormalize {
-                src,
-                inv_std: Rc::new(inv_std),
-            },
-            rg,
-        )
+            t[(j, c)] = 1.0 / (1.0 + d2);
+        }
     }
-
-    /// Convenience: mean cross-entropy from raw logits over a node subset.
-    pub fn cross_entropy(
-        &self,
-        logits: Var,
-        targets: Rc<Vec<usize>>,
-        nodes: Rc<Vec<usize>>,
-    ) -> Var {
-        let logp = self.log_softmax_rows(logits);
-        self.nll_loss(logp, targets, nodes)
-    }
+    t
 }
 
 /// Logistic sigmoid with clamping against overflow.
@@ -709,20 +738,7 @@ pub(crate) fn segment_softmax(scores: &[f64], seg: &[usize], n_seg: usize) -> Ma
 /// to [`Tape::student_t_kl_with_target`] so central differences measure
 /// the same P-frozen objective the backward pass differentiates.
 pub fn student_t_target(h: &Matrix, egos: &[usize]) -> Matrix {
-    let n = h.rows();
-    let m = egos.len();
-    let mut t = Matrix::zeros(n, m);
-    for j in 0..n {
-        for (c, &e) in egos.iter().enumerate() {
-            let mut d2 = 0.0;
-            for (a, b) in h.row(j).iter().zip(h.row(e)) {
-                let diff = a - b;
-                d2 += diff * diff;
-            }
-            t[(j, c)] = 1.0 / (1.0 + d2);
-        }
-    }
-    kl_distributions(&t).1
+    kl_distributions(&student_t_kernel(h, egos)).1
 }
 
 /// Compute the DEC soft assignment `Q` and target `P` from the Student-t

@@ -12,10 +12,16 @@
 //! * Gradients are returned as a separate [`Gradients`] store rather than
 //!   written into nodes, which keeps `backward(&self)` free of interior
 //!   mutability headaches and lets callers run several backward passes.
+//! * Node values are `Option<Matrix>`: a closed checkpoint scope (see
+//!   [`crate::checkpoint`]) drops interior buffers after forward and
+//!   `backward` re-materialises them by replaying the recorded ops. The
+//!   shape is retained separately so shape-only queries never force a
+//!   replay.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::rc::Rc;
 
+use crate::checkpoint::Segment;
 use crate::csr::Csr;
 use crate::matrix::Matrix;
 
@@ -24,9 +30,33 @@ use crate::matrix::Matrix;
 pub struct Var(pub(crate) usize);
 
 pub(crate) struct Node {
-    pub value: Matrix,
+    /// The forward value. `None` while a checkpoint scope holds the
+    /// buffer dropped; backward re-materialises it by replaying the op.
+    pub value: Option<Matrix>,
+    /// Shape of the value, retained even while the buffer is dropped.
+    pub shape: (usize, usize),
     pub op: Op,
     pub requires_grad: bool,
+}
+
+impl Node {
+    /// The materialised forward value.
+    ///
+    /// # Panics
+    /// Panics if the buffer was dropped by a checkpoint scope and has not
+    /// been re-materialised — callers inside `backward` must go through
+    /// the segment materialisation path first.
+    pub fn val(&self) -> &Matrix {
+        self.value
+            .as_ref()
+            .expect("node value was dropped by a checkpoint scope and is not materialised")
+    }
+}
+
+/// Bytes held by a node value buffer (the accounting unit for
+/// [`Tape::live_tape_bytes`] / [`Tape::peak_tape_bytes`]).
+pub(crate) fn bytes_of(m: &Matrix) -> usize {
+    m.len() * std::mem::size_of::<f64>()
 }
 
 /// Cached forward state for the Student-t KL (DEC) loss.
@@ -43,6 +73,11 @@ pub(crate) struct BceCache {
 
 /// The operation that produced a node. Payloads are input handles plus
 /// whatever immutable auxiliary data the backward pass needs.
+///
+/// Checkpoint replay re-evaluates ops from these payloads alone (see
+/// [`crate::ops::eval_op`]), so any stochastic or data-dependent choice —
+/// dropout masks, argmax rows, cached logits/kernels — must live in the
+/// payload, never be re-drawn at replay time.
 #[allow(dead_code)] // some payload fields are forward-only
 pub(crate) enum Op {
     Leaf,
@@ -157,7 +192,13 @@ pub(crate) enum Op {
         mask: Rc<Vec<f64>>,
     },
     /// Row-major reshape (same element count, data order preserved).
-    Reshape(Var),
+    /// The target shape is part of the payload so replay can rebuild the
+    /// value without consulting the (possibly dropped) output buffer.
+    Reshape {
+        src: Var,
+        rows: usize,
+        cols: usize,
+    },
     /// Per-column standardisation (graph-norm): `(x - mean) / std`.
     ColNormalize {
         src: Var,
@@ -190,14 +231,23 @@ impl Gradients {
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    /// Closed checkpoint segments, ascending and disjoint by tape index.
+    pub(crate) segments: RefCell<Vec<Segment>>,
+    /// Start index of the currently open checkpoint scope, if any.
+    pub(crate) open_scope: Cell<Option<usize>>,
+    /// Bytes currently held by materialised node value buffers.
+    pub(crate) live_bytes: Cell<usize>,
+    /// High-water mark of `live_bytes`.
+    pub(crate) peak_bytes: Cell<usize>,
+    /// Test-only fault injection: the next replay of this node index is
+    /// perturbed before the fingerprint check (see `corrupt_next_replay`).
+    pub(crate) corrupt_replay: Cell<Option<usize>>,
 }
 
 impl Tape {
     /// Fresh, empty tape.
     pub fn new() -> Self {
-        Tape {
-            nodes: RefCell::new(Vec::new()),
-        }
+        Tape::default()
     }
 
     /// Number of recorded nodes.
@@ -221,18 +271,25 @@ impl Tape {
     }
 
     /// Borrow the value of a node.
+    ///
+    /// # Panics
+    /// Panics if a checkpoint scope dropped the buffer — read segment
+    /// outputs (the `keep` set), not interiors, after a scope closes.
     pub fn value(&self, v: Var) -> Ref<'_, Matrix> {
-        Ref::map(self.nodes.borrow(), |nodes| &nodes[v.0].value)
+        Ref::map(self.nodes.borrow(), |nodes| nodes[v.0].val())
     }
 
     /// Clone the value of a node out of the tape.
+    ///
+    /// # Panics
+    /// Panics if a checkpoint scope dropped the buffer (see [`Tape::value`]).
     pub fn value_cloned(&self, v: Var) -> Matrix {
-        self.nodes.borrow()[v.0].value.clone()
+        self.nodes.borrow()[v.0].val().clone()
     }
 
-    /// Shape of a node's value.
+    /// Shape of a node's value (available even while checkpointed away).
     pub fn shape(&self, v: Var) -> (usize, usize) {
-        self.nodes.borrow()[v.0].value.shape()
+        self.nodes.borrow()[v.0].shape
     }
 
     /// Whether the node participates in gradient computation.
@@ -240,11 +297,58 @@ impl Tape {
         self.nodes.borrow()[v.0].requires_grad
     }
 
+    /// Whether the node's value buffer is currently materialised (false
+    /// only for interiors of closed checkpoint scopes).
+    pub fn is_materialized(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.0].value.is_some()
+    }
+
+    /// Bytes currently held by materialised node value buffers. Gradient
+    /// buffers and op payloads (masks, cached logits) are not counted —
+    /// this tracks exactly what checkpointing can reclaim.
+    pub fn live_tape_bytes(&self) -> usize {
+        self.live_bytes.get()
+    }
+
+    /// High-water mark of [`Tape::live_tape_bytes`] since creation or the
+    /// last [`Tape::reset_peak_tape_bytes`]. Monotone within a run; covers
+    /// both the forward pass and any backward re-materialisation.
+    pub fn peak_tape_bytes(&self) -> usize {
+        self.peak_bytes.get()
+    }
+
+    /// Reset the high-water mark to the current live size (e.g. between
+    /// measured phases on a reused tape).
+    pub fn reset_peak_tape_bytes(&self) {
+        self.peak_bytes.set(self.live_bytes.get());
+    }
+
+    /// Test-only fault injection: perturb the next checkpoint replay of
+    /// `v` so the fingerprint consistency check can be exercised. One-shot.
+    #[doc(hidden)]
+    pub fn corrupt_next_replay(&self, v: Var) {
+        self.corrupt_replay.set(Some(v.0));
+    }
+
+    pub(crate) fn add_live_bytes(&self, bytes: usize) {
+        let live = self.live_bytes.get() + bytes;
+        self.live_bytes.set(live);
+        if live > self.peak_bytes.get() {
+            self.peak_bytes.set(live);
+        }
+    }
+
+    pub(crate) fn sub_live_bytes(&self, bytes: usize) {
+        self.live_bytes.set(self.live_bytes.get() - bytes);
+    }
+
     pub(crate) fn push(&self, value: Matrix, op: Op, requires_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value pushed to tape");
+        self.add_live_bytes(bytes_of(&value));
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
-            value,
+            shape: value.shape(),
+            value: Some(value),
             op,
             requires_grad,
         });
@@ -285,5 +389,44 @@ mod tests {
         let tape = Tape::new();
         let v = tape.constant(Matrix::eye(2));
         assert!(!tape.requires_grad(v));
+    }
+
+    #[test]
+    fn fresh_tape_has_zero_bytes() {
+        let tape = Tape::new();
+        assert_eq!(tape.live_tape_bytes(), 0);
+        assert_eq!(tape.peak_tape_bytes(), 0);
+    }
+
+    #[test]
+    fn live_and_peak_bytes_track_pushes() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::zeros(2, 3), true);
+        assert_eq!(tape.live_tape_bytes(), 6 * 8);
+        let b = tape.leaf(Matrix::zeros(4, 1), true);
+        assert_eq!(tape.live_tape_bytes(), 10 * 8);
+        assert_eq!(tape.peak_tape_bytes(), 10 * 8);
+        let _ = tape.add(a, a);
+        let _ = tape.mul_elem(b, b);
+        assert_eq!(tape.live_tape_bytes(), 20 * 8);
+        assert_eq!(tape.peak_tape_bytes(), 20 * 8);
+    }
+
+    #[test]
+    fn peak_is_monotone_and_resettable() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::zeros(8, 8), true);
+        let scope = tape.begin_checkpoint();
+        let b = tape.relu(a);
+        let c = tape.sigmoid(b);
+        tape.end_checkpoint(scope, &[c]);
+        // dropping `b` reduced live but never peak
+        assert!(tape.live_tape_bytes() < tape.peak_tape_bytes());
+        assert_eq!(tape.peak_tape_bytes(), 3 * 64 * 8);
+        let peak_before = tape.peak_tape_bytes();
+        let _ = tape.tanh(c);
+        assert!(tape.peak_tape_bytes() >= peak_before, "peak is monotone");
+        tape.reset_peak_tape_bytes();
+        assert_eq!(tape.peak_tape_bytes(), tape.live_tape_bytes());
     }
 }

@@ -577,3 +577,56 @@ fn grad_ln_positive_inputs() {
     });
     assert!(rep.ok(1e-5), "{rep:?}");
 }
+
+/// Recompute-on-backward through a checkpointed segment containing the
+/// fused `spmm_bias_relu`: the numeric gradient validates the *replayed*
+/// values, not just the retained ones (the interiors are dropped after
+/// forward and rebuilt inside `backward` on every perturbation). The
+/// ReLU kink is guarded exactly as in `grad_spmm_bias_relu_*`: central
+/// differences are only valid when no pre-activation sits near zero.
+#[test]
+fn grad_checkpointed_segment_spmm_bias_relu() {
+    let csr = sample_csr();
+    let vals = rand_m(1, csr.nnz(), 96);
+    let dense = rand_m(3, 4, 97);
+    let bias = rand_m(1, 4, 98);
+
+    let pre = {
+        let agg = csr.spmm_serial(vals.data(), &dense);
+        Matrix::from_fn(agg.rows(), agg.cols(), |i, j| agg[(i, j)] + bias[(0, j)])
+    };
+    assert!(
+        pre.data().iter().all(|v| v.abs() > 100.0 * EPS),
+        "pre-activation too close to ReLU kink for a reliable gradcheck"
+    );
+
+    let csr2 = csr.clone();
+    let rep = check_gradients(&[vals, dense, bias], EPS, move |t, v| {
+        let y = t.checkpoint_scope(|| {
+            let fused = t.spmm_bias_relu(csr2.clone(), v[0], v[1], v[2]);
+            t.mul_elem(t.tanh(fused), fused)
+        });
+        project(t, y, 99)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}
+
+/// Recompute-on-backward through a checkpointed attention block: the
+/// Eq. 3 composite (segment_softmax -> mul_col -> segment_sum) runs
+/// inside a scope, so backward must replay the softmax and its
+/// intermediates bit-for-bit before the existing gradient kernels run.
+#[test]
+fn grad_checkpointed_segment_attention_softmax() {
+    let seg = Rc::new(vec![0usize, 0, 0, 1, 1, 2]);
+    let scores = rand_m(6, 1, 105);
+    let members = rand_m(6, 3, 106);
+    let rep = check_gradients(&[scores, members], EPS, move |t, v| {
+        let pooled = t.checkpoint_scope(|| {
+            let alpha = t.segment_softmax(v[0], seg.clone(), 3);
+            let weighted = t.mul_col(v[1], alpha);
+            t.segment_sum(weighted, seg.clone(), 3)
+        });
+        project(t, pooled, 107)
+    });
+    assert!(rep.ok(TOL), "{rep:?}");
+}

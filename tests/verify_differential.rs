@@ -7,7 +7,14 @@
 //! under `--features parallel` the same runs are swept across pool
 //! widths 1..=4 and compared bitwise against those serial goldens, plus
 //! seed-varied runs (not checked in) are cross-checked between widths.
+//!
+//! The checkpointed-tape leg extends the same contract to recompute-on-
+//! backward (`MG_CKPT_TAPE` / `with_ckpt_tape`): dropping and replaying
+//! tape segments changes *when* values are resident, never what they
+//! are, so a checkpointed run must reproduce the retaining run — and the
+//! checked-in goldens — bit for bit.
 
+use adamgnn_core::with_ckpt_tape;
 use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, Compare, Golden};
 
 fn assert_identical(label: &str, expected: &Golden, actual: &Golden) {
@@ -15,6 +22,14 @@ fn assert_identical(label: &str, expected: &Golden, actual: &Golden) {
         panic!("{label}: {e}");
     }
 }
+
+type RunFn = fn(u64) -> Golden;
+
+const RUNS: [(&str, RunFn); 3] = [
+    ("node_cls", node_cls_run),
+    ("link_pred", link_pred_run),
+    ("graph_cls", graph_cls_run),
+];
 
 /// Within one build, rerunning a seeded run reproduces it bit for bit —
 /// the precondition for any cross-build comparison to be meaningful.
@@ -25,20 +40,47 @@ fn reruns_are_bitwise_repeatable() {
     assert_identical("graph_cls rerun", &graph_cls_run(0), &graph_cls_run(0));
 }
 
+/// Per-level tape checkpointing reproduces the retaining tape bit for
+/// bit on all three tasks, in the same build. Valid under every feature
+/// combination: the comparison is within-build, like
+/// `reruns_are_bitwise_repeatable`.
+#[test]
+fn checkpointed_tape_matches_retained_same_build() {
+    for (label, run) in RUNS {
+        let retained = with_ckpt_tape(false, || run(0));
+        let ckpt = with_ckpt_tape(true, || run(0));
+        assert_identical(
+            &format!("{label} retained vs checkpointed"),
+            &retained,
+            &ckpt,
+        );
+    }
+}
+
+/// Checkpointed runs reproduce the checked-in serial goldens bit for
+/// bit — 3/3 tasks. Compiled out under `fast-kernels` (the blocked
+/// kernels reassociate sums; the goldens stay pinned to the scalar
+/// path), same as every other against-golden check.
+#[cfg(not(feature = "fast-kernels"))]
+#[test]
+fn checkpointed_tape_reproduces_goldens() {
+    use mg_verify::{check_against_file, goldens_dir};
+    for (label, run) in RUNS {
+        let actual = with_ckpt_tape(true, || run(0));
+        let path = goldens_dir().join(format!("{}.json", actual.name));
+        if let Err(e) = check_against_file(&path, &actual, Compare::Bitwise) {
+            panic!("{label} with checkpointed tape diverged from golden: {e}");
+        }
+    }
+}
+
 #[cfg(feature = "parallel")]
 mod parallel {
-    use super::assert_identical;
+    use super::{assert_identical, RUNS};
+    use adamgnn_core::with_ckpt_tape;
+    use mg_verify::with_threads;
     #[cfg(not(feature = "fast-kernels"))]
     use mg_verify::{check_against_file, goldens_dir, Compare};
-    use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, with_threads, Golden};
-
-    type RunFn = fn(u64) -> Golden;
-
-    const RUNS: [(&str, RunFn); 3] = [
-        ("node_cls", node_cls_run),
-        ("link_pred", link_pred_run),
-        ("graph_cls", graph_cls_run),
-    ];
 
     /// Every pool width reproduces the serial build's checked-in goldens
     /// bit for bit. Compiled out under `fast-kernels`: the blocked
@@ -74,6 +116,25 @@ mod parallel {
                         &actual,
                     );
                 }
+            }
+        }
+    }
+
+    /// Checkpointing composes with the thread pool: a checkpointed run
+    /// at every pool width matches a retained single-thread run of the
+    /// same build bit for bit (replayed segments go through the same
+    /// width-independent kernels as the original forward).
+    #[test]
+    fn checkpointed_runs_agree_across_pool_widths() {
+        for (label, run) in RUNS {
+            let reference = with_threads(1, || with_ckpt_tape(false, || run(0)));
+            for threads in 1..=4 {
+                let actual = with_threads(threads, || with_ckpt_tape(true, || run(0)));
+                assert_identical(
+                    &format!("{label} checkpointed, {threads} threads vs retained serial"),
+                    &reference,
+                    &actual,
+                );
             }
         }
     }
