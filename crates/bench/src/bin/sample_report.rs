@@ -1,0 +1,6 @@
+//! Sampled-minibatch quality + million-node scalability report.
+//! See [`mg_bench::samplereport`].
+
+fn main() {
+    std::process::exit(mg_bench::samplereport::emit_default());
+}

@@ -21,6 +21,7 @@ use mg_eval::TrainConfig;
 pub mod inferbench;
 pub mod memreport;
 pub mod opsbench;
+pub mod samplereport;
 pub mod servebench;
 pub mod trainreport;
 

@@ -1,0 +1,328 @@
+//! Sampled-minibatch quality and scalability report, exported as
+//! `BENCH_sample.json`.
+//!
+//! The `sample_report` binary answers two questions the minibatch path
+//! must keep answering as the code evolves:
+//!
+//! 1. **Does sampling learn?** It trains the mg-verify node-classification
+//!    and link-prediction fixtures twice — full-batch and with sampled
+//!    ego-subgraph minibatches — under the same config and seed, and
+//!    fails unless the sampled run's best validation metric lands within
+//!    [`GAP_TOLERANCE`] of the full-batch run's.
+//! 2. **Does it scale?** It generates the default million-node
+//!    [`BigGraphConfig`] graph through the streaming CSR builder, fails
+//!    if the builder's accounted peak exceeds the declared byte budget,
+//!    and then runs one sampled training epoch over it — a path that
+//!    never materializes a full-graph context.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin sample_report
+//! ```
+//!
+//! `MG_BENCH_SAMPLE_JSON` overrides the report path (`skip` suppresses
+//! the file but still runs every check).
+
+use mg_data::{make_node_dataset, BigGraph, BigGraphConfig, NodeDatasetKind, NodeGenConfig};
+use mg_eval::{MinibatchConfig, NodeModelKind, SessionKind, TrainConfig, TrainSession};
+
+/// Maximum allowed shortfall of the sampled run's best validation metric
+/// against the full-batch run's (2 accuracy/AUC points). A sampled run
+/// that *beats* full-batch passes unconditionally.
+pub const GAP_TOLERANCE: f64 = 0.02;
+
+/// One fixture's full-batch vs sampled comparison.
+#[derive(Clone, Debug)]
+pub struct TaskGap {
+    pub task: &'static str,
+    pub full_val: f64,
+    pub sampled_val: f64,
+    pub full_test: f64,
+    pub sampled_test: f64,
+    pub batch_size: usize,
+    pub fanouts: Vec<usize>,
+    pub epochs: usize,
+}
+
+impl TaskGap {
+    /// How far the sampled run fell short of full-batch on validation
+    /// (negative when it did better).
+    pub fn gap(&self) -> f64 {
+        self.full_val - self.sampled_val
+    }
+}
+
+/// The million-node streaming + sampled-epoch measurement.
+#[derive(Clone, Debug)]
+pub struct BigGraphRun {
+    pub nodes: usize,
+    pub edges: usize,
+    pub byte_budget: usize,
+    pub peak_bytes: usize,
+    pub steps: usize,
+    pub mean_loss: f64,
+    pub sampled_nodes: usize,
+    pub truncated: usize,
+}
+
+fn fixture_gap(
+    task: &'static str,
+    kind: SessionKind,
+    ds_kind: NodeDatasetKind,
+    gen_seed: u64,
+    cfg_seed: u64,
+    epochs: usize,
+) -> Result<TaskGap, String> {
+    let ds = make_node_dataset(
+        ds_kind,
+        &NodeGenConfig {
+            scale: 0.05,
+            max_feat_dim: 32,
+            seed: gen_seed,
+        },
+    );
+    let cfg = TrainConfig {
+        epochs,
+        lr: 0.02,
+        patience: epochs,
+        hidden: 16,
+        levels: 2,
+        seed: cfg_seed,
+        ..Default::default()
+    };
+    let mb = MinibatchConfig {
+        batch_size: 32,
+        fanouts: vec![12, 12],
+    };
+    let full = TrainSession::new(kind, &cfg)
+        .run(&ds)
+        .map_err(|e| format!("{task} full-batch run failed: {e}"))?;
+    let sampled = TrainSession::new(kind, &cfg)
+        .minibatch(mb.clone())
+        .run(&ds)
+        .map_err(|e| format!("{task} sampled run failed: {e}"))?;
+    let out = TaskGap {
+        task,
+        full_val: full.val_metric.unwrap_or(f64::NAN),
+        sampled_val: sampled.val_metric.unwrap_or(f64::NAN),
+        full_test: full.test_metric,
+        sampled_test: sampled.test_metric,
+        batch_size: mb.batch_size,
+        fanouts: mb.fanouts,
+        epochs,
+    };
+    // NaN gaps (a run without a validation metric) must fail too
+    if out.gap() > GAP_TOLERANCE || out.gap().is_nan() {
+        return Err(format!(
+            "{task}: sampled val {:.4} trails full-batch val {:.4} by {:.4} \
+             (tolerance {GAP_TOLERANCE})",
+            out.sampled_val,
+            out.full_val,
+            out.gap()
+        ));
+    }
+    Ok(out)
+}
+
+fn big_graph_epoch() -> Result<BigGraphRun, String> {
+    let cfg = BigGraphConfig::default();
+    let big = BigGraph::generate(&cfg);
+    if big.peak_bytes > cfg.byte_budget {
+        return Err(format!(
+            "streaming builder peak {} exceeds its declared budget {}",
+            big.peak_bytes, cfg.byte_budget
+        ));
+    }
+    let train_cfg = TrainConfig {
+        epochs: 1,
+        lr: 0.02,
+        hidden: 16,
+        levels: 2,
+        seed: 3,
+        ..Default::default()
+    };
+    let mb = MinibatchConfig {
+        batch_size: 128,
+        fanouts: vec![6, 6],
+    };
+    let epoch =
+        mg_eval::sampled_epochs_streamed(&big, NodeModelKind::AdamGnn, &train_cfg, &mb, 1024)
+            .map_err(|e| format!("million-node sampled epoch failed: {e}"))?;
+    use mg_data::NodeFeatureSource;
+    Ok(BigGraphRun {
+        nodes: big.n(),
+        edges: big.graph().num_edges(),
+        byte_budget: cfg.byte_budget,
+        peak_bytes: big.peak_bytes,
+        steps: epoch.steps,
+        mean_loss: epoch.mean_loss,
+        sampled_nodes: epoch.sampled_nodes,
+        truncated: epoch.truncated,
+    })
+}
+
+/// Run both fixture comparisons and the million-node epoch.
+pub fn run_all() -> Result<(Vec<TaskGap>, BigGraphRun), String> {
+    let nc = fixture_gap(
+        "node_classification",
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        NodeDatasetKind::Cora,
+        11,
+        1,
+        20,
+    )?;
+    let lp = fixture_gap(
+        "link_prediction",
+        SessionKind::LinkPrediction(NodeModelKind::AdamGnn),
+        NodeDatasetKind::Emails,
+        23,
+        2,
+        12,
+    )?;
+    let big = big_graph_epoch()?;
+    Ok((vec![nc, lp], big))
+}
+
+/// Render the `BENCH_sample.json` document.
+pub fn to_json(tasks: &[TaskGap], big: &BigGraphRun) -> String {
+    let rows = tasks
+        .iter()
+        .map(|t| {
+            let fans = t
+                .fanouts
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "    {{\"task\": \"{}\", \"epochs\": {}, \"batch_size\": {}, \
+                 \"fanouts\": [{fans}], \"full_val\": {:.6}, \"sampled_val\": {:.6}, \
+                 \"gap\": {:.6}, \"full_test\": {:.6}, \"sampled_test\": {:.6}}}",
+                t.task,
+                t.epochs,
+                t.batch_size,
+                t.full_val,
+                t.sampled_val,
+                t.gap(),
+                t.full_test,
+                t.sampled_test
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"sampled_minibatch\",\n  \"parallel_feature\": {},\n  \
+         \"fast_kernels_feature\": {},\n  \"gap_tolerance\": {:.2},\n  \
+         \"tasks\": [\n{rows}\n  ],\n  \"big_graph\": {{\"nodes\": {}, \"edges\": {}, \
+         \"byte_budget\": {}, \"peak_bytes\": {}, \"steps\": {}, \"mean_loss\": {:.6}, \
+         \"sampled_nodes\": {}, \"truncated\": {}}}\n}}\n",
+        cfg!(feature = "parallel"),
+        cfg!(feature = "fast-kernels"),
+        GAP_TOLERANCE,
+        big.nodes,
+        big.edges,
+        big.byte_budget,
+        big.peak_bytes,
+        big.steps,
+        big.mean_loss,
+        big.sampled_nodes,
+        big.truncated,
+    )
+}
+
+/// Run everything and write `BENCH_sample.json` (path overridable via
+/// `MG_BENCH_SAMPLE_JSON`; `skip` suppresses the file but still runs
+/// every check). Returns a process exit code.
+pub fn emit_default() -> i32 {
+    let (tasks, big) = match run_all() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sample_report: {e}");
+            return 1;
+        }
+    };
+    for t in &tasks {
+        eprintln!(
+            "sample_report: {} full val {:.4} vs sampled val {:.4} (gap {:+.4})",
+            t.task,
+            t.full_val,
+            t.sampled_val,
+            t.gap()
+        );
+    }
+    eprintln!(
+        "sample_report: {} nodes / {} edges streamed at peak {} of {} bytes; \
+         {} sampled steps, mean loss {:.4}",
+        big.nodes, big.edges, big.peak_bytes, big.byte_budget, big.steps, big.mean_loss
+    );
+    let path = std::env::var("MG_BENCH_SAMPLE_JSON").unwrap_or_else(|_| "BENCH_sample.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&tasks, &big);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> (Vec<TaskGap>, BigGraphRun) {
+        (
+            vec![TaskGap {
+                task: "node_classification",
+                full_val: 0.8,
+                sampled_val: 0.79,
+                full_test: 0.75,
+                sampled_test: 0.74,
+                batch_size: 32,
+                fanouts: vec![12, 12],
+                epochs: 20,
+            }],
+            BigGraphRun {
+                nodes: 1_000_000,
+                edges: 3_900_000,
+                byte_budget: 256 << 20,
+                peak_bytes: 100 << 20,
+                steps: 8,
+                mean_loss: 2.1,
+                sampled_nodes: 40_000,
+                truncated: 12,
+            },
+        )
+    }
+
+    #[test]
+    fn gap_math() {
+        let (tasks, _) = sample_rows();
+        assert!((tasks[0].gap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_promised_fields() {
+        let (tasks, big) = sample_rows();
+        let json = to_json(&tasks, &big);
+        for key in [
+            "\"bench\"",
+            "\"gap_tolerance\"",
+            "\"full_val\"",
+            "\"sampled_val\"",
+            "\"gap\"",
+            "\"fanouts\"",
+            "\"big_graph\"",
+            "\"byte_budget\"",
+            "\"peak_bytes\"",
+            "\"mean_loss\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -61,8 +61,11 @@ impl EgoPairs {
                 }
             }
         } else {
+            // one scratch across all n BFS traversals — khop() would
+            // allocate an O(n) dist array per ego, O(n²) total
+            let mut scratch = mg_graph::BfsScratch::with_capacity(n);
             for i in 0..n {
-                for j in topo.khop(i, lambda) {
+                for j in topo.khop_with(&mut scratch, i, lambda) {
                     if j != i {
                         src.push(j);
                         dst.push(i);

@@ -170,6 +170,38 @@ fn fxhash(s: &str) -> u64 {
     })
 }
 
+/// Top up `edges` with unique extra edges until the graph holds
+/// `target_m` *distinct* edges (or the simple graph is full). Draws come
+/// from a fork of the stream — an `StdRng` seeded by hashing the edges
+/// already drawn — so callers' RNG state is untouched and every draw
+/// sequence that existed before this fix is preserved bit for bit.
+fn top_up_edges(edges: &mut Vec<(u32, u32)>, n: usize, target_m: usize) {
+    let norm = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    let mut seen: std::collections::HashSet<(u32, u32)> = edges
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| norm(u, v))
+        .collect();
+    let max_edges = n * (n - 1) / 2;
+    let want = target_m.min(max_edges);
+    if seen.len() >= want {
+        return;
+    }
+    let fork_seed = edges.iter().fold(0x517c_c1b7_2722_0a95u64, |h, &(u, v)| {
+        (h ^ (((u as u64) << 32) | v as u64)).wrapping_mul(0x100000001b3)
+    });
+    let mut fork = StdRng::seed_from_u64(fork_seed);
+    let mut guard = 0;
+    while seen.len() < want && guard < 200 * want {
+        guard += 1;
+        let u = fork.random_range(0..n as u32);
+        let v = fork.random_range(0..n as u32);
+        if u != v && seen.insert(norm(u, v)) {
+            edges.push((u, v));
+        }
+    }
+}
+
 /// One labelled graph: a random connected "molecule-like" backbone.
 /// Class 1 graphs contain planted ring motifs whose members carry a
 /// biased node-label distribution; class 0 graphs contain star motifs.
@@ -188,7 +220,14 @@ fn make_sample(
         let u = rng.random_range(0..v);
         edges.push((u, v));
     }
-    // extra random edges up to the target count
+    // Extra random edges up to the target count. Historically this loop
+    // counted duplicate draws toward `target_m` even though
+    // `Topology::from_edges` dedups them later, so generated graphs
+    // silently undershot the target edge count. The loop itself is kept
+    // byte-identical (the mg-verify graph-classification golden pins its
+    // exact draw sequence); the undershoot is repaired afterwards by a
+    // *top-up* pass that draws from a forked RNG seeded by hashing the
+    // edges drawn so far — the main stream is never perturbed.
     let mut guard = 0;
     while edges.len() < target_m && guard < 20 * target_m {
         guard += 1;
@@ -198,6 +237,7 @@ fn make_sample(
             edges.push((u, v));
         }
     }
+    top_up_edges(&mut edges, n, target_m);
     // Plant the class signal among *marked* nodes (distinctive atom
     // types, same marginal distribution in both classes). What differs is
     // the arrangement: class 1 wires its marked nodes into rings
@@ -304,6 +344,65 @@ mod tests {
             "avg nodes = {}",
             ds.avg_nodes()
         );
+    }
+
+    /// The realized (deduped) edge count must reach the per-graph target
+    /// instead of silently undershooting when the extra-edge loop drew
+    /// duplicates. Motif planting only *adds* edges on top of the target,
+    /// so the per-dataset average must sit at or above the configured
+    /// `avg_m` (up to the few motif-edge duplicates dedup removes).
+    #[test]
+    fn realized_edge_count_reaches_target() {
+        for kind in [GraphDatasetKind::Mutag, GraphDatasetKind::Nci1] {
+            let ds = make_graph_dataset(
+                kind,
+                &GraphGenConfig {
+                    scale: 0.04,
+                    max_nodes: 20,
+                    seed: 5,
+                },
+            );
+            let (_, avg_n0, avg_m0, _) = kind.paper_stats();
+            let avg_n = avg_n0.min(20.0);
+            let avg_m = avg_m0.min(avg_n * 2.5);
+            let per_node_target = avg_m / avg_n0.min(20.0);
+            // reconstruct the mean of per-graph targets from the samples
+            let mean_target = ds
+                .samples
+                .iter()
+                .map(|s| (per_node_target * s.graph.n() as f64).floor())
+                .sum::<f64>()
+                / ds.len() as f64;
+            assert!(
+                ds.avg_edges() >= mean_target * 0.98,
+                "{}: avg edges {} undershoots target {}",
+                ds.name,
+                ds.avg_edges(),
+                mean_target
+            );
+        }
+    }
+
+    #[test]
+    fn top_up_rejects_duplicates_and_fills_to_target() {
+        // 3 distinct edges among 6 duplicates; target 5 of max 6
+        let mut edges = vec![(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (2, 3)];
+        top_up_edges(&mut edges, 4, 5);
+        let distinct: std::collections::HashSet<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        assert_eq!(distinct.len(), 5);
+        // a full graph caps at n*(n-1)/2 instead of spinning
+        let mut full = vec![(0, 1), (0, 2), (1, 2)];
+        top_up_edges(&mut full, 3, 100);
+        assert_eq!(full.len(), 3);
+        // deterministic: same input, same result
+        let mut a = vec![(0, 1), (0, 1)];
+        let mut b = vec![(0, 1), (0, 1)];
+        top_up_edges(&mut a, 5, 4);
+        top_up_edges(&mut b, 5, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -7,8 +7,12 @@
 
 pub mod graphs;
 pub mod node;
+pub mod sampler;
 pub mod splits;
+pub mod stream;
 
 pub use graphs::{make_graph_dataset, GraphDataset, GraphDatasetKind, GraphGenConfig, GraphSample};
 pub use node::{make_node_dataset, NodeDataset, NodeDatasetKind, NodeGenConfig};
+pub use sampler::{NeighborSampler, SampledSubgraph};
 pub use splits::{sample_non_edges, LinkSplit, Split};
+pub use stream::{BigGraph, BigGraphConfig, NodeFeatureSource};

@@ -1,12 +1,13 @@
-//! Property-based tests for dataset generation and splits.
+//! Property-based tests for dataset generation, splits and the
+//! neighbor sampler.
 
 use mg_data::{
     make_graph_dataset, make_node_dataset, sample_non_edges, GraphDatasetKind, GraphGenConfig,
-    LinkSplit, NodeDatasetKind, NodeGenConfig, Split,
+    LinkSplit, NeighborSampler, NodeDatasetKind, NodeGenConfig, Split,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -69,6 +70,57 @@ proptest! {
         // all negatives are genuine non-edges of the *full* graph
         for &(u, v) in ls.val_neg.iter().chain(&ls.test_neg) {
             prop_assert!(!ds.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn sampled_subgraph_is_the_induced_subgraph(
+        seed in 0u64..200,
+        fanout in 2usize..=8,
+        n_seeds in 1usize..12,
+    ) {
+        let ds = make_node_dataset(
+            NodeDatasetKind::Cora,
+            &NodeGenConfig { scale: 0.05, max_feat_dim: 16, seed },
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let seeds: Vec<usize> = (0..n_seeds).map(|_| rng.random_range(0..ds.n())).collect();
+        let mut sampler = NeighborSampler::new(ds.n());
+        let sub = sampler.sample(&ds.graph, &seeds, &[fanout, fanout], &mut rng);
+
+        // remap round-trip: local ids are distinct globals, all in range
+        let mut seen = vec![false; ds.n()];
+        for &g in &sub.nodes {
+            prop_assert!(g < ds.n());
+            prop_assert!(!seen[g], "duplicate global node {} in remap", g);
+            seen[g] = true;
+        }
+        // seeds occupy the remap prefix, deduped in first-seen order
+        let mut expect_prefix = Vec::new();
+        for &s in &seeds {
+            if !expect_prefix.contains(&s) {
+                expect_prefix.push(s);
+            }
+        }
+        prop_assert_eq!(&sub.nodes[..sub.num_seeds], &expect_prefix[..]);
+
+        // even with a bounded fanout, the edge set must be exactly the
+        // reference induced subgraph over the sampled node set: no
+        // phantom edges, no dropped intra-sample edges
+        let (reference, _) = ds.graph.induced_subgraph(&sub.nodes);
+        let canon = |t: &mg_graph::Topology| {
+            let mut e: Vec<(u32, u32)> = t
+                .edges()
+                .iter()
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            e.sort_unstable();
+            e
+        };
+        prop_assert_eq!(canon(&sub.topo), canon(&reference));
+        // every local edge maps back to a real global edge
+        for &(lu, lv) in sub.topo.edges() {
+            prop_assert!(ds.graph.has_edge(sub.nodes[lu as usize], sub.nodes[lv as usize]));
         }
     }
 

@@ -9,6 +9,7 @@ pub mod clustering;
 pub mod graph_tasks;
 pub mod infer;
 pub mod metrics;
+pub mod minibatch;
 pub mod models;
 pub mod node_tasks;
 pub mod session;
@@ -26,6 +27,7 @@ pub use graph_tasks::{
 };
 pub use infer::FrozenModel;
 pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
+pub use minibatch::{sampled_epochs_streamed, MinibatchConfig, StreamedEpoch};
 pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
 #[allow(deprecated)]
 pub use node_tasks::{

@@ -1,0 +1,811 @@
+//! Sampled ego-subgraph minibatch trainers for the node-level tasks.
+//!
+//! Each optimizer step draws a batch of seed nodes (NC) or training
+//! edges (LP), expands a fanout-bounded neighborhood with
+//! [`mg_data::NeighborSampler`], gathers the sampled nodes' features
+//! into a small dense matrix, and runs the full model — including
+//! AdamGNN's fitness→pooling→flyback stack — on the induced subgraph.
+//! The loss is restricted to the seed rows, so backward naturally
+//! scatters gradients onto the *global* parameter matrices (AdamGNN has
+//! no per-node parameters; everything is weight matrices shared across
+//! nodes).
+//!
+//! Evaluation stays full-graph: validation/test metrics are computed by
+//! a whole-graph eval-mode forward on the same fixture, which keeps the
+//! minibatch numbers directly comparable to the full-batch trainers.
+//! The million-node path ([`sampled_epoch_streamed`]) never builds a
+//! full-graph context at all — it trains purely on sampled subgraphs
+//! over a [`NodeFeatureSource`].
+//!
+//! Sampling draws from the same `StdRng` stream as everything else in
+//! the epoch, so checkpoint/resume (which snapshots the RNG state at
+//! epoch boundaries) replays the exact seed shuffles, fanout choices and
+//! negative draws of an uninterrupted run.
+
+use crate::metrics::{accuracy, pair_scores, roc_auc};
+use crate::models::NodeModelKind;
+use crate::node_tasks::{run_meta, RunResult, TrainConfig};
+use crate::session::{self, CkptHooks};
+use crate::trace::TrainTrace;
+use adamgnn_core::{kl_loss, reconstruction_loss, total_loss};
+use mg_ckpt::{CkptMeta, TrainState};
+use mg_data::{LinkSplit, NeighborSampler, NodeDataset, NodeFeatureSource, SampledSubgraph, Split};
+use mg_nn::GraphCtx;
+use mg_obs::{SampleStepRecord, Stopwatch, Trace};
+use mg_tensor::{AdamConfig, Matrix, MgError, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::rc::Rc;
+
+/// Sampled-minibatch options, attached to a session with
+/// [`crate::TrainSession::minibatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinibatchConfig {
+    /// Seed nodes (NC) or training edges (LP) per optimizer step.
+    pub batch_size: usize,
+    /// Neighbors kept per node per hop; the length is the sampled
+    /// receptive-field depth. `[12, 12]` matches a 2-level model.
+    pub fanouts: Vec<usize>,
+}
+
+impl Default for MinibatchConfig {
+    fn default() -> Self {
+        MinibatchConfig {
+            batch_size: 64,
+            fanouts: vec![12, 12],
+        }
+    }
+}
+
+impl MinibatchConfig {
+    /// Stable identity string, embedded in checkpoint metadata so a
+    /// full-batch checkpoint cannot silently resume a sampled run (or
+    /// vice versa, or across different sampling configurations).
+    pub(crate) fn task_tag(&self, base: &str) -> String {
+        let fans = self
+            .fanouts
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("-");
+        format!("{base}_minibatch/b{}/f{}", self.batch_size, fans)
+    }
+}
+
+/// Deterministic in-place Fisher–Yates, drawing from the trainer RNG.
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Gather the sampled nodes' feature rows and labels into batch-local
+/// arrays (row `l` of the matrix is global node `sub.nodes[l]`).
+fn gather_batch(src: &dyn NodeFeatureSource, sub: &SampledSubgraph) -> (Matrix, Vec<usize>) {
+    let d = src.feat_dim();
+    let k = sub.nodes.len();
+    let mut x = Matrix::zeros(k, d);
+    let mut labels = Vec::with_capacity(k);
+    for (l, &g) in sub.nodes.iter().enumerate() {
+        src.fill_features(g, x.row_mut(l));
+        labels.push(src.label(g));
+    }
+    (x, labels)
+}
+
+/// The sampled node-classification trainer behind
+/// `TrainSession::minibatch`. Splits, model construction and metric
+/// protocol are identical to the full-batch trainer; only the training
+/// forward runs on sampled subgraphs.
+pub(crate) fn node_classification_minibatch(
+    kind: NodeModelKind,
+    ds: &NodeDataset,
+    cfg: &TrainConfig,
+    mb: &MinibatchConfig,
+    hooks: &CkptHooks<'_>,
+) -> Result<(RunResult, TrainTrace), MgError> {
+    if mb.batch_size == 0 || mb.fanouts.is_empty() {
+        return Err(MgError::InvalidInput {
+            detail: "minibatch needs batch_size >= 1 and at least one fanout".into(),
+        });
+    }
+    let ctx = GraphCtx::new(ds.graph.clone(), ds.features.clone());
+    let split = Split::random_80_10_10(ds.n(), cfg.seed ^ 0x5eed)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let model = kind.build(
+        &mut store,
+        ds.feat_dim(),
+        cfg.hidden,
+        ds.num_classes,
+        cfg,
+        &mut rng,
+    );
+    let adam = AdamConfig::with_lr(cfg.lr);
+    let weights = cfg.weights;
+    let mut sampler = NeighborSampler::new(ds.n());
+
+    let meta = CkptMeta {
+        task: mb.task_tag("node_classification"),
+        model: kind.name().into(),
+        dataset: ds.name.clone(),
+        in_dim: ds.feat_dim(),
+        out_dim: ds.num_classes,
+        n_nodes: ds.n(),
+    };
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = 0.0;
+    let mut bad_epochs = 0;
+    let mut epochs_run = 0;
+    let mut trace = TrainTrace::new();
+    let mut start_epoch = 0;
+    if let Some(ck) = hooks.resume {
+        session::check_resume(ck, &meta, cfg)?;
+        store.import_state(&ck.params, ck.adam_t)?;
+        rng = StdRng::from_state(ck.rng);
+        best_val = ck.state.best_val;
+        best_test = ck.state.best_test;
+        bad_epochs = ck.state.bad_epochs;
+        epochs_run = ck.state.epochs_run;
+        start_epoch = if bad_epochs >= cfg.patience {
+            cfg.epochs
+        } else {
+            ck.state.next_epoch
+        };
+        trace = session::restored_trace(ck);
+    }
+
+    let mut obs = Trace::from_env("node_classification");
+    obs.run_start(&run_meta(kind, ds, cfg));
+
+    for epoch in start_epoch..cfg.epochs {
+        epochs_run = epoch + 1;
+        let sw = Stopwatch::start();
+        // shuffle a fresh clone so the epoch's batch order is a function
+        // of the RNG position alone — a resumed run (which restores the
+        // RNG but not the previous epoch's permutation) then replays the
+        // uninterrupted run's batches exactly
+        let mut order = split.train.clone();
+        shuffle(&mut order, &mut rng);
+        let mut loss_sum = 0.0;
+        let mut steps = 0usize;
+        let mut peak_tape = 0u64;
+        for (step, seeds) in order.chunks(mb.batch_size).enumerate() {
+            let sub = sampler.sample(&ds.graph, seeds, &mb.fanouts, &mut rng);
+            let (sub_x, sub_labels) = gather_batch(ds, &sub);
+            let sub_ctx = GraphCtx::new(sub.topo.clone(), sub_x);
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let (logits, internals) = model.forward(&tape, &bind, &sub_ctx, true, &mut rng);
+            let seed_locals: Vec<usize> = sub.seed_locals().collect();
+            let task = tape.cross_entropy(logits, Rc::new(sub_labels), Rc::new(seed_locals));
+            let loss = match &internals {
+                Some(out) => {
+                    let kl = if weights.gamma != 0.0 {
+                        kl_loss(&tape, out.h, &out.egos_l1)
+                    } else {
+                        tape.constant(Matrix::zeros(1, 1))
+                    };
+                    let recon = if weights.delta != 0.0 {
+                        reconstruction_loss(&tape, out.h, &sub_ctx.graph, &mut rng)
+                    } else {
+                        tape.constant(Matrix::zeros(1, 1))
+                    };
+                    total_loss(&tape, task, kl, recon, &weights)
+                }
+                None => task,
+            };
+            let loss_value = tape.value(loss).scalar();
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &adam);
+            loss_sum += loss_value;
+            steps += 1;
+            peak_tape = peak_tape.max(tape.peak_tape_bytes() as u64);
+            if obs.enabled() {
+                obs.sample_step(&SampleStepRecord {
+                    epoch,
+                    step,
+                    seeds: sub.num_seeds,
+                    sampled_nodes: sub.nodes.len(),
+                    sampled_edges: sub.topo.num_edges(),
+                    truncated: sub.truncated,
+                    loss: loss_value,
+                });
+            }
+        }
+        let train_loss = loss_sum / steps.max(1) as f64;
+        let train_ns = sw.elapsed_ns();
+        // full-graph evaluation, as in the full-batch trainer
+        let sw = Stopwatch::start();
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let (logits, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
+        let lv = tape.value_cloned(logits);
+        let val = accuracy(&lv, &ds.labels, &split.val);
+        let eval_ns = sw.elapsed_ns();
+        trace.push(epoch, train_loss, val);
+        if obs.enabled() {
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: train_loss,
+                loss_task: None,
+                loss_kl: None,
+                loss_recon: None,
+                val_metric: Some(val),
+                train_ns,
+                eval_ns,
+                grad_norms: vec![],
+                beta: None,
+                level_sizes: vec![],
+                peak_tape_bytes: peak_tape,
+            });
+        }
+        let mut stop = false;
+        if val > best_val {
+            best_val = val;
+            best_test = accuracy(&lv, &ds.labels, &split.test);
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs >= cfg.patience {
+                stop = true;
+            }
+        }
+        if hooks.due(epoch + 1, stop || epoch + 1 == cfg.epochs) {
+            session::write_checkpoint(
+                hooks.path.expect("due() implies a destination"),
+                &meta,
+                cfg,
+                TrainState {
+                    next_epoch: epoch + 1,
+                    epochs_run,
+                    best_val,
+                    best_test,
+                    bad_epochs,
+                },
+                &store,
+                &rng,
+                &trace,
+                &[],
+                // the pooling structure is per-subgraph and resampled
+                // every step; there is no single structure to pin
+                None,
+            )?;
+        }
+        if stop {
+            break;
+        }
+    }
+    crate::maybe_dump_kernel_stats("node_classification");
+    obs.kernel_stats();
+    obs.run_end(epochs_run, Some(best_val), Some(best_test));
+    Ok((
+        RunResult {
+            test_metric: best_test,
+            val_metric: best_val,
+            epochs_run,
+        },
+        trace,
+    ))
+}
+
+/// The sampled link-prediction trainer: each step takes a batch of
+/// training edges, seeds the sampler with their endpoints, scores the
+/// batch's positive pairs plus an equal number of sampled non-edges
+/// inside the subgraph, and steps on the BCE (+ γ·KL for AdamGNN).
+pub(crate) fn link_prediction_minibatch(
+    kind: NodeModelKind,
+    ds: &NodeDataset,
+    cfg: &TrainConfig,
+    mb: &MinibatchConfig,
+    hooks: &CkptHooks<'_>,
+) -> Result<(RunResult, TrainTrace), MgError> {
+    if mb.batch_size == 0 || mb.fanouts.is_empty() {
+        return Err(MgError::InvalidInput {
+            detail: "minibatch needs batch_size >= 1 and at least one fanout".into(),
+        });
+    }
+    let link = LinkSplit::new(&ds.graph, cfg.seed ^ 0x11bb)?;
+    let ctx = GraphCtx::new(link.train_graph.clone(), ds.features.clone());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let embed_dim = cfg.hidden;
+    let model = kind.build(
+        &mut store,
+        ds.feat_dim(),
+        cfg.hidden,
+        embed_dim,
+        cfg,
+        &mut rng,
+    );
+    let adam = AdamConfig::with_lr(cfg.lr);
+    let weights = cfg.weights;
+    let mut sampler = NeighborSampler::new(ds.n());
+
+    let meta = CkptMeta {
+        task: mb.task_tag("link_prediction"),
+        model: kind.name().into(),
+        dataset: ds.name.clone(),
+        in_dim: ds.feat_dim(),
+        out_dim: embed_dim,
+        n_nodes: ds.n(),
+    };
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = 0.0;
+    let mut bad_epochs = 0;
+    let mut epochs_run = 0;
+    let mut trace = TrainTrace::new();
+    let mut start_epoch = 0;
+    if let Some(ck) = hooks.resume {
+        session::check_resume(ck, &meta, cfg)?;
+        store.import_state(&ck.params, ck.adam_t)?;
+        rng = StdRng::from_state(ck.rng);
+        best_val = ck.state.best_val;
+        best_test = ck.state.best_test;
+        bad_epochs = ck.state.bad_epochs;
+        epochs_run = ck.state.epochs_run;
+        start_epoch = if bad_epochs >= cfg.patience {
+            cfg.epochs
+        } else {
+            ck.state.next_epoch
+        };
+        trace = session::restored_trace(ck);
+    }
+
+    let mut obs = Trace::from_env("link_prediction");
+    obs.run_start(&run_meta(kind, ds, cfg));
+
+    for epoch in start_epoch..cfg.epochs {
+        epochs_run = epoch + 1;
+        let sw = Stopwatch::start();
+        // fresh clone per epoch: batch order must be a function of the
+        // RNG position alone so resume replays it (see the NC trainer)
+        let mut order = link.train_pos.clone();
+        shuffle(&mut order, &mut rng);
+        let mut loss_sum = 0.0;
+        let mut steps = 0usize;
+        let mut peak_tape = 0u64;
+        for (step, batch) in order.chunks(mb.batch_size).enumerate() {
+            let mut seeds = Vec::with_capacity(batch.len() * 2);
+            for &(u, v) in batch {
+                seeds.push(u);
+                seeds.push(v);
+            }
+            let sub = sampler.sample(&link.train_graph, &seeds, &mb.fanouts, &mut rng);
+            // endpoints are seeds, so they occupy the remap's prefix:
+            // recover each one's local id from the prefix positions
+            let mut local: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for l in sub.seed_locals() {
+                local.insert(sub.nodes[l], l);
+            }
+            let (sub_x, _) = gather_batch(ds, &sub);
+            let sub_ctx = GraphCtx::new(sub.topo.clone(), sub_x);
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let (h, internals) = model.forward(&tape, &bind, &sub_ctx, true, &mut rng);
+            let mut pairs: Vec<(usize, usize)> =
+                batch.iter().map(|&(u, v)| (local[&u], local[&v])).collect();
+            let mut labels = vec![1.0; pairs.len()];
+            // negatives: random local pairs whose global endpoints are
+            // non-adjacent in the *full* graph (same criterion as the
+            // full-batch trainer)
+            let k = sub.nodes.len();
+            let mut added = 0;
+            let mut guard = 0;
+            while added < batch.len() && guard < 200 * batch.len() {
+                guard += 1;
+                let lu = rng.random_range(0..k);
+                let lv = rng.random_range(0..k);
+                if lu != lv && !ds.graph.has_edge(sub.nodes[lu], sub.nodes[lv]) {
+                    pairs.push((lu, lv));
+                    labels.push(0.0);
+                    added += 1;
+                }
+            }
+            let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
+            let loss = match &internals {
+                Some(out) if weights.gamma != 0.0 => {
+                    let kl = kl_loss(&tape, out.h, &out.egos_l1);
+                    tape.add(task, tape.scale(kl, weights.gamma))
+                }
+                _ => task,
+            };
+            let loss_value = tape.value(loss).scalar();
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &adam);
+            loss_sum += loss_value;
+            steps += 1;
+            peak_tape = peak_tape.max(tape.peak_tape_bytes() as u64);
+            if obs.enabled() {
+                obs.sample_step(&SampleStepRecord {
+                    epoch,
+                    step,
+                    seeds: sub.num_seeds,
+                    sampled_nodes: sub.nodes.len(),
+                    sampled_edges: sub.topo.num_edges(),
+                    truncated: sub.truncated,
+                    loss: loss_value,
+                });
+            }
+        }
+        let train_loss = loss_sum / steps.max(1) as f64;
+        let train_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start();
+        let tape = Tape::new();
+        let bind = store.bind(&tape);
+        let (h, _) = model.forward(&tape, &bind, &ctx, false, &mut rng);
+        let hv = tape.value_cloned(h);
+        let val = roc_auc(
+            &pair_scores(&hv, &link.val_pos),
+            &pair_scores(&hv, &link.val_neg),
+        );
+        let eval_ns = sw.elapsed_ns();
+        trace.push(epoch, train_loss, val);
+        if obs.enabled() {
+            obs.epoch(&mg_obs::EpochRecord {
+                epoch,
+                loss_total: train_loss,
+                loss_task: None,
+                loss_kl: None,
+                loss_recon: None,
+                val_metric: Some(val),
+                train_ns,
+                eval_ns,
+                grad_norms: vec![],
+                beta: None,
+                level_sizes: vec![],
+                peak_tape_bytes: peak_tape,
+            });
+        }
+        let mut stop = false;
+        if val > best_val {
+            best_val = val;
+            best_test = roc_auc(
+                &pair_scores(&hv, &link.test_pos),
+                &pair_scores(&hv, &link.test_neg),
+            );
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs >= cfg.patience {
+                stop = true;
+            }
+        }
+        if hooks.due(epoch + 1, stop || epoch + 1 == cfg.epochs) {
+            session::write_checkpoint(
+                hooks.path.expect("due() implies a destination"),
+                &meta,
+                cfg,
+                TrainState {
+                    next_epoch: epoch + 1,
+                    epochs_run,
+                    best_val,
+                    best_test,
+                    bad_epochs,
+                },
+                &store,
+                &rng,
+                &trace,
+                &[],
+                None,
+            )?;
+        }
+        if stop {
+            break;
+        }
+    }
+    crate::maybe_dump_kernel_stats("link_prediction");
+    obs.kernel_stats();
+    obs.run_end(epochs_run, Some(best_val), Some(best_test));
+    Ok((
+        RunResult {
+            test_metric: best_test,
+            val_metric: best_val,
+            epochs_run,
+        },
+        trace,
+    ))
+}
+
+/// Result of one streamed sampled epoch over a [`NodeFeatureSource`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamedEpoch {
+    /// Mean composite loss over the epoch's steps.
+    pub mean_loss: f64,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Total nodes sampled across all steps.
+    pub sampled_nodes: usize,
+    /// Total fanout truncation events.
+    pub truncated: usize,
+}
+
+/// Run sampled node-classification training epochs directly over a
+/// [`NodeFeatureSource`] — the million-node path. Unlike the fixture
+/// trainers this never builds a full-graph [`GraphCtx`] (whose
+/// precomputed normalizations and dense feature matrix are exactly the
+/// O(n)+O(m) materializations minibatching exists to avoid); every
+/// matrix it touches is batch-sized. `seeds_per_epoch` nodes are drawn
+/// uniformly per epoch, in batches of `mb.batch_size`.
+pub fn sampled_epochs_streamed(
+    src: &dyn NodeFeatureSource,
+    kind: NodeModelKind,
+    cfg: &TrainConfig,
+    mb: &MinibatchConfig,
+    seeds_per_epoch: usize,
+) -> Result<StreamedEpoch, MgError> {
+    if mb.batch_size == 0 || mb.fanouts.is_empty() || seeds_per_epoch == 0 {
+        return Err(MgError::InvalidInput {
+            detail: "streamed sampling needs batch_size, fanouts and seeds_per_epoch >= 1".into(),
+        });
+    }
+    let n = src.n();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let model = kind.build(
+        &mut store,
+        src.feat_dim(),
+        cfg.hidden,
+        src.num_classes(),
+        cfg,
+        &mut rng,
+    );
+    let adam = AdamConfig::with_lr(cfg.lr);
+    let weights = cfg.weights;
+    let mut sampler = NeighborSampler::new(n);
+    let mut loss_sum = 0.0;
+    let mut steps = 0usize;
+    let mut sampled_nodes = 0usize;
+    let mut truncated = 0usize;
+    for _ in 0..cfg.epochs {
+        let mut remaining = seeds_per_epoch;
+        while remaining > 0 {
+            let take = remaining.min(mb.batch_size);
+            remaining -= take;
+            let seeds: Vec<usize> = (0..take).map(|_| rng.random_range(0..n)).collect();
+            let sub = sampler.sample(src.graph(), &seeds, &mb.fanouts, &mut rng);
+            let (sub_x, sub_labels) = gather_batch(src, &sub);
+            let sub_ctx = GraphCtx::new(sub.topo.clone(), sub_x);
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let (logits, internals) = model.forward(&tape, &bind, &sub_ctx, true, &mut rng);
+            let seed_locals: Vec<usize> = sub.seed_locals().collect();
+            let task = tape.cross_entropy(logits, Rc::new(sub_labels), Rc::new(seed_locals));
+            let loss = match &internals {
+                Some(out) => {
+                    let kl = if weights.gamma != 0.0 {
+                        kl_loss(&tape, out.h, &out.egos_l1)
+                    } else {
+                        tape.constant(Matrix::zeros(1, 1))
+                    };
+                    let recon = if weights.delta != 0.0 {
+                        reconstruction_loss(&tape, out.h, &sub_ctx.graph, &mut rng)
+                    } else {
+                        tape.constant(Matrix::zeros(1, 1))
+                    };
+                    total_loss(&tape, task, kl, recon, &weights)
+                }
+                None => task,
+            };
+            let loss_value = tape.value(loss).scalar();
+            if !loss_value.is_finite() {
+                return Err(MgError::InvalidInput {
+                    detail: format!("non-finite sampled loss at step {steps}; lower lr or fanouts"),
+                });
+            }
+            let mut grads = tape.backward(loss);
+            store.step(&mut grads, &bind, &adam);
+            loss_sum += loss_value;
+            steps += 1;
+            sampled_nodes += sub.nodes.len();
+            truncated += sub.truncated;
+        }
+    }
+    Ok(StreamedEpoch {
+        mean_loss: loss_sum / steps as f64,
+        steps,
+        sampled_nodes,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionKind, TrainSession};
+    use mg_data::{make_node_dataset, BigGraph, BigGraphConfig, NodeDatasetKind, NodeGenConfig};
+
+    fn tiny_ds() -> NodeDataset {
+        make_node_dataset(
+            NodeDatasetKind::Cora,
+            &NodeGenConfig {
+                scale: 0.08,
+                max_feat_dim: 48,
+                seed: 11,
+            },
+        )
+    }
+
+    fn fast_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 12,
+            lr: 0.02,
+            patience: 12,
+            hidden: 16,
+            levels: 2,
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    fn small_mb() -> MinibatchConfig {
+        MinibatchConfig {
+            batch_size: 32,
+            fanouts: vec![8, 8],
+        }
+    }
+
+    #[test]
+    fn sampled_nc_beats_chance() {
+        let ds = tiny_ds();
+        let res = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &fast_cfg(),
+        )
+        .minibatch(small_mb())
+        .run(&ds)
+        .unwrap();
+        let chance = 1.0 / ds.num_classes as f64;
+        assert!(res.test_metric > chance + 0.1, "acc = {}", res.test_metric);
+        assert_eq!(res.trace.len(), res.epochs_run);
+    }
+
+    #[test]
+    fn sampled_adamgnn_nc_runs() {
+        let ds = tiny_ds();
+        let res = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &fast_cfg(),
+        )
+        .minibatch(small_mb())
+        .run(&ds)
+        .unwrap();
+        let chance = 1.0 / ds.num_classes as f64;
+        assert!(res.test_metric > chance, "acc = {}", res.test_metric);
+    }
+
+    #[test]
+    fn sampled_lp_beats_chance() {
+        let ds = tiny_ds();
+        let res = TrainSession::new(SessionKind::LinkPrediction(NodeModelKind::Gcn), &fast_cfg())
+            .minibatch(small_mb())
+            .run(&ds)
+            .unwrap();
+        assert!(res.test_metric > 0.55, "auc = {}", res.test_metric);
+    }
+
+    #[test]
+    fn minibatch_is_deterministic() {
+        let ds = tiny_ds();
+        let run = || {
+            TrainSession::new(
+                SessionKind::NodeClassification(NodeModelKind::Gcn),
+                &fast_cfg(),
+            )
+            .minibatch(small_mb())
+            .run(&ds)
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.test_metric.to_bits(), b.test_metric.to_bits());
+        assert_eq!(
+            a.val_metric.unwrap().to_bits(),
+            b.val_metric.unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn minibatch_rejects_graph_tasks_and_bad_config() {
+        let ds = tiny_ds();
+        let err = TrainSession::new(SessionKind::NodeClustering(NodeModelKind::Gcn), &fast_cfg())
+            .minibatch(small_mb())
+            .run(&ds);
+        assert!(matches!(err, Err(MgError::InvalidInput { .. })));
+        let err = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &fast_cfg(),
+        )
+        .minibatch(MinibatchConfig {
+            batch_size: 0,
+            fanouts: vec![4],
+        })
+        .run(&ds);
+        assert!(matches!(err, Err(MgError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_sampled_run_bitwise() {
+        let ds = tiny_ds();
+        let dir = std::env::temp_dir().join("mg_minibatch_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sampled.mgck");
+        let cfg = fast_cfg();
+        // uninterrupted reference
+        let full = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
+            .minibatch(small_mb())
+            .run(&ds)
+            .unwrap();
+        // interrupted run: stop at epoch 6, checkpoint, resume
+        let short_cfg = TrainConfig { epochs: 6, ..cfg };
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &short_cfg,
+        )
+        .minibatch(small_mb())
+        .checkpoint_to(&path)
+        .run(&ds)
+        .unwrap();
+        let resumed = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
+            .minibatch(small_mb())
+            .resume_from(&path)
+            .run(&ds)
+            .unwrap();
+        assert_eq!(full.test_metric.to_bits(), resumed.test_metric.to_bits());
+        assert_eq!(
+            full.val_metric.unwrap().to_bits(),
+            resumed.val_metric.unwrap().to_bits()
+        );
+        assert_eq!(full.epochs_run, resumed.epochs_run);
+        // trace prefix + continuation must equal the uninterrupted trace
+        assert_eq!(full.trace.records.len(), resumed.trace.records.len());
+        for (a, b) in full.trace.records.iter().zip(resumed.trace.records.iter()) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.val.to_bits(), b.val.to_bits());
+        }
+        // a full-batch checkpoint must not resume a sampled run
+        let fb_path = dir.join("fullbatch.mgck");
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::Gcn),
+            &short_cfg,
+        )
+        .checkpoint_to(&fb_path)
+        .run(&ds)
+        .unwrap();
+        let err = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
+            .minibatch(small_mb())
+            .resume_from(&fb_path)
+            .run(&ds);
+        assert!(matches!(err, Err(MgError::Mismatch { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_epoch_trains_without_full_ctx() {
+        let big = BigGraph::generate(&BigGraphConfig {
+            n: 5000,
+            classes: 5,
+            avg_degree: 8,
+            feat_dim: 20,
+            seed: 3,
+            byte_budget: 8 << 20,
+        });
+        let cfg = TrainConfig {
+            epochs: 2,
+            lr: 0.02,
+            hidden: 16,
+            levels: 2,
+            seed: 2,
+            ..Default::default()
+        };
+        let mb = MinibatchConfig {
+            batch_size: 64,
+            fanouts: vec![6, 6],
+        };
+        let out = sampled_epochs_streamed(&big, NodeModelKind::Gcn, &cfg, &mb, 256).unwrap();
+        assert_eq!(out.steps, 8); // 2 epochs x ceil(256/64)
+        assert!(out.mean_loss.is_finite() && out.mean_loss > 0.0);
+        assert!(out.sampled_nodes > 0);
+    }
+}

@@ -34,6 +34,7 @@
 //! remaining epochs replay the identical draw sequence.
 
 use crate::graph_tasks::build_contexts;
+use crate::minibatch::MinibatchConfig;
 use crate::models::{GraphModelKind, NodeModelKind};
 use crate::node_tasks::TrainConfig;
 use crate::trace::TrainTrace;
@@ -126,6 +127,7 @@ pub struct TrainSession {
     kind: SessionKind,
     cfg: TrainConfig,
     traced: bool,
+    minibatch: Option<MinibatchConfig>,
     checkpoint_every: Option<usize>,
     checkpoint_to: Option<PathBuf>,
     resume_from: Option<PathBuf>,
@@ -138,10 +140,22 @@ impl TrainSession {
             kind,
             cfg: *cfg,
             traced: true,
+            minibatch: None,
             checkpoint_every: None,
             checkpoint_to: None,
             resume_from: None,
         }
+    }
+
+    /// Train with sampled ego-subgraph minibatches instead of full-batch
+    /// epochs. Node classification and link prediction only — graph
+    /// classification already iterates over (small, whole) graphs, and
+    /// clustering's unsupervised objective is defined on the full graph.
+    /// Evaluation stays full-graph, so metrics remain comparable to the
+    /// full-batch trainers; see [`MinibatchConfig`].
+    pub fn minibatch(mut self, mb: MinibatchConfig) -> Self {
+        self.minibatch = Some(mb);
+        self
     }
 
     /// Collect the per-epoch trace in the outcome (default `true`).
@@ -186,6 +200,20 @@ impl TrainSession {
                     .into(),
             });
         }
+        if self.minibatch.is_some()
+            && !matches!(
+                self.kind,
+                SessionKind::NodeClassification(_) | SessionKind::LinkPrediction(_)
+            )
+        {
+            return Err(MgError::InvalidInput {
+                detail: format!(
+                    "minibatch sampling applies to node classification and link prediction, \
+                     not {}",
+                    self.kind.task_name()
+                ),
+            });
+        }
         let resume = match &self.resume_from {
             Some(p) => Some(Checkpoint::load(p)?),
             None => None,
@@ -197,8 +225,14 @@ impl TrainSession {
         };
         let mut outcome = match (self.kind, input.into()) {
             (SessionKind::NodeClassification(k), SessionInput::Node(ds)) => {
-                let (res, trace) =
-                    crate::node_tasks::node_classification_session(k, ds, &self.cfg, &hooks)?;
+                let (res, trace) = match &self.minibatch {
+                    Some(mb) => crate::minibatch::node_classification_minibatch(
+                        k, ds, &self.cfg, mb, &hooks,
+                    )?,
+                    None => {
+                        crate::node_tasks::node_classification_session(k, ds, &self.cfg, &hooks)?
+                    }
+                };
                 RunOutcome {
                     test_metric: res.test_metric,
                     val_metric: Some(res.val_metric),
@@ -208,8 +242,12 @@ impl TrainSession {
                 }
             }
             (SessionKind::LinkPrediction(k), SessionInput::Node(ds)) => {
-                let (res, trace) =
-                    crate::node_tasks::link_prediction_session(k, ds, &self.cfg, &hooks)?;
+                let (res, trace) = match &self.minibatch {
+                    Some(mb) => {
+                        crate::minibatch::link_prediction_minibatch(k, ds, &self.cfg, mb, &hooks)?
+                    }
+                    None => crate::node_tasks::link_prediction_session(k, ds, &self.cfg, &hooks)?,
+                };
                 RunOutcome {
                     test_metric: res.test_metric,
                     val_metric: Some(res.val_metric),

@@ -8,4 +8,4 @@ pub mod norm;
 pub mod topology;
 
 pub use norm::{gcn_norm, gcn_norm_weighted, neighbor_mean, rw_norm, unit_adj, NormAdj};
-pub use topology::Topology;
+pub use topology::{BfsScratch, Topology};

@@ -2,6 +2,68 @@
 
 use mg_tensor::Csr;
 
+/// Reusable BFS workspace: epoch-stamped visited marks plus a queue.
+///
+/// [`Topology::khop`] historically allocated a fresh `vec![usize::MAX; n]`
+/// distance array per call, making per-node ego formation O(n²) — fatal at
+/// 10⁶ nodes. A `BfsScratch` is allocated once and reused across calls:
+/// each traversal bumps `epoch`, so "visited" is `stamp[v] == epoch` and
+/// clearing between calls costs nothing. The same marks double as a
+/// generic visited set for the neighbour sampler ([`BfsScratch::begin`] /
+/// [`BfsScratch::mark`]).
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    stamp: Vec<u64>,
+    dist: Vec<usize>,
+    epoch: u64,
+    queue: std::collections::VecDeque<usize>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; arrays grow on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// A scratch pre-sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            epoch: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Start a fresh traversal over a graph of `n` nodes: grows the mark
+    /// arrays if needed and invalidates all previous marks in O(1).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.queue.clear();
+    }
+
+    /// Mark `v` visited in the current traversal; returns `true` if the
+    /// node was not yet marked (i.e. this call marked it).
+    #[inline]
+    pub fn mark(&mut self, v: usize) -> bool {
+        if self.stamp[v] == self.epoch {
+            return false;
+        }
+        self.stamp[v] = self.epoch;
+        true
+    }
+
+    /// Whether `v` is marked in the current traversal.
+    #[inline]
+    pub fn is_marked(&self, v: usize) -> bool {
+        self.stamp[v] == self.epoch
+    }
+}
+
 /// An undirected, simple graph (no self-loops, no multi-edges).
 ///
 /// The adjacency is stored as a symmetric CSR *pattern*; edge weights, when
@@ -41,6 +103,43 @@ impl Topology {
             sym.push((v, u));
         }
         let adj = Csr::from_coo(n, n, &sym);
+        Topology { n, adj, edges }
+    }
+
+    /// Build from an already-symmetric CSR adjacency pattern (sorted
+    /// per-row indices, no self-loops, no duplicates — the invariants a
+    /// streaming CSR builder establishes directly). Unlike
+    /// [`Topology::from_edges`], this never materializes a symmetric
+    /// `Vec<(u32, u32)>` of length 2m or re-sorts: the only allocation is
+    /// the m-entry unique-edge list the struct carries anyway.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square, carries a self-loop, or (in
+    /// debug builds) is not symmetric.
+    pub fn from_symmetric_csr(adj: Csr) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        let n = adj.rows();
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(adj.nnz() / 2);
+        for r in 0..n {
+            for &c in adj.row_indices(r) {
+                assert!(c as usize != r, "self-loop at node {r}");
+                if (r as u32) < c {
+                    edges.push((r as u32, c));
+                }
+            }
+        }
+        assert_eq!(
+            edges.len() * 2,
+            adj.nnz(),
+            "adjacency pattern is not symmetric"
+        );
+        #[cfg(debug_assertions)]
+        for &(u, v) in &edges {
+            debug_assert!(
+                adj.row_indices(v as usize).binary_search(&u).is_ok(),
+                "missing reverse edge ({v},{u})"
+            );
+        }
         Topology { n, adj, edges }
     }
 
@@ -95,21 +194,33 @@ impl Topology {
 
     /// All nodes within `k` hops of `start` (including `start` itself),
     /// sorted ascending.
+    ///
+    /// Thin wrapper over [`Topology::khop_with`] that pays a one-off
+    /// scratch allocation; hot loops (per-node ego formation, neighbour
+    /// sampling) should hold a [`BfsScratch`] and call `khop_with`.
     pub fn khop(&self, start: usize, k: usize) -> Vec<usize> {
-        let mut dist = vec![usize::MAX; self.n];
-        let mut queue = std::collections::VecDeque::new();
-        dist[start] = 0;
-        queue.push_back(start);
+        let mut scratch = BfsScratch::with_capacity(self.n);
+        self.khop_with(&mut scratch, start, k)
+    }
+
+    /// As [`Topology::khop`], reusing `scratch` instead of allocating a
+    /// distance array per call. Output is byte-identical to `khop`.
+    pub fn khop_with(&self, scratch: &mut BfsScratch, start: usize, k: usize) -> Vec<usize> {
+        scratch.begin(self.n);
+        scratch.stamp[start] = scratch.epoch;
+        scratch.dist[start] = 0;
+        scratch.queue.push_back(start);
         let mut out = vec![start];
-        while let Some(u) = queue.pop_front() {
-            if dist[u] == k {
+        while let Some(u) = scratch.queue.pop_front() {
+            if scratch.dist[u] == k {
                 continue;
             }
             for v in self.neighbors(u) {
-                if dist[v] == usize::MAX {
-                    dist[v] = dist[u] + 1;
+                if scratch.stamp[v] != scratch.epoch {
+                    scratch.stamp[v] = scratch.epoch;
+                    scratch.dist[v] = scratch.dist[u] + 1;
                     out.push(v);
-                    queue.push_back(v);
+                    scratch.queue.push_back(v);
                 }
             }
         }
@@ -213,6 +324,97 @@ mod tests {
         assert_eq!(g.khop(0, 2), vec![0, 1, 2]);
         assert_eq!(g.khop(1, 1), vec![0, 1, 2]);
         assert_eq!(g.khop(0, 0), vec![0]);
+    }
+
+    /// The pre-scratch `khop` implementation, kept verbatim as the
+    /// regression reference: `khop`/`khop_with` must match it byte for
+    /// byte on arbitrary graphs.
+    fn khop_reference(g: &Topology, start: usize, k: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; g.n()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        let mut out = vec![start];
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == k {
+                continue;
+            }
+            for v in g.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    out.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn khop_with_matches_reference_bytewise() {
+        // deterministic pseudo-random graph, all (start, k) combinations,
+        // one shared scratch across every call
+        let mut edges = Vec::new();
+        let mut x = 0x243f6a8885a308d3u64;
+        let n = 37;
+        for _ in 0..90 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((x >> 33) % n as u64) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((x >> 33) % n as u64) as u32;
+            edges.push((u, v));
+        }
+        let g = Topology::from_edges(n, &edges);
+        let mut scratch = BfsScratch::new();
+        for start in 0..n {
+            for k in 0..5 {
+                let want = khop_reference(&g, start, k);
+                assert_eq!(g.khop(start, k), want, "khop({start},{k})");
+                assert_eq!(
+                    g.khop_with(&mut scratch, start, k),
+                    want,
+                    "khop_with({start},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_marks_reset_per_traversal() {
+        let mut s = BfsScratch::new();
+        s.begin(4);
+        assert!(s.mark(2));
+        assert!(!s.mark(2), "second mark in same traversal");
+        assert!(s.is_marked(2));
+        assert!(!s.is_marked(1));
+        s.begin(4);
+        assert!(!s.is_marked(2), "begin() invalidates old marks");
+        assert!(s.mark(2));
+        // growing to a larger graph keeps working
+        s.begin(10);
+        assert!(s.mark(9));
+    }
+
+    #[test]
+    fn from_symmetric_csr_matches_from_edges() {
+        let g = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let rebuilt = Topology::from_symmetric_csr(g.adj().clone());
+        assert_eq!(rebuilt.n(), g.n());
+        assert_eq!(rebuilt.edges(), g.edges());
+        for u in 0..5 {
+            assert_eq!(
+                rebuilt.neighbors(u).collect::<Vec<_>>(),
+                g.neighbors(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_symmetric_csr_rejects_self_loops() {
+        let adj = Csr::from_coo(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let _ = Topology::from_symmetric_csr(adj);
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub mod trace;
 pub mod validate;
 
 pub use json::Json;
-pub use record::{BetaStats, EpochRecord, InferRecord, RunEnd, RunMeta, ServeRecord};
+pub use record::{
+    BetaStats, EpochRecord, InferRecord, RunEnd, RunMeta, SampleStepRecord, ServeRecord,
+};
 pub use trace::{Stopwatch, Trace};
 pub use validate::{validate_trace, TraceReport};

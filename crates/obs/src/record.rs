@@ -182,6 +182,49 @@ impl EpochRecord {
     }
 }
 
+/// One sampled-minibatch training step, emitted as `kind: "sample_step"`.
+///
+/// The sampled trainers emit one record per optimizer step (per-epoch
+/// aggregates still land in the usual `epoch` record): how many seeds
+/// the batch drew, how large the expanded ego-subgraph came out, and how
+/// many frontier nodes had neighbor lists truncated by the fanout cap —
+/// the knob a trace reader needs when deciding whether a fanout budget
+/// is starving the receptive field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleStepRecord {
+    pub epoch: usize,
+    /// Step index within the epoch.
+    pub step: usize,
+    /// Seed nodes in the batch (after dedup).
+    pub seeds: usize,
+    /// Nodes in the sampled subgraph (seeds included).
+    pub sampled_nodes: usize,
+    /// Undirected edges in the induced subgraph.
+    pub sampled_edges: usize,
+    /// Frontier nodes whose neighbor list was cut by a fanout cap.
+    pub truncated: usize,
+    /// Composite training loss of this step.
+    pub loss: f64,
+}
+
+impl SampleStepRecord {
+    pub(crate) fn to_json_line(&self, task: &str) -> String {
+        format!(
+            "{{\"kind\": \"sample_step\", \"task\": {}, \"epoch\": {}, \"step\": {}, \
+             \"seeds\": {}, \"sampled_nodes\": {}, \"sampled_edges\": {}, \
+             \"truncated\": {}, \"loss\": {}}}",
+            string(task),
+            self.epoch,
+            self.step,
+            self.seeds,
+            self.sampled_nodes,
+            self.sampled_edges,
+            self.truncated,
+            number(self.loss),
+        )
+    }
+}
+
 /// One frozen-model inference job, emitted as `kind: "infer"`.
 ///
 /// Inference loads a checkpoint instead of training, so the record
@@ -389,6 +432,25 @@ mod tests {
         };
         let v = Json::parse(&end.to_json_line("link_prediction")).unwrap();
         assert_eq!(v.get("test_metric"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn sample_step_line_parses() {
+        let rec = SampleStepRecord {
+            epoch: 2,
+            step: 5,
+            seeds: 64,
+            sampled_nodes: 410,
+            sampled_edges: 900,
+            truncated: 12,
+            loss: 1.75,
+        };
+        let v = Json::parse(&rec.to_json_line("node_classification")).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("sample_step"));
+        assert_eq!(v.get("seeds").unwrap().as_f64(), Some(64.0));
+        assert_eq!(v.get("sampled_nodes").unwrap().as_f64(), Some(410.0));
+        assert_eq!(v.get("truncated").unwrap().as_f64(), Some(12.0));
+        assert_eq!(v.get("loss").unwrap().as_f64(), Some(1.75));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! table sweep) share a single chronologically ordered trace.
 
 use crate::record::{
-    kernel_stats_json_line, EpochRecord, InferRecord, RunEnd, RunMeta, ServeRecord,
+    kernel_stats_json_line, EpochRecord, InferRecord, RunEnd, RunMeta, SampleStepRecord,
+    ServeRecord,
 };
 use crate::summary::render_summary;
 use std::fs::OpenOptions;
@@ -149,6 +150,15 @@ impl Trace {
             }
             inner.agg.train_ns += rec.train_ns;
             inner.agg.eval_ns += rec.eval_ns;
+            let line = rec.to_json_line(&inner.task);
+            Self::write_line(inner, &line);
+        }
+    }
+
+    /// Emit one `sample_step` record describing one sampled-minibatch
+    /// optimizer step.
+    pub fn sample_step(&mut self, rec: &SampleStepRecord) {
+        if let Some(inner) = &mut self.inner {
             let line = rec.to_json_line(&inner.task);
             Self::write_line(inner, &line);
         }

@@ -19,6 +19,8 @@ pub struct TraceReport {
     pub infers: usize,
     /// `serve` records (one per online-inference request).
     pub serves: usize,
+    /// `sample_step` records (one per sampled-minibatch optimizer step).
+    pub sample_steps: usize,
     /// Per-epoch `train_ns` values, in emission order.
     pub epoch_train_ns: Vec<u64>,
     /// Per-epoch `eval_ns` values, in emission order.
@@ -67,6 +69,16 @@ const INFER_KEYS: &[&str] = &[
     "pinned_structure",
     "forwards",
     "total_ns",
+];
+const SAMPLE_STEP_KEYS: &[&str] = &[
+    "task",
+    "epoch",
+    "step",
+    "seeds",
+    "sampled_nodes",
+    "sampled_edges",
+    "truncated",
+    "loss",
 ];
 const SERVE_KEYS: &[&str] = &[
     "task",
@@ -134,6 +146,10 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
             "serve" => {
                 require_keys(&v, SERVE_KEYS, line_no)?;
                 report.serves += 1;
+            }
+            "sample_step" => {
+                require_keys(&v, SAMPLE_STEP_KEYS, line_no)?;
+                report.sample_steps += 1;
             }
             other => return Err(format!("line {line_no}: unknown kind {other:?}")),
         }
@@ -255,6 +271,30 @@ mod tests {
         // a serve record missing its batching keys must be rejected
         assert!(validate_trace(
             "{\"kind\": \"serve\", \"task\": \"serve\", \"endpoint\": \"/v1/nodes\"}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sample_step_record_validates() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut t = Trace::to_writer("node_classification", Box::new(Shared(buf.clone())));
+        t.sample_step(&crate::record::SampleStepRecord {
+            epoch: 0,
+            step: 3,
+            seeds: 32,
+            sampled_nodes: 190,
+            sampled_edges: 400,
+            truncated: 2,
+            loss: 2.1,
+        });
+        drop(t);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let report = validate_trace(&text).expect("sample_step trace validates");
+        assert_eq!(report.sample_steps, 1);
+        // a record missing its sampling counters must be rejected
+        assert!(validate_trace(
+            "{\"kind\": \"sample_step\", \"task\": \"t\", \"epoch\": 0, \"step\": 0}\n"
         )
         .is_err());
     }

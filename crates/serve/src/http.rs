@@ -14,6 +14,10 @@ use std::io::{BufRead, Read, Write};
 const MAX_LINE: usize = 8 * 1024;
 /// Most headers accepted per request.
 const MAX_HEADERS: usize = 100;
+/// Cap on the *total* bytes of all header lines in one request. Without
+/// it a client could stream `MAX_HEADERS` lines of `MAX_LINE` bytes each
+/// (~800 KiB) per request, or restart the count on keep-alive forever.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
 
 /// One parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,6 +107,7 @@ pub fn read_request(
     }
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length: usize = 0;
+    let mut header_bytes: usize = 0;
     for n in 0.. {
         if n >= MAX_HEADERS {
             return Err(ServeError::BadRequest {
@@ -114,6 +119,15 @@ pub fn read_request(
         })?;
         if line.is_empty() {
             break;
+        }
+        // +2 for the CRLF stripped by read_line; fail closed once the
+        // running total passes the cap, before parsing the line
+        header_bytes += line.len() + 2;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ServeError::PayloadTooLarge {
+                limit: MAX_HEADER_BYTES,
+                got: header_bytes,
+            });
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(ServeError::BadRequest {
@@ -334,6 +348,60 @@ mod tests {
             }) => {}
             other => panic!("expected PayloadTooLarge, got {other:?}"),
         }
+    }
+
+    /// Yields a request line followed by header lines forever — a
+    /// hostile client that never sends the blank line.
+    struct EndlessHeaders {
+        pos: usize,
+        prefix: Vec<u8>,
+        line: Vec<u8>,
+    }
+
+    impl Read for EndlessHeaders {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            for b in buf.iter_mut() {
+                *b = if self.pos < self.prefix.len() {
+                    let x = self.prefix[self.pos];
+                    self.pos += 1;
+                    x
+                } else {
+                    let off = (self.pos - self.prefix.len()) % self.line.len();
+                    self.pos += 1;
+                    self.line[off]
+                };
+            }
+            Ok(buf.len())
+        }
+    }
+
+    #[test]
+    fn endless_header_stream_rejects_at_byte_cap() {
+        let mut r = std::io::BufReader::new(EndlessHeaders {
+            pos: 0,
+            prefix: b"GET /healthz HTTP/1.1\r\n".to_vec(),
+            line: format!("X-Pad: {}\r\n", "a".repeat(500)).into_bytes(),
+        });
+        match read_request(&mut r, 1024) {
+            Err(ServeError::PayloadTooLarge { limit, got }) => {
+                assert_eq!(limit, 8 * 1024);
+                // rejected within one line of the cap, not megabytes later
+                assert!(got <= 8 * 1024 + 512, "got = {got}");
+            }
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_bytes_under_cap_still_parse() {
+        // ~60 headers of ~100 bytes ≈ 6 KiB < 8 KiB, but > MAX default line
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..58 {
+            raw.push_str(&format!("X-Filler-{i:03}: {}\r\n", "v".repeat(80)));
+        }
+        raw.push_str("\r\n");
+        let req = parse(&raw, 64).unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
     }
 
     #[test]

@@ -23,7 +23,8 @@ use mg_data::{
 };
 use mg_eval::{
     build_contexts, run_graph_classification_traced, run_link_prediction_traced,
-    run_node_classification_traced, GraphModelKind, NodeModelKind, TrainConfig, TrainTrace,
+    run_node_classification_traced, GraphModelKind, MinibatchConfig, NodeModelKind, SessionKind,
+    TrainConfig, TrainSession, TrainTrace,
 };
 use std::path::PathBuf;
 
@@ -71,6 +72,43 @@ pub fn node_cls_run(variant: u64) -> Golden {
             ("epochs_run".into(), res.epochs_run as f64),
         ],
         trace,
+    )
+}
+
+/// The seeded *sampled-minibatch* node-classification run: the same
+/// fixture as [`node_cls_run`] trained through ego-subgraph minibatches
+/// (`TrainSession::minibatch`). Not pinned by a checked-in golden —
+/// sampled batch composition is a new RNG consumer, so the full-batch
+/// goldens say nothing about it — but the differential suite holds it to
+/// the same determinism contract: bitwise repeatable within a build and
+/// across parallel pool widths.
+pub fn sampled_node_cls_run(variant: u64) -> Golden {
+    let ds = make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale: 0.05,
+            max_feat_dim: 32,
+            seed: 11 + variant,
+        },
+    );
+    let res = TrainSession::new(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &verify_cfg(1 + variant, 8),
+    )
+    .minibatch(MinibatchConfig {
+        batch_size: 32,
+        fanouts: vec![8, 8],
+    })
+    .run(&ds)
+    .expect("sampled node classification failed");
+    Golden::new(
+        format!("sampled_node_cls_adamgnn_v{variant}"),
+        vec![
+            ("test_metric".into(), res.test_metric),
+            ("val_metric".into(), res.val_metric.unwrap_or(f64::NAN)),
+            ("epochs_run".into(), res.epochs_run as f64),
+        ],
+        res.trace,
     )
 }
 

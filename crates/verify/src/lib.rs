@@ -26,7 +26,8 @@ pub mod metamorphic;
 #[cfg(feature = "parallel")]
 pub use fuzz::with_threads;
 pub use fuzz::{
-    assert_traces_bitwise, goldens_dir, graph_cls_run, link_pred_run, node_cls_run, verify_cfg,
+    assert_traces_bitwise, goldens_dir, graph_cls_run, link_pred_run, node_cls_run,
+    sampled_node_cls_run, verify_cfg,
 };
 pub use golden::{check_against_file, unified_diff, Compare, Golden};
 pub use gradaudit::{audit_node_model, AuditConfig, AuditReport};

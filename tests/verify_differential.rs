@@ -15,7 +15,9 @@
 //! checked-in goldens — bit for bit.
 
 use adamgnn_core::with_ckpt_tape;
-use mg_verify::{graph_cls_run, link_pred_run, node_cls_run, Compare, Golden};
+use mg_verify::{
+    graph_cls_run, link_pred_run, node_cls_run, sampled_node_cls_run, Compare, Golden,
+};
 
 fn assert_identical(label: &str, expected: &Golden, actual: &Golden) {
     if let Err(e) = expected.compare(actual, Compare::Bitwise) {
@@ -38,6 +40,21 @@ fn reruns_are_bitwise_repeatable() {
     assert_identical("node_cls rerun", &node_cls_run(0), &node_cls_run(0));
     assert_identical("link_pred rerun", &link_pred_run(0), &link_pred_run(0));
     assert_identical("graph_cls rerun", &graph_cls_run(0), &graph_cls_run(0));
+}
+
+/// The sampled-minibatch leg of the same contract: batch composition,
+/// fanout truncation and subgraph construction all draw from the seeded
+/// RNG stream, so a sampled run is just as much a pure function of its
+/// seeds as a full-batch one. There is no checked-in golden (sampling is
+/// a new RNG consumer, deliberately not pinned to the full-batch
+/// traces), so the checks are within-build.
+#[test]
+fn sampled_reruns_are_bitwise_repeatable() {
+    assert_identical(
+        "sampled_node_cls rerun",
+        &sampled_node_cls_run(0),
+        &sampled_node_cls_run(0),
+    );
 }
 
 /// Per-level tape checkpointing reproduces the retaining tape bit for
@@ -116,6 +133,26 @@ mod parallel {
                         &actual,
                     );
                 }
+            }
+        }
+    }
+
+    /// The sampled-minibatch trainer agrees across pool widths: the
+    /// sampler itself is serial (one RNG stream), and every kernel the
+    /// per-batch forward/backward dispatches is width-independent, so
+    /// widths 1..=4 must reproduce each other bit for bit.
+    #[test]
+    fn sampled_runs_agree_across_pool_widths() {
+        use mg_verify::sampled_node_cls_run;
+        for variant in 0..=1u64 {
+            let reference = with_threads(1, || sampled_node_cls_run(variant));
+            for threads in 2..=4 {
+                let actual = with_threads(threads, || sampled_node_cls_run(variant));
+                assert_identical(
+                    &format!("sampled_node_cls v{variant}, 1 vs {threads} threads"),
+                    &reference,
+                    &actual,
+                );
             }
         }
     }
