@@ -1,0 +1,16 @@
+//! Pooling-operator benchmark matrix: trains node classification, link
+//! prediction and graph classification once per shipped `PoolingKind`
+//! (AdamGNN, ASAP, SpaPool) under identical settings and writes
+//! `BENCH_pooling.json` — the repo's Table-4-style operator comparison.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin pooling_report
+//! ```
+//!
+//! `MG_BENCH_POOLING_JSON` overrides the report path; `skip` suppresses
+//! the file. Exits non-zero when any cell produces a non-finite loss or
+//! metric.
+
+fn main() {
+    std::process::exit(mg_bench::poolingreport::emit_default());
+}

@@ -21,6 +21,7 @@ use mg_eval::TrainConfig;
 pub mod inferbench;
 pub mod memreport;
 pub mod opsbench;
+pub mod poolingreport;
 pub mod samplereport;
 pub mod servebench;
 pub mod trainreport;
@@ -84,6 +85,7 @@ impl BenchConfig {
             seed,
             weights: LossWeights::default(),
             flyback: true,
+            ..Default::default()
         }
     }
 

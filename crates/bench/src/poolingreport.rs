@@ -1,0 +1,282 @@
+//! Table-4-style pooling-operator benchmark matrix, exported as
+//! `BENCH_pooling.json`.
+//!
+//! The `pooling_report` binary trains the same three tasks — node
+//! classification, link prediction and graph classification — once per
+//! shipped [`PoolingKind`], everything else held fixed (dataset, seed,
+//! width, levels). Each cell reports the val/test metrics and the mean
+//! wall-clock seconds per epoch, which is exactly the comparison the
+//! paper's Table 4 draws between AdamGNN and rival hierarchical pooling
+//! methods.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin pooling_report
+//! ```
+//!
+//! `MG_BENCH_POOLING_JSON` overrides the report path (`skip` suppresses
+//! the file but still runs the matrix). The run **fails** (non-zero
+//! exit) if any cell's training loss or metric goes non-finite — a rival
+//! operator that diverges is a bug in the operator, not a benchmark
+//! result.
+
+use adamgnn_core::PoolingKind;
+use mg_data::{
+    make_graph_dataset, make_node_dataset, GraphDatasetKind, GraphGenConfig, NodeDatasetKind,
+    NodeGenConfig,
+};
+use mg_eval::{GraphModelKind, NodeModelKind, SessionKind, TrainConfig, TrainSession};
+use std::time::Instant;
+
+/// One (task, operator) cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct PoolingCell {
+    pub task: &'static str,
+    pub pooling: &'static str,
+    pub val_metric: f64,
+    pub test_metric: f64,
+    pub epochs_run: usize,
+    /// Mean wall-clock seconds per training epoch (Table 4's metric).
+    pub mean_epoch_s: f64,
+}
+
+/// Sizing knobs: the binary uses [`emit_default`]'s settings, tests
+/// shrink both.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixConfig {
+    pub node_scale: f64,
+    pub graph_scale: f64,
+    pub epochs: usize,
+}
+
+fn train_cfg(epochs: usize, seed: u64, pooling: PoolingKind) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        lr: 0.02,
+        patience: epochs,
+        hidden: 16,
+        levels: 2,
+        seed,
+        pooling,
+        ..Default::default()
+    }
+}
+
+/// Reject a cell whose run produced any non-finite loss or metric.
+fn check_finite(cell: &PoolingCell, trace_losses: &[f64]) -> Result<(), String> {
+    for (i, &l) in trace_losses.iter().enumerate() {
+        if !l.is_finite() {
+            return Err(format!(
+                "{} / {}: non-finite training loss {l} at epoch {i}",
+                cell.task, cell.pooling
+            ));
+        }
+    }
+    if !(cell.val_metric.is_finite() && cell.test_metric.is_finite()) {
+        return Err(format!(
+            "{} / {}: non-finite metric (val {}, test {})",
+            cell.task, cell.pooling, cell.val_metric, cell.test_metric
+        ));
+    }
+    Ok(())
+}
+
+/// Run the full task × operator matrix. Within a task every operator
+/// sees the identical dataset, split seeds and budget, so the cells are
+/// directly comparable.
+pub fn run_matrix(cfg: &MatrixConfig) -> Result<Vec<PoolingCell>, String> {
+    let node_ds = make_node_dataset(
+        NodeDatasetKind::Cora,
+        &NodeGenConfig {
+            scale: cfg.node_scale,
+            max_feat_dim: 32,
+            seed: 11,
+        },
+    );
+    let link_ds = make_node_dataset(
+        NodeDatasetKind::Emails,
+        &NodeGenConfig {
+            scale: cfg.node_scale,
+            max_feat_dim: 32,
+            seed: 23,
+        },
+    );
+    let graph_ds = make_graph_dataset(
+        GraphDatasetKind::Mutag,
+        &GraphGenConfig {
+            scale: cfg.graph_scale,
+            max_nodes: 20,
+            seed: 5,
+        },
+    );
+
+    let mut cells = Vec::with_capacity(3 * PoolingKind::ALL.len());
+    for kind in PoolingKind::ALL {
+        // node classification
+        let started = Instant::now();
+        let res = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &train_cfg(cfg.epochs, 1, kind),
+        )
+        .run(&node_ds)
+        .map_err(|e| format!("node_classification / {}: {e}", kind.name()))?;
+        let cell = PoolingCell {
+            task: "node_classification",
+            pooling: kind.name(),
+            val_metric: res.val_metric.unwrap_or(f64::NAN),
+            test_metric: res.test_metric,
+            epochs_run: res.epochs_run,
+            mean_epoch_s: started.elapsed().as_secs_f64() / res.epochs_run.max(1) as f64,
+        };
+        check_finite(
+            &cell,
+            &res.trace.records.iter().map(|r| r.loss).collect::<Vec<_>>(),
+        )?;
+        cells.push(cell);
+
+        // link prediction
+        let started = Instant::now();
+        let res = TrainSession::new(
+            SessionKind::LinkPrediction(NodeModelKind::AdamGnn),
+            &train_cfg(cfg.epochs, 2, kind),
+        )
+        .run(&link_ds)
+        .map_err(|e| format!("link_prediction / {}: {e}", kind.name()))?;
+        let cell = PoolingCell {
+            task: "link_prediction",
+            pooling: kind.name(),
+            val_metric: res.val_metric.unwrap_or(f64::NAN),
+            test_metric: res.test_metric,
+            epochs_run: res.epochs_run,
+            mean_epoch_s: started.elapsed().as_secs_f64() / res.epochs_run.max(1) as f64,
+        };
+        check_finite(
+            &cell,
+            &res.trace.records.iter().map(|r| r.loss).collect::<Vec<_>>(),
+        )?;
+        cells.push(cell);
+
+        // graph classification (epoch timing straight from the trainer,
+        // which excludes evaluation — the Table 4 protocol)
+        let res = TrainSession::new(
+            SessionKind::GraphClassification(GraphModelKind::AdamGnn),
+            &train_cfg(cfg.epochs, 3, kind),
+        )
+        .run(&graph_ds)
+        .map_err(|e| format!("graph_classification / {}: {e}", kind.name()))?;
+        let cell = PoolingCell {
+            task: "graph_classification",
+            pooling: kind.name(),
+            val_metric: res.val_metric.unwrap_or(f64::NAN),
+            test_metric: res.test_metric,
+            epochs_run: res.epochs_run,
+            mean_epoch_s: res.epoch_seconds.unwrap_or(f64::NAN),
+        };
+        check_finite(
+            &cell,
+            &res.trace.records.iter().map(|r| r.loss).collect::<Vec<_>>(),
+        )?;
+        cells.push(cell);
+    }
+    Ok(cells)
+}
+
+/// Render the `BENCH_pooling.json` document: one row per (task,
+/// operator) cell, in matrix order.
+pub fn to_json(cells: &[PoolingCell]) -> String {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"task\": \"{}\", \"pooling\": \"{}\", \"val_metric\": {:.6}, \
+                 \"test_metric\": {:.6}, \"epochs_run\": {}, \"mean_epoch_s\": {:.6}}}",
+                c.task, c.pooling, c.val_metric, c.test_metric, c.epochs_run, c.mean_epoch_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"parallel_feature\": {},\n  \"operators\": [{}],\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+        cfg!(feature = "parallel"),
+        PoolingKind::ALL
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
+/// Run the default-size matrix and write `BENCH_pooling.json` (path
+/// overridable via `MG_BENCH_POOLING_JSON`; `skip` suppresses the file
+/// but still runs — and finiteness-checks — every cell). Returns a
+/// process exit code.
+pub fn emit_default() -> i32 {
+    let cells = match run_matrix(&MatrixConfig {
+        node_scale: 0.08,
+        graph_scale: 0.04,
+        epochs: 12,
+    }) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pooling_report: {e}");
+            return 1;
+        }
+    };
+    for c in &cells {
+        eprintln!(
+            "pooling_report: {:22} {:8} val {:.4} test {:.4} ({} epochs, {:.1} ms/epoch)",
+            c.task,
+            c.pooling,
+            c.val_metric,
+            c.test_metric,
+            c.epochs_run,
+            c.mean_epoch_s * 1e3,
+        );
+    }
+    let path =
+        std::env::var("MG_BENCH_POOLING_JSON").unwrap_or_else(|_| "BENCH_pooling.json".into());
+    if path == "skip" {
+        return 0;
+    }
+    let json = to_json(&cells);
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny matrix end to end: all nine cells run, every metric is
+    /// finite, and the JSON carries one row per cell.
+    #[test]
+    fn tiny_matrix_produces_all_nine_cells() {
+        let cells = run_matrix(&MatrixConfig {
+            node_scale: 0.03,
+            graph_scale: 0.02,
+            epochs: 2,
+        })
+        .expect("matrix runs");
+        assert_eq!(cells.len(), 9);
+        for kind in PoolingKind::ALL {
+            assert_eq!(cells.iter().filter(|c| c.pooling == kind.name()).count(), 3);
+        }
+        let json = to_json(&cells);
+        assert_eq!(json.matches("\"task\"").count(), 9);
+        for key in [
+            "\"pooling\"",
+            "\"val_metric\"",
+            "\"mean_epoch_s\"",
+            "\"operators\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -22,7 +22,7 @@
 
 use crate::codec;
 use crate::format::{self, Dec, Enc, FORMAT_VERSION, MAGIC};
-use adamgnn_core::FrozenStructure;
+use adamgnn_core::{FrozenStructure, PoolingKind};
 use mg_tensor::{MgError, ParamSnapshot};
 use std::path::Path;
 
@@ -83,6 +83,11 @@ pub struct CkptConfig {
     pub gamma: f64,
     pub delta: f64,
     pub flyback: bool,
+    /// Pooling operator AdamGNN models were built with. Part of the
+    /// resume identity: an artifact trained under one operator holds
+    /// that operator's parameters, so resuming under another is a typed
+    /// mismatch, never a silent reinterpretation.
+    pub pooling: PoolingKind,
 }
 
 /// Mutable state of the training loop at the moment of capture.
@@ -158,6 +163,7 @@ impl Checkpoint {
         e.f64(c.gamma);
         e.f64(c.delta);
         e.bool(c.flyback);
+        e.u8(c.pooling.discriminant());
         format::write_section(&mut out, tag::CONFIG, &e.into_bytes());
 
         let mut e = Enc::new();
@@ -258,6 +264,11 @@ impl Checkpoint {
             gamma: d.f64()?,
             delta: d.f64()?,
             flyback: d.bool()?,
+            pooling: {
+                let disc = d.u8()?;
+                PoolingKind::from_discriminant(disc)
+                    .ok_or_else(|| d.corrupt(format!("unknown pooling operator {disc}")))?
+            },
         };
         d.finish()?;
 
@@ -432,6 +443,7 @@ mod tests {
                 gamma: 0.1,
                 delta: 0.01,
                 flyback: true,
+                pooling: PoolingKind::AdamGnn,
             },
             state: TrainState {
                 next_epoch: 3,

@@ -33,7 +33,8 @@ pub const MAGIC: [u8; 4] = *b"MGCK";
 
 /// Current format version. Readers reject anything else with
 /// [`MgError::UnsupportedVersion`]; bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 appended the pooling-operator discriminant to the config section.
+pub const FORMAT_VERSION: u32 = 2;
 
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];

@@ -28,7 +28,12 @@ pub struct LossBreakdown {
     pub kl: Var,
     /// `L_R` (Eq. 6) over the pre-sampled plan — unweighted.
     pub recon: Var,
-    /// `total_loss(task, kl, recon)` as the production code composes it.
+    /// Operator-specific auxiliary term, already at its final weight
+    /// (e.g. SpaPool's assignment entropy); `None` for operators
+    /// without one.
+    pub aux: Option<Var>,
+    /// The objective as the production code composes it:
+    /// `total_loss(task, kl, recon)` plus `aux` when present.
     pub total: Var,
 }
 
@@ -139,12 +144,19 @@ fn assemble(
         None => kl_loss(tape, out.h, &out.egos_l1),
     };
     let recon = reconstruction_loss_planned(tape, out.h, plan);
-    let total = total_loss(tape, task, kl, recon, weights);
+    let mut total = total_loss(tape, task, kl, recon, weights);
+    // operator-specific auxiliary term (None for the default operator,
+    // keeping the pre-trait composition — and the goldens — unchanged)
+    let aux = out.aux;
+    if let Some(aux) = aux {
+        total = tape.add(total, aux);
+    }
     (
         LossBreakdown {
             task,
             kl,
             recon,
+            aux,
             total,
         },
         out,

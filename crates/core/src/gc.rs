@@ -73,7 +73,7 @@ impl GraphClassifier for AdamGnnGc {
             rep = tape.add(rep, Readout::MeanMax.apply(tape, up));
         }
         let logits = self.head.forward(tape, bind, rep);
-        let aux = if self.weights.gamma == 0.0 && self.weights.delta == 0.0 {
+        let mut aux = if self.weights.gamma == 0.0 && self.weights.delta == 0.0 {
             None
         } else {
             let kl = kl_loss(tape, out.h, &out.egos_l1);
@@ -82,6 +82,14 @@ impl GraphClassifier for AdamGnnGc {
             let recon_term = tape.scale(recon, self.weights.delta);
             Some(tape.add(kl_term, recon_term))
         };
+        // operator-specific auxiliary term (None for the default
+        // operator, keeping the pre-trait composition unchanged)
+        if let Some(op_aux) = out.aux {
+            aux = Some(match aux {
+                Some(a) => tape.add(a, op_aux),
+                None => op_aux,
+            });
+        }
         GcOutput {
             logits,
             aux_loss: aux,

@@ -23,7 +23,6 @@
 //! See `DESIGN.md` at the repository root for the substrate inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
 
-pub mod ckpt;
 pub mod decompose;
 pub mod explain;
 pub mod faults;
@@ -31,9 +30,10 @@ pub mod fitness;
 pub mod gc;
 pub mod loss;
 pub mod model;
+pub mod overrides;
+pub mod pooling;
 pub mod structure;
 
-pub use ckpt::with_ckpt_tape;
 pub use decompose::{
     decomposed_loss, decomposed_loss_frozen, record_loss_freeze, LossBreakdown, LossFreeze,
 };
@@ -45,4 +45,9 @@ pub use loss::{
     LossWeights, ReconPlan,
 };
 pub use model::{AdamGnn, AdamGnnConfig, AdamGnnOutput, FrozenLevel, FrozenStructure, LevelState};
+pub use overrides::{pooling_env_default, with_ckpt_tape, with_pooling, RuntimeOverrides};
+pub use pooling::{
+    coarsen_adjacency, AdamGnnPooling, AsapPooling, PoolLevelOutput, PoolState, Pooling,
+    PoolingKind, PoolingOp, SpaPoolPooling,
+};
 pub use structure::{build_s_plan, ego_fitness, select_egos, SPlan, ValueSource};

@@ -2,13 +2,12 @@
 //! unpooling chains and flyback aggregation (paper Sections 3.1-3.4,
 //! Algorithm 1).
 
-use crate::fitness::{pair_fitness_with, with_unit_row, AttentionParams, EgoPairs, ATT_SLOPE};
-use crate::structure::{
-    add_unit_diag, build_s_plan, ego_fitness, select_egos, topology_of, SPlan, ValueSource,
-};
-use mg_graph::{gcn_norm_weighted, NormAdj, Topology};
+use crate::fitness::{AttentionParams, ATT_SLOPE};
+use crate::pooling::{PoolState, PoolingKind, PoolingOp};
+use crate::structure::add_unit_diag;
+use mg_graph::{NormAdj, Topology};
 use mg_nn::{Activation, GcnLayer, GraphCtx};
-use mg_tensor::{Binding, Csr, Matrix, ParamStore, Tape, Var};
+use mg_tensor::{Binding, Csr, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
@@ -32,10 +31,16 @@ pub struct AdamGnnConfig {
     /// fitness (ablation knob; the paper always keeps it on).
     pub linearity: bool,
     /// Run the forward blocks through tape checkpoint scopes
-    /// (recompute-on-backward; see `crate::ckpt`). Bitwise-invisible to
-    /// gradients and traces — it only changes peak tape memory. Defaults
-    /// from `MG_CKPT_TAPE`; [`crate::ckpt::with_ckpt_tape`] overrides it.
+    /// (recompute-on-backward; see `crate::overrides`). Bitwise-invisible
+    /// to gradients and traces — it only changes peak tape memory.
+    /// Defaults from `MG_CKPT_TAPE`;
+    /// [`crate::overrides::with_ckpt_tape`] overrides it.
     pub checkpoint: bool,
+    /// Which pooling operator coarsens each level (see
+    /// [`crate::pooling`]). Defaults from `MG_POOLING`;
+    /// [`crate::overrides::with_pooling`] overrides it at model
+    /// construction.
+    pub pooling: PoolingKind,
 }
 
 impl AdamGnnConfig {
@@ -49,7 +54,8 @@ impl AdamGnnConfig {
             flyback: true,
             dropout: 0.5,
             linearity: true,
-            checkpoint: crate::ckpt::env_default(),
+            checkpoint: crate::overrides::ckpt_env_default(),
+            pooling: crate::overrides::pooling_env_default(),
         }
     }
 }
@@ -110,6 +116,10 @@ pub struct AdamGnnOutput {
     pub egos_l1: Rc<Vec<usize>>,
     /// Per-level metadata.
     pub levels: Vec<LevelState>,
+    /// Operator-specific auxiliary loss (summed over levels), e.g.
+    /// SpaPool's assignment entropy. `None` for the default operator, so
+    /// the pre-trait loss compositions are unchanged.
+    pub aux: Option<Var>,
 }
 
 /// Adaptive Multi-grained Graph Neural Network.
@@ -119,10 +129,10 @@ pub struct AdamGnn {
     gcn0: GcnLayer,
     /// One GCN per granularity level, run on the coarsened graph.
     level_gcns: Vec<GcnLayer>,
-    /// Fitness attention (Eq. 2).
-    fit: AttentionParams,
-    /// Hyper-node feature-initialisation attention (Eq. 3).
-    init_att: AttentionParams,
+    /// The pooling operator coarsening each level (see
+    /// [`crate::pooling`]); AdamGNN's fitness/ego-network pooling by
+    /// default.
+    pool: PoolingOp,
     /// Flyback attention (Eq. 4).
     fly: AttentionParams,
 }
@@ -132,6 +142,10 @@ impl AdamGnn {
     pub fn new(store: &mut ParamStore, cfg: AdamGnnConfig, rng: &mut StdRng) -> Self {
         assert!(cfg.levels >= 1, "AdamGNN needs at least one level");
         assert!(cfg.lambda >= 1, "lambda must be >= 1");
+        // The operator owns parameters, so the runtime override must
+        // apply here, not per forward pass.
+        let mut cfg = cfg;
+        cfg.pooling = crate::overrides::resolve_pooling(cfg.pooling);
         let gcn0 = GcnLayer::new(
             store,
             "adam.gcn0",
@@ -152,19 +166,28 @@ impl AdamGnn {
                 )
             })
             .collect();
+        // Registration order matters for seeded init: the operator's
+        // parameters (for the default operator: adam.fit then adam.init)
+        // come between the level GCNs and adam.fly, exactly as the
+        // pre-trait constructor registered them.
+        let pool = PoolingOp::build(store, &cfg, rng);
         AdamGnn {
             cfg,
             gcn0,
             level_gcns,
-            fit: AttentionParams::new(store, "adam.fit", cfg.hidden, rng),
-            init_att: AttentionParams::new(store, "adam.init", cfg.hidden, rng),
+            pool,
             fly: AttentionParams::new(store, "adam.fly", cfg.hidden, rng),
         }
     }
 
-    /// Model configuration.
+    /// Model configuration (with the pooling override already resolved).
     pub fn cfg(&self) -> &AdamGnnConfig {
         &self.cfg
+    }
+
+    /// The live pooling operator.
+    pub fn pooling(&self) -> &PoolingOp {
+        &self.pool
     }
 
     /// Full forward pass over one graph.
@@ -219,10 +242,10 @@ impl AdamGnn {
         frozen: Option<&FrozenStructure>,
     ) -> (AdamGnnOutput, FrozenStructure) {
         // Recompute-on-backward for the big forward blocks. Every scope
-        // closes before any early `break`, so no abort paths are needed;
+        // closes before any early stop, so no abort paths are needed;
         // checkpointing never changes the values or gradients, only when
-        // interior buffers are resident (see crate::ckpt).
-        let ckpt = crate::ckpt::resolve(self.cfg.checkpoint);
+        // interior buffers are resident (see crate::overrides).
+        let ckpt = crate::overrides::resolve_ckpt(self.cfg.checkpoint);
         // ---- primary node representation (Eq. 1) ----
         let x = ctx.x_var(tape);
         let mut h0 = self.gcn0.forward(tape, bind, ctx, x);
@@ -230,19 +253,23 @@ impl AdamGnn {
             h0 = tape.dropout(h0, self.cfg.dropout, rng);
         }
 
-        // ---- multi-grained structure construction ----
-        let mut topo: Rc<Topology> = ctx.graph.clone();
-        // weighted Â of the current level (values detached from the tape)
-        let mut weighted: (Rc<Csr>, Vec<f64>) = {
-            let (csr, vals) = add_unit_diag(ctx.unit.csr.as_ref(), &ctx.unit.values);
-            (Rc::new(csr), vals)
+        // ---- multi-grained structure construction, one trait call per
+        // level (see crate::pooling for the operator contract) ----
+        let mut state = PoolState {
+            topo: ctx.graph.clone(),
+            weighted: {
+                let (csr, vals) = add_unit_diag(ctx.unit.csr.as_ref(), &ctx.unit.values);
+                (Rc::new(csr), vals)
+            },
+            h_prev: h0,
+            s_chain: Vec::new(),
         };
-        let mut h_prev = h0;
-        let mut s_chain: Vec<(Rc<Csr>, Var)> = Vec::new();
         let mut unpooled: Vec<Var> = Vec::new();
         let mut levels: Vec<LevelState> = Vec::new();
         let mut egos_l1: Rc<Vec<usize>> = Rc::new(Vec::new());
+        let mut aux: Option<Var> = None;
         let mut recorded = FrozenStructure::default();
+        let op = self.pool.as_dyn();
 
         for (k, level_gcn) in self.level_gcns.iter().enumerate() {
             if let Some(fs) = frozen {
@@ -250,122 +277,26 @@ impl AdamGnn {
                     break; // the reference run stopped pooling here
                 }
             }
-            if topo.num_edges() == 0 {
+            if state.topo.num_edges() == 0 {
                 break; // nothing left to pool
             }
-            let n_prev = topo.n();
-            let pairs = EgoPairs::build(&topo, self.cfg.lambda);
-            if pairs.is_empty() {
-                break;
-            }
-            // per-pair fitness φ (differentiable); its attention
-            // intermediates (per-pair gathers of h) dominate the level's
-            // tape footprint, so they recompute on backward.
-            let fit_scope = ckpt.then(|| tape.begin_checkpoint());
-            let phi = pair_fitness_with(
-                tape,
-                bind,
-                &self.fit,
-                &pairs,
-                h_prev,
-                n_prev,
-                self.cfg.linearity,
-            );
-            if let Some(scope) = fit_scope {
-                tape.end_checkpoint(scope, &[phi]);
-            }
-            let phi_data: Vec<f64> = tape.value(phi).data().to_vec();
-            // adaptive ego selection (discrete; pinned on frozen replays)
-            let egos = match frozen {
-                Some(fs) => fs.levels[k].egos.clone(),
-                None => {
-                    let ego_phi = ego_fitness(&pairs, &phi_data, n_prev);
-                    select_egos(&topo, &ego_phi)
-                }
+            let frozen_level = frozen.map(|fs| &fs.levels[k]);
+            let Some(out) = op.pool_level(tape, bind, k, level_gcn, &mut state, ckpt, frozen_level)
+            else {
+                break; // the operator could not pool this level
             };
-            if egos.is_empty() {
-                break; // all-tied fitness: no strict local maximum
-            }
             if k == 0 {
-                egos_l1 = Rc::new(egos.clone());
+                egos_l1 = Rc::new(out.level.egos.clone());
             }
-            let plan = build_s_plan(&topo, &pairs, &phi_data, self.cfg.lambda, &egos);
-            // pooling block: S_k assembly, hyper features, the level GCN
-            // and the unpool chain. Only its three outputs stay resident.
-            let pool_scope = ckpt.then(|| tape.begin_checkpoint());
-            // S_k values on the tape: φ entries + constant ones
-            let phi_ext = with_unit_row(tape, phi);
-            let gather_idx: Vec<usize> = plan
-                .sources
-                .iter()
-                .map(|s| match s {
-                    ValueSource::Pair(p) => *p,
-                    ValueSource::One => pairs.len(),
-                })
-                .collect();
-            let s_col = tape.gather_rows(phi_ext, Rc::new(gather_idx));
-            let s_vals = tape.reshape(s_col, 1, plan.csr.nnz());
-            let s_csr = Rc::new(plan.csr.clone());
-
-            // hyper-node features (Eq. 3)
-            let x_next = self.hyper_features(tape, bind, &plan, phi, h_prev);
-
-            // hyper-graph connectivity A_k = S_kᵀ Â_{k-1} S_k (detached;
-            // pinned on frozen replays)
-            let (norm, next_topo) = match frozen {
-                Some(fs) => (fs.levels[k].norm.clone(), fs.levels[k].next_topo.clone()),
-                None => {
-                    let s_vals_data: Vec<f64> = tape.value(s_vals).data().to_vec();
-                    // Take the transpose from `s_csr` (the Rc instance the
-                    // tape ops hold), not `plan.csr`: transpose_struct warms
-                    // the lazy transpose cache, and warming the shared
-                    // instance lets every spmm_t in this level's backward
-                    // pass reuse it.
-                    let (st_csr, perm) = s_csr.transpose_struct();
-                    let st_vals: Vec<f64> = perm.iter().map(|&p| s_vals_data[p]).collect();
-                    let (tmp_csr, tmp_vals) = st_csr.spgemm(&st_vals, &weighted.0, &weighted.1);
-                    let (ak_csr, ak_vals) = tmp_csr.spgemm(&tmp_vals, &plan.csr, &s_vals_data);
-                    let next_topo = Rc::new(topology_of(&ak_csr));
-                    let norm = gcn_norm_weighted(&ak_csr, &ak_vals);
-                    let (next_w_csr, next_w_vals) = add_unit_diag(&ak_csr, &ak_vals);
-                    weighted = (Rc::new(next_w_csr), next_w_vals);
-                    (norm, next_topo)
-                }
-            };
-
-            // GCN on the hyper-graph
-            let adj_vals =
-                tape.constant(Matrix::from_vec(1, norm.values.len(), norm.values.clone()));
-            let h_k = level_gcn.forward_adj(tape, bind, norm.csr.clone(), adj_vals, x_next);
-
-            // unpool Ĥ_k = S_1 (S_2 (… S_k H_k)) (Section 3.3)
-            s_chain.push((s_csr.clone(), s_vals));
-            let mut up = h_k;
-            for (csr, vals) in s_chain.iter().rev() {
-                up = tape.spmm(csr.clone(), *vals, up);
+            if let Some(a) = out.aux {
+                aux = Some(match aux {
+                    Some(acc) => tape.add(acc, a),
+                    None => a,
+                });
             }
-            if let Some(scope) = pool_scope {
-                tape.end_checkpoint(scope, &[s_vals, h_k, up]);
-            }
-            unpooled.push(up);
-
-            levels.push(LevelState {
-                s_csr,
-                s_vals,
-                egos: egos.clone(),
-                size: plan.m(),
-                col_base: plan.col_base.clone(),
-            });
-            recorded.levels.push(FrozenLevel {
-                egos,
-                norm,
-                next_topo: next_topo.clone(),
-            });
-
-            // advance to the next granularity level
-            topo = next_topo;
-            h_prev = h_k;
-            let _ = plan;
+            unpooled.push(out.unpooled);
+            levels.push(out.level);
+            recorded.levels.push(out.frozen);
         }
 
         // ---- flyback aggregation (Eq. 4) ----
@@ -403,55 +334,10 @@ impl AdamGnn {
                 beta,
                 egos_l1,
                 levels,
+                aux,
             },
             recorded,
         )
-    }
-
-    /// Hyper-node feature initialisation (Eq. 3): ego representation plus
-    /// the attention-weighted members' representations.
-    fn hyper_features(
-        &self,
-        tape: &Tape,
-        bind: &Binding,
-        plan: &SPlan,
-        phi: Var,
-        h_prev: Var,
-    ) -> Var {
-        let m = plan.m();
-        let base = tape.gather_rows(h_prev, Rc::new(plan.col_base.clone()));
-        if plan.member_pairs.is_empty() {
-            return base;
-        }
-        let members: Rc<Vec<usize>> =
-            Rc::new(plan.member_pairs.iter().map(|&(j, _, _)| j).collect());
-        let ego_cols: Rc<Vec<usize>> =
-            Rc::new(plan.member_pairs.iter().map(|&(_, c, _)| c).collect());
-        let pair_ks: Rc<Vec<usize>> =
-            Rc::new(plan.member_pairs.iter().map(|&(_, _, k)| k).collect());
-        let ego_nodes: Rc<Vec<usize>> = Rc::new(
-            plan.member_pairs
-                .iter()
-                .map(|&(_, c, _)| plan.col_base[c])
-                .collect(),
-        );
-
-        let h_mem = tape.gather_rows(h_prev, members);
-        let phi_sel = tape.gather_rows(phi, pair_ks);
-        // score = a₁ᵀ σ(W (φ_ij h_j)) + a₂ᵀ σ(h_i)
-        let scaled = tape.mul_col(h_mem, phi_sel);
-        let u = tape.leaky_relu(tape.matmul(scaled, bind.var(self.init_att.w)), ATT_SLOPE);
-        let s_lhs = tape.matmul(u, bind.var(self.init_att.a_lhs));
-        let rhs_nodes = tape.matmul(
-            tape.leaky_relu(h_prev, ATT_SLOPE),
-            bind.var(self.init_att.a_rhs),
-        );
-        let s_rhs = tape.gather_rows(rhs_nodes, ego_nodes);
-        let e = tape.add(s_lhs, s_rhs);
-        let alpha = tape.segment_softmax(e, ego_cols.clone(), m);
-        let weighted = tape.mul_col(h_mem, alpha);
-        let contrib = tape.segment_sum(weighted, ego_cols, m);
-        tape.add(base, contrib)
     }
 }
 
@@ -459,7 +345,17 @@ impl AdamGnn {
 mod tests {
     use super::*;
     use mg_nn::testkit::{seeds, two_community_ctx};
+    use mg_tensor::Matrix;
     use rand::SeedableRng;
+
+    /// The default operator's concrete parameters (fitness + init
+    /// attention), for gradient-reachability assertions.
+    fn adam_pooling(model: &AdamGnn) -> &crate::pooling::AdamGnnPooling {
+        match model.pooling() {
+            PoolingOp::AdamGnn(p) => p,
+            _ => panic!("default operator expected"),
+        }
+    }
 
     fn small_model(levels: usize, flyback: bool) -> (ParamStore, AdamGnn) {
         let mut store = ParamStore::new();
@@ -543,11 +439,12 @@ mod tests {
         let out = model.forward(&tape, &bind, &ctx, true, &mut seeds::forward_rng());
         let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
         let grads = tape.backward(loss);
+        let pool = adam_pooling(&model);
         for p in [
-            model.fit.w,
-            model.fit.a_lhs,
-            model.fit.a_rhs,
-            model.init_att.w,
+            pool.fit.w,
+            pool.fit.a_lhs,
+            pool.fit.a_rhs,
+            pool.init_att.w,
             model.fly.w,
             model.fly.a_lhs,
             model.fly.a_rhs,
@@ -578,7 +475,7 @@ mod tests {
         let (ctx, _) = two_community_ctx();
         let (store, model) = small_model(2, true);
         let run = |on: bool| {
-            crate::ckpt::with_ckpt_tape(on, || {
+            crate::overrides::with_ckpt_tape(on, || {
                 let tape = Tape::new();
                 let bind = store.bind(&tape);
                 let out = model.forward(&tape, &bind, &ctx, true, &mut seeds::forward_rng());
@@ -611,6 +508,117 @@ mod tests {
         );
     }
 
+    fn rival_model(kind: PoolingKind, levels: usize) -> (ParamStore, AdamGnn) {
+        let mut store = ParamStore::new();
+        let mut cfg = AdamGnnConfig::new(8, 12, levels);
+        cfg.dropout = 0.0;
+        cfg.pooling = kind;
+        let model = AdamGnn::new(&mut store, cfg, &mut seeds::model_init_alt());
+        (store, model)
+    }
+
+    #[test]
+    fn rival_operators_forward_and_backward() {
+        let (ctx, _) = two_community_ctx();
+        for kind in [PoolingKind::Asap, PoolingKind::SpaPool] {
+            let (store, model) = rival_model(kind, 2);
+            assert_eq!(model.pooling().kind(), kind);
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
+            assert_eq!(tape.shape(out.h), (8, 12), "{kind:?}");
+            assert!(!out.unpooled.is_empty(), "{kind:?} must pool");
+            for &up in &out.unpooled {
+                assert_eq!(tape.shape(up), (8, 12), "{kind:?} unpooled shape");
+            }
+            let mut prev = ctx.n();
+            for level in &out.levels {
+                assert!(level.size <= prev, "{kind:?} levels must not grow");
+                assert_eq!(level.egos.len(), level.col_base.len().min(level.egos.len()));
+                prev = level.size;
+            }
+            match kind {
+                PoolingKind::SpaPool => assert!(out.aux.is_some(), "SpaPool has entropy aux"),
+                _ => assert!(out.aux.is_none(), "{kind:?} has no aux"),
+            }
+            let mut loss = tape.mean_all(tape.mul_elem(out.h, out.h));
+            if let Some(aux) = out.aux {
+                loss = tape.add(loss, aux);
+            }
+            assert!(
+                tape.value(loss).scalar().is_finite(),
+                "{kind:?} loss finite"
+            );
+            let grads = tape.backward(loss);
+            for p in store.param_ids() {
+                assert!(
+                    grads.get(bind.var(p)).is_some(),
+                    "{kind:?}: no gradient for {}",
+                    store.name(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_operator_frozen_replay_is_bitwise_identical() {
+        let (ctx, _) = two_community_ctx();
+        for kind in PoolingKind::ALL {
+            let (store, model) = rival_model(kind, 2);
+            let tape = Tape::new();
+            let bind = store.bind(&tape);
+            let (out, fs) =
+                model.forward_recorded(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
+            assert_eq!(fs.levels.len(), out.levels.len());
+            let tape2 = Tape::new();
+            let bind2 = store.bind(&tape2);
+            let out2 = model.forward_frozen(&tape2, &bind2, &ctx, &fs);
+            assert_eq!(
+                tape.value_cloned(out.h),
+                tape2.value_cloned(out2.h),
+                "{kind:?}: frozen replay must reproduce the recording"
+            );
+            assert_eq!(out2.levels.len(), out.levels.len(), "{kind:?}");
+            for (a, b) in out.levels.iter().zip(&out2.levels) {
+                assert_eq!(a.egos, b.egos, "{kind:?}: frozen egos pinned");
+            }
+        }
+    }
+
+    #[test]
+    fn rival_operators_respect_checkpoint_scopes() {
+        let (ctx, _) = two_community_ctx();
+        for kind in [PoolingKind::Asap, PoolingKind::SpaPool] {
+            let (store, model) = rival_model(kind, 2);
+            let run = |on: bool| {
+                crate::overrides::with_ckpt_tape(on, || {
+                    let tape = Tape::new();
+                    let bind = store.bind(&tape);
+                    let out = model.forward(&tape, &bind, &ctx, false, &mut seeds::forward_rng());
+                    let mut loss = tape.mean_all(tape.mul_elem(out.h, out.h));
+                    if let Some(aux) = out.aux {
+                        loss = tape.add(loss, aux);
+                    }
+                    let grads = tape.backward(loss);
+                    let gbits: Vec<Matrix> = store
+                        .param_ids()
+                        .into_iter()
+                        .filter_map(|p| grads.get(bind.var(p)).cloned())
+                        .collect();
+                    (tape.value_cloned(loss), gbits, tape.peak_tape_bytes())
+                })
+            };
+            let (loss_r, grads_r, peak_r) = run(false);
+            let (loss_c, grads_c, peak_c) = run(true);
+            assert_eq!(loss_r, loss_c, "{kind:?}: loss bitwise identical");
+            assert_eq!(grads_r, grads_c, "{kind:?}: gradients bitwise identical");
+            assert!(
+                peak_c < peak_r,
+                "{kind:?}: checkpointing must lower the high-water mark ({peak_c} >= {peak_r})"
+            );
+        }
+    }
+
     #[test]
     fn s_values_receive_gradients() {
         // gradients must reach φ through the unpooling chain (S values)
@@ -622,7 +630,9 @@ mod tests {
         let loss = tape.mean_all(tape.mul_elem(out.h, out.h));
         let grads = tape.backward(loss);
         // the fitness attention params feed φ feed S feed Ĥ feed loss
-        let g = grads.get(bind.var(model.fit.a_lhs)).expect("fitness grad");
+        let g = grads
+            .get(bind.var(adam_pooling(&model).fit.a_lhs))
+            .expect("fitness grad");
         assert!(g.max_abs() > 0.0, "fitness gradient must be non-zero");
     }
 }

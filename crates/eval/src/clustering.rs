@@ -147,22 +147,11 @@ pub fn bce_pair_batch(
     Ok((pairs, labels))
 }
 
-/// Train embeddings unsupervised (reconstruction BCE + γ·KL for AdamGNN),
-/// cluster with k-means and return NMI against the class labels.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::NodeClustering(kind), cfg).run(ds)"
-)]
-pub fn run_node_clustering(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> f64 {
-    node_clustering_session(kind, ds, cfg, &CkptHooks::none())
-        .expect("node clustering failed")
-        .0
-}
-
-/// The clustering trainer behind [`crate::TrainSession`]. With empty
-/// hooks this is the historical `run_node_clustering`, bit for bit; it
-/// additionally reports a per-epoch loss trace whose rows carry
-/// `val = NaN` (the unsupervised loop has no validation metric).
+/// The clustering trainer behind [`crate::TrainSession`]: trains
+/// embeddings unsupervised (reconstruction BCE + γ·KL for AdamGNN),
+/// clusters with k-means and returns NMI against the class labels. It
+/// also reports a per-epoch loss trace whose rows carry `val = NaN`
+/// (the unsupervised loop has no validation metric).
 pub(crate) fn node_clustering_session(
     kind: NodeModelKind,
     ds: &NodeDataset,
@@ -216,7 +205,7 @@ pub(crate) fn node_clustering_session(
         let (pairs, labels) = bce_pair_batch(&ds.graph, &pos, &mut rng)?;
         let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
         let mut kl_term = None;
-        let loss = match &internals {
+        let mut loss = match &internals {
             Some(out) if cfg.weights.gamma != 0.0 => {
                 let kl = kl_loss(&tape, out.h, &out.egos_l1);
                 kl_term = Some(kl);
@@ -224,6 +213,11 @@ pub(crate) fn node_clustering_session(
             }
             _ => task,
         };
+        // operator-specific auxiliary term (None for the default
+        // operator, keeping the historical composition unchanged)
+        if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+            loss = tape.add(loss, aux);
+        }
         let loss_value = tape.value(loss).scalar();
         let mut grads = tape.backward(loss);
         let step_obs = obs.enabled().then(|| {

@@ -36,60 +36,9 @@ pub fn build_contexts(ds: &GraphDataset) -> Vec<(GraphCtx, usize)> {
         .collect()
 }
 
-/// Train one model on one dataset; returns accuracy and epoch timing.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::GraphClassification(kind), cfg).run(ds)"
-)]
-pub fn run_graph_classification(
-    kind: GraphModelKind,
-    ds: &GraphDataset,
-    cfg: &TrainConfig,
-) -> GcRunResult {
-    let contexts = build_contexts(ds);
-    graph_classification_session(kind, &contexts, ds.feat_dim, cfg, &CkptHooks::none())
-        .expect("graph classification failed")
-        .0
-}
-
-/// As [`run_graph_classification`] but with caller-provided contexts (so
-/// the timing harness excludes dataset preparation).
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession with SessionInput::Prebuilt { contexts, feat_dim }"
-)]
-pub fn run_graph_classification_prebuilt(
-    kind: GraphModelKind,
-    contexts: &[(GraphCtx, usize)],
-    feat_dim: usize,
-    cfg: &TrainConfig,
-) -> GcRunResult {
-    graph_classification_session(kind, contexts, feat_dim, cfg, &CkptHooks::none())
-        .expect("graph classification failed")
-        .0
-}
-
-/// As [`run_graph_classification_prebuilt`], also returning the per-epoch
-/// trace (epoch loss = mean over mini-batches of the batch-mean loss).
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession with SessionInput::Prebuilt { contexts, feat_dim }"
-)]
-pub fn run_graph_classification_traced(
-    kind: GraphModelKind,
-    contexts: &[(GraphCtx, usize)],
-    feat_dim: usize,
-    cfg: &TrainConfig,
-) -> (GcRunResult, TrainTrace) {
-    let (res, trace, _) =
-        graph_classification_session(kind, contexts, feat_dim, cfg, &CkptHooks::none())
-            .expect("graph classification failed");
-    (res, trace)
-}
-
-/// The graph-classification trainer behind [`crate::TrainSession`]. With
-/// empty hooks this is the historical `run_graph_classification_traced`,
-/// bit for bit. Also returns the number of epochs actually run.
+/// The graph-classification trainer behind [`crate::TrainSession`]
+/// (epoch loss = mean over mini-batches of the batch-mean loss). Also
+/// returns the number of epochs actually run.
 pub(crate) fn graph_classification_session(
     kind: GraphModelKind,
     contexts: &[(GraphCtx, usize)],
@@ -148,6 +97,7 @@ pub(crate) fn graph_classification_session(
         levels: cfg.levels,
         gamma: cfg.weights.gamma,
         delta: cfg.weights.delta,
+        pooling: cfg.pooling.name().to_string(),
     });
 
     for epoch in start_epoch..cfg.epochs {

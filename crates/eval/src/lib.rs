@@ -17,23 +17,12 @@ pub mod tables;
 mod telemetry;
 pub mod trace;
 
-#[allow(deprecated)]
-pub use clustering::run_node_clustering;
 pub use clustering::{bce_pair_batch, kmeans, nmi};
 pub use graph_tasks::{build_contexts, GcRunResult};
-#[allow(deprecated)]
-pub use graph_tasks::{
-    run_graph_classification, run_graph_classification_prebuilt, run_graph_classification_traced,
-};
 pub use infer::FrozenModel;
 pub use metrics::{accuracy, mean_std, pair_scores, roc_auc};
 pub use minibatch::{sampled_epochs_streamed, MinibatchConfig, StreamedEpoch};
 pub use models::{AnyNodeModel, GraphModelKind, NodeModelKind};
-#[allow(deprecated)]
-pub use node_tasks::{
-    run_link_prediction, run_link_prediction_traced, run_node_classification,
-    run_node_classification_traced,
-};
 pub use node_tasks::{RunResult, TrainConfig};
 pub use session::{RunOutcome, SessionInput, SessionKind, TrainSession};
 pub use tables::{auc, pct, TextTable};

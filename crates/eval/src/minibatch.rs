@@ -180,7 +180,7 @@ pub(crate) fn node_classification_minibatch(
             let (logits, internals) = model.forward(&tape, &bind, &sub_ctx, true, &mut rng);
             let seed_locals: Vec<usize> = sub.seed_locals().collect();
             let task = tape.cross_entropy(logits, Rc::new(sub_labels), Rc::new(seed_locals));
-            let loss = match &internals {
+            let mut loss = match &internals {
                 Some(out) => {
                     let kl = if weights.gamma != 0.0 {
                         kl_loss(&tape, out.h, &out.egos_l1)
@@ -196,6 +196,11 @@ pub(crate) fn node_classification_minibatch(
                 }
                 None => task,
             };
+            // operator-specific auxiliary term (None for the default
+            // operator, keeping the historical composition unchanged)
+            if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+                loss = tape.add(loss, aux);
+            }
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);
@@ -405,13 +410,18 @@ pub(crate) fn link_prediction_minibatch(
                 }
             }
             let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
-            let loss = match &internals {
+            let mut loss = match &internals {
                 Some(out) if weights.gamma != 0.0 => {
                     let kl = kl_loss(&tape, out.h, &out.egos_l1);
                     tape.add(task, tape.scale(kl, weights.gamma))
                 }
                 _ => task,
             };
+            // operator-specific auxiliary term (None for the default
+            // operator, keeping the historical composition unchanged)
+            if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+                loss = tape.add(loss, aux);
+            }
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             store.step(&mut grads, &bind, &adam);
@@ -573,7 +583,7 @@ pub fn sampled_epochs_streamed(
             let (logits, internals) = model.forward(&tape, &bind, &sub_ctx, true, &mut rng);
             let seed_locals: Vec<usize> = sub.seed_locals().collect();
             let task = tape.cross_entropy(logits, Rc::new(sub_labels), Rc::new(seed_locals));
-            let loss = match &internals {
+            let mut loss = match &internals {
                 Some(out) => {
                     let kl = if weights.gamma != 0.0 {
                         kl_loss(&tape, out.h, &out.egos_l1)
@@ -589,6 +599,11 @@ pub fn sampled_epochs_streamed(
                 }
                 None => task,
             };
+            // operator-specific auxiliary term (None for the default
+            // operator, keeping the historical composition unchanged)
+            if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+                loss = tape.add(loss, aux);
+            }
             let loss_value = tape.value(loss).scalar();
             if !loss_value.is_finite() {
                 return Err(MgError::InvalidInput {

@@ -76,7 +76,8 @@ impl NodeModelKind {
             NodeModelKind::AdamGnn => {
                 let mut mcfg = AdamGnnConfig::new(in_dim, hidden, levels);
                 mcfg.flyback = cfg.flyback;
-                AnyNodeModel::Adam(AdamGnnNode::new(store, mcfg, out_dim, rng))
+                mcfg.pooling = cfg.pooling;
+                AnyNodeModel::Adam(Box::new(AdamGnnNode::new(store, mcfg, out_dim, rng)))
             }
         }
     }
@@ -86,7 +87,7 @@ impl NodeModelKind {
 /// composite loss needs the forward internals.
 pub enum AnyNodeModel {
     Plain(Box<dyn NodeEncoder>),
-    Adam(AdamGnnNode),
+    Adam(Box<AdamGnnNode>),
 }
 
 impl AnyNodeModel {
@@ -265,6 +266,7 @@ impl GraphModelKind {
                 let mut mcfg = AdamGnnConfig::new(in_dim, hidden, levels);
                 mcfg.dropout = 0.2;
                 mcfg.flyback = cfg.flyback;
+                mcfg.pooling = cfg.pooling;
                 Box::new(AdamGnnGc::with_weights(
                     store,
                     mcfg,

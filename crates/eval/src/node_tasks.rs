@@ -7,7 +7,7 @@ use crate::models::NodeModelKind;
 use crate::session::{self, CkptHooks};
 use crate::telemetry;
 use crate::trace::TrainTrace;
-use adamgnn_core::{kl_loss, reconstruction_loss, total_loss, LossWeights};
+use adamgnn_core::{kl_loss, reconstruction_loss, total_loss, LossWeights, PoolingKind};
 use mg_ckpt::{CkptMeta, TrainState};
 use mg_data::{LinkSplit, NodeDataset, Split};
 use mg_nn::GraphCtx;
@@ -31,6 +31,7 @@ pub(crate) fn run_meta(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig)
         levels: cfg.levels,
         gamma: cfg.weights.gamma,
         delta: cfg.weights.delta,
+        pooling: cfg.pooling.name().to_string(),
     }
 }
 
@@ -49,6 +50,9 @@ pub struct TrainConfig {
     pub weights: LossWeights,
     /// AdamGNN flyback aggregator toggle (Table 5 ablation).
     pub flyback: bool,
+    /// Pooling operator AdamGNN models coarsen with (Table-4 rivals run
+    /// behind the same trait). Ignored by the flat baselines.
+    pub pooling: PoolingKind,
 }
 
 impl Default for TrainConfig {
@@ -62,6 +66,7 @@ impl Default for TrainConfig {
             seed: 0,
             weights: LossWeights::default(),
             flyback: true,
+            pooling: adamgnn_core::pooling_env_default(),
         }
     }
 }
@@ -77,40 +82,8 @@ pub struct RunResult {
     pub epochs_run: usize,
 }
 
-/// Train a node classifier and report test accuracy at best validation.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::NodeClassification(kind), cfg).run(ds)"
-)]
-pub fn run_node_classification(
-    kind: NodeModelKind,
-    ds: &NodeDataset,
-    cfg: &TrainConfig,
-) -> RunResult {
-    node_classification_session(kind, ds, cfg, &CkptHooks::none())
-        .expect("node classification failed")
-        .0
-}
-
-/// As [`run_node_classification`], also returning the per-epoch
-/// loss/validation trace. Tracing is pure observation — the run is
-/// bit-identical to the untraced trainer.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::NodeClassification(kind), cfg).run(ds)"
-)]
-pub fn run_node_classification_traced(
-    kind: NodeModelKind,
-    ds: &NodeDataset,
-    cfg: &TrainConfig,
-) -> (RunResult, TrainTrace) {
-    node_classification_session(kind, ds, cfg, &CkptHooks::none())
-        .expect("node classification failed")
-}
-
 /// The node-classification trainer behind [`crate::TrainSession`]. With
-/// empty hooks this is the historical `run_node_classification_traced`,
-/// bit for bit.
+/// empty hooks this is the historical traced trainer, bit for bit.
 pub(crate) fn node_classification_session(
     kind: NodeModelKind,
     ds: &NodeDataset,
@@ -179,7 +152,7 @@ pub(crate) fn node_classification_session(
             let task = tape.cross_entropy(logits, targets.clone(), train_nodes.clone());
             let mut kl_term = None;
             let mut recon_term = None;
-            let loss = match &internals {
+            let mut loss = match &internals {
                 Some(out) => {
                     let kl = if weights.gamma != 0.0 {
                         kl_loss(&tape, out.h, &out.egos_l1)
@@ -197,6 +170,11 @@ pub(crate) fn node_classification_session(
                 }
                 None => task,
             };
+            // operator-specific auxiliary term (None for the default
+            // operator, keeping the historical composition unchanged)
+            if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+                loss = tape.add(loss, aux);
+            }
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             // telemetry reads gradients before the optimiser consumes them
@@ -290,36 +268,11 @@ pub(crate) fn node_classification_session(
     ))
 }
 
-/// Train a link-prediction model and report test ROC-AUC at best
-/// validation. The encoder output is an embedding decoded by inner
-/// products; the task loss is the sampled reconstruction BCE (which for
-/// AdamGNN *is* `L_R`, so its total is `L_R + γ L_KL` as in the paper).
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::LinkPrediction(kind), cfg).run(ds)"
-)]
-pub fn run_link_prediction(kind: NodeModelKind, ds: &NodeDataset, cfg: &TrainConfig) -> RunResult {
-    link_prediction_session(kind, ds, cfg, &CkptHooks::none())
-        .expect("link prediction failed")
-        .0
-}
-
-/// As [`run_link_prediction`], also returning the per-epoch trace.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(SessionKind::LinkPrediction(kind), cfg).run(ds)"
-)]
-pub fn run_link_prediction_traced(
-    kind: NodeModelKind,
-    ds: &NodeDataset,
-    cfg: &TrainConfig,
-) -> (RunResult, TrainTrace) {
-    link_prediction_session(kind, ds, cfg, &CkptHooks::none()).expect("link prediction failed")
-}
-
 /// The link-prediction trainer behind [`crate::TrainSession`]. With
-/// empty hooks this is the historical `run_link_prediction_traced`, bit
-/// for bit.
+/// empty hooks this is the historical traced trainer, bit for bit.
+/// The encoder output is an embedding decoded by inner products; the
+/// task loss is the sampled reconstruction BCE (which for AdamGNN *is*
+/// `L_R`, so its total is `L_R + γ L_KL` as in the paper).
 pub(crate) fn link_prediction_session(
     kind: NodeModelKind,
     ds: &NodeDataset,
@@ -407,7 +360,7 @@ pub(crate) fn link_prediction_session(
             }
             let task = tape.bce_pairs(h, Rc::new(pairs), Rc::new(labels));
             let mut kl_term = None;
-            let loss = match &internals {
+            let mut loss = match &internals {
                 Some(out) if weights.gamma != 0.0 => {
                     // LP: L = L_R + γ L_KL (task loss already equals L_R)
                     let kl = kl_loss(&tape, out.h, &out.egos_l1);
@@ -416,6 +369,11 @@ pub(crate) fn link_prediction_session(
                 }
                 _ => task,
             };
+            // operator-specific auxiliary term (None for the default
+            // operator, keeping the historical composition unchanged)
+            if let Some(aux) = internals.as_ref().and_then(|o| o.aux) {
+                loss = tape.add(loss, aux);
+            }
             let loss_value = tape.value(loss).scalar();
             let mut grads = tape.backward(loss);
             let step_obs = obs.enabled().then(|| {
@@ -593,19 +551,23 @@ mod tests {
         assert!(res.test_metric > 0.6, "auc = {}", res.test_metric);
     }
 
-    /// The deprecated wrappers must return exactly what the session API
-    /// returns (they are the compatibility surface pinning the goldens).
+    /// Two sessions with identical configuration must agree bit for bit
+    /// (the determinism contract the goldens rely on).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_session() {
+    fn repeated_session_is_bitwise_repeatable() {
         let ds = tiny_ds();
         let cfg = fast_cfg();
-        let old = run_node_classification(NodeModelKind::Gcn, &ds, &cfg);
-        let new = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
+        let a = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
             .run(&ds)
             .unwrap();
-        assert_eq!(old.test_metric.to_bits(), new.test_metric.to_bits());
-        assert_eq!(old.val_metric.to_bits(), new.val_metric.unwrap().to_bits());
-        assert_eq!(old.epochs_run, new.epochs_run);
+        let b = TrainSession::new(SessionKind::NodeClassification(NodeModelKind::Gcn), &cfg)
+            .run(&ds)
+            .unwrap();
+        assert_eq!(a.test_metric.to_bits(), b.test_metric.to_bits());
+        assert_eq!(
+            a.val_metric.unwrap().to_bits(),
+            b.val_metric.unwrap().to_bits()
+        );
+        assert_eq!(a.epochs_run, b.epochs_run);
     }
 }

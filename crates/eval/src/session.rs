@@ -17,9 +17,9 @@
 //! .unwrap();
 //! ```
 //!
-//! The old functions survive as thin `#[deprecated]` wrappers so that
-//! existing callers (and mg-verify's pinned goldens) keep compiling and
-//! keep producing bit-identical results.
+//! The old functions were deprecated in 0.5.0 and removed in 0.10.0 —
+//! every caller (including mg-verify's pinned goldens) now routes
+//! through `TrainSession`, which reproduces them bit for bit.
 //!
 //! ## Checkpointing contract
 //!
@@ -318,7 +318,7 @@ impl TrainSession {
 
 /// Checkpoint/resume wiring threaded into the task trainers. With all
 /// fields `None` the trainers behave exactly as before the session API
-/// existed — the deprecated wrappers rely on this.
+/// existed — checkpointing is pure observation.
 pub(crate) struct CkptHooks<'a> {
     pub every: Option<usize>,
     pub path: Option<&'a Path>,
@@ -327,6 +327,7 @@ pub(crate) struct CkptHooks<'a> {
 
 impl CkptHooks<'_> {
     /// No checkpointing, no resume.
+    #[cfg(test)]
     pub fn none() -> CkptHooks<'static> {
         CkptHooks {
             every: None,
@@ -359,6 +360,7 @@ pub(crate) fn to_ckpt_config(cfg: &TrainConfig) -> CkptConfig {
         gamma: cfg.weights.gamma,
         delta: cfg.weights.delta,
         flyback: cfg.flyback,
+        pooling: cfg.pooling,
     }
 }
 
@@ -376,6 +378,7 @@ pub(crate) fn from_ckpt_config(c: &CkptConfig) -> TrainConfig {
             delta: c.delta,
         },
         flyback: c.flyback,
+        pooling: c.pooling,
     }
 }
 
@@ -475,9 +478,66 @@ mod tests {
                 delta: 0.3,
             },
             flyback: false,
+            pooling: adamgnn_core::PoolingKind::Asap,
         };
         let back = from_ckpt_config(&to_ckpt_config(&cfg));
         assert_eq!(to_ckpt_config(&back), to_ckpt_config(&cfg));
+    }
+
+    /// A checkpoint trained under one pooling operator holds that
+    /// operator's parameters; resuming it under another must be a typed
+    /// mismatch, never a silent reinterpretation of the weights.
+    #[test]
+    fn resume_under_different_pooling_operator_is_a_mismatch() {
+        let ds = mg_data::make_node_dataset(
+            mg_data::NodeDatasetKind::Cora,
+            &mg_data::NodeGenConfig {
+                scale: 0.05,
+                max_feat_dim: 16,
+                seed: 7,
+            },
+        );
+        let dir = std::env::temp_dir().join("mg_session_pooling_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adamgnn.mgck");
+        let cfg = TrainConfig {
+            epochs: 2,
+            patience: 2,
+            hidden: 8,
+            levels: 2,
+            seed: 3,
+            pooling: adamgnn_core::PoolingKind::AdamGnn,
+            ..Default::default()
+        };
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &cfg,
+        )
+        .checkpoint_to(&path)
+        .run(&ds)
+        .unwrap();
+        let other = TrainConfig {
+            epochs: 4,
+            pooling: adamgnn_core::PoolingKind::Asap,
+            ..cfg
+        };
+        let err = TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &other,
+        )
+        .resume_from(&path)
+        .run(&ds);
+        assert!(matches!(err, Err(MgError::Mismatch { .. })), "{err:?}");
+        // same operator, larger budget: a legitimate continuation
+        let cont = TrainConfig { epochs: 4, ..cfg };
+        TrainSession::new(
+            SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+            &cont,
+        )
+        .resume_from(&path)
+        .run(&ds)
+        .expect("same-operator resume continues");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct RunMeta {
     pub gamma: f64,
     /// Reconstruction weight δ of the composite objective.
     pub delta: f64,
+    /// Pooling operator tag (`adamgnn`/`asap`/`spapool`). Flat baselines
+    /// record the configured default — only AdamGNN models act on it.
+    pub pooling: String,
 }
 
 impl RunMeta {
@@ -36,7 +39,7 @@ impl RunMeta {
             "{{\"kind\": \"run_start\", \"task\": {}, \"model\": {}, \"dataset\": {}, \
              \"n_nodes\": {}, \"n_edges\": {}, \"seed\": {}, \"epochs\": {}, \
              \"hidden\": {}, \"levels\": {}, \"gamma\": {}, \"delta\": {}, \
-             \"parallel_feature\": {}}}",
+             \"pooling\": {}, \"parallel_feature\": {}}}",
             string(task),
             string(&self.model),
             string(&self.dataset),
@@ -48,6 +51,7 @@ impl RunMeta {
             self.levels,
             number(self.gamma),
             number(self.delta),
+            string(&self.pooling),
             cfg!(feature = "parallel"),
         )
     }
@@ -420,10 +424,12 @@ mod tests {
             levels: 2,
             gamma: 0.1,
             delta: 0.01,
+            pooling: "asap".into(),
         };
         let v = Json::parse(&meta.to_json_line("link_prediction")).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("run_start"));
         assert_eq!(v.get("n_edges").unwrap().as_f64(), Some(250.0));
+        assert_eq!(v.get("pooling").unwrap().as_str(), Some("asap"));
         let end = RunEnd {
             epochs_run: 12,
             best_val: Some(0.9),

@@ -290,6 +290,7 @@ mod tests {
             levels: 1,
             gamma: 0.1,
             delta: 0.01,
+            pooling: "adamgnn".into(),
         });
         t.epoch(&epoch_rec(0, 2.0, 0.25));
         t.epoch(&epoch_rec(1, 1.0, 0.75));

@@ -41,6 +41,7 @@ const RUN_START_KEYS: &[&str] = &[
     "levels",
     "gamma",
     "delta",
+    "pooling",
     "parallel_feature",
 ];
 const EPOCH_KEYS: &[&str] = &[
@@ -194,6 +195,7 @@ mod tests {
             levels: 1,
             gamma: 0.0,
             delta: 0.0,
+            pooling: "adamgnn".into(),
         });
         t.epoch(&EpochRecord {
             epoch: 0,

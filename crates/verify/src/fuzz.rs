@@ -3,18 +3,12 @@
 //!
 //! One fixed run per task family (node classification, link prediction,
 //! graph classification) plus seed-parameterised variants for the
-//! differential fuzzer. Every run goes through the traced trainers in
+//! differential fuzzer. Every run goes through [`TrainSession`] in
 //! mg-eval, so a run is fully described by its [`Golden`]: summary
 //! metrics plus the per-epoch loss/metric trace. The serial build's
 //! traces are checked in under `tests/goldens/`; the parallel build (and
 //! every pool width) must reproduce them bit for bit — that is PR 1's
 //! kernel-level determinism guarantee promoted to whole training loops.
-
-// The golden suite deliberately stays on the deprecated `run_*_traced`
-// entry points: the checked-in traces pin the exact behaviour of that
-// compatibility surface, so any drift between the wrappers and the
-// TrainSession internals they delegate to fails here bit for bit.
-#![allow(deprecated)]
 
 use crate::golden::Golden;
 use mg_data::{
@@ -22,8 +16,7 @@ use mg_data::{
     NodeGenConfig,
 };
 use mg_eval::{
-    build_contexts, run_graph_classification_traced, run_link_prediction_traced,
-    run_node_classification_traced, GraphModelKind, MinibatchConfig, NodeModelKind, SessionKind,
+    build_contexts, GraphModelKind, MinibatchConfig, NodeModelKind, SessionInput, SessionKind,
     TrainConfig, TrainSession, TrainTrace,
 };
 use std::path::PathBuf;
@@ -62,16 +55,20 @@ pub fn node_cls_run(variant: u64) -> Golden {
             seed: 11 + variant,
         },
     );
-    let (res, trace) =
-        run_node_classification_traced(NodeModelKind::AdamGnn, &ds, &verify_cfg(1 + variant, 8));
+    let res = TrainSession::new(
+        SessionKind::NodeClassification(NodeModelKind::AdamGnn),
+        &verify_cfg(1 + variant, 8),
+    )
+    .run(&ds)
+    .expect("node classification failed");
     Golden::new(
         format!("node_cls_adamgnn_v{variant}"),
         vec![
             ("test_metric".into(), res.test_metric),
-            ("val_metric".into(), res.val_metric),
+            ("val_metric".into(), res.val_metric.unwrap_or(f64::NAN)),
             ("epochs_run".into(), res.epochs_run as f64),
         ],
-        trace,
+        res.trace,
     )
 }
 
@@ -123,16 +120,20 @@ pub fn link_pred_run(variant: u64) -> Golden {
             seed: 23 + variant,
         },
     );
-    let (res, trace) =
-        run_link_prediction_traced(NodeModelKind::AdamGnn, &ds, &verify_cfg(2 + variant, 6));
+    let res = TrainSession::new(
+        SessionKind::LinkPrediction(NodeModelKind::AdamGnn),
+        &verify_cfg(2 + variant, 6),
+    )
+    .run(&ds)
+    .expect("link prediction failed");
     Golden::new(
         format!("link_pred_adamgnn_v{variant}"),
         vec![
             ("test_metric".into(), res.test_metric),
-            ("val_metric".into(), res.val_metric),
+            ("val_metric".into(), res.val_metric.unwrap_or(f64::NAN)),
             ("epochs_run".into(), res.epochs_run as f64),
         ],
-        trace,
+        res.trace,
     )
 }
 
@@ -149,19 +150,22 @@ pub fn graph_cls_run(variant: u64) -> Golden {
         },
     );
     let contexts = build_contexts(&ds);
-    let (res, trace) = run_graph_classification_traced(
-        GraphModelKind::AdamGnn,
-        &contexts,
-        ds.feat_dim,
+    let res = TrainSession::new(
+        SessionKind::GraphClassification(GraphModelKind::AdamGnn),
         &verify_cfg(3 + variant, 4),
-    );
+    )
+    .run(SessionInput::Prebuilt {
+        contexts: &contexts,
+        feat_dim: ds.feat_dim,
+    })
+    .expect("graph classification failed");
     Golden::new(
         format!("graph_cls_adamgnn_v{variant}"),
         vec![
-            ("test_accuracy".into(), res.test_accuracy),
-            ("val_accuracy".into(), res.val_accuracy),
+            ("test_accuracy".into(), res.test_metric),
+            ("val_accuracy".into(), res.val_metric.unwrap_or(f64::NAN)),
         ],
-        trace,
+        res.trace,
     )
 }
 

@@ -58,8 +58,11 @@ pub struct AuditReport {
     pub task: f64,
     pub kl: f64,
     pub recon: f64,
+    /// Operator-specific auxiliary term at its final weight; zero for
+    /// operators without one.
+    pub aux: f64,
     pub total: f64,
-    /// `|total - (task + γ·kl + δ·recon)| / max(1, |total|)`.
+    /// `|total - (task + γ·kl + δ·recon + aux)| / max(1, |total|)`.
     pub decomposition_err: f64,
 }
 
@@ -82,14 +85,18 @@ impl AuditReport {
         // NaN must count as a failure, hence not `err >= tol`
         if !self.decomposition_err.is_finite() || self.decomposition_err >= cfg.consistency_tol {
             out.push(format!(
-                "loss decomposition inconsistent: total {} vs task {} + γ·kl {} + δ·recon {} (rel err {:.3e})",
-                self.total, self.task, self.kl, self.recon, self.decomposition_err
+                "loss decomposition inconsistent: total {} vs task {} + γ·kl {} + δ·recon {} + aux {} (rel err {:.3e})",
+                self.total, self.task, self.kl, self.recon, self.aux, self.decomposition_err
             ));
         }
-        if !(self.task.is_finite() && self.kl.is_finite() && self.recon.is_finite()) {
+        if !(self.task.is_finite()
+            && self.kl.is_finite()
+            && self.recon.is_finite()
+            && self.aux.is_finite())
+        {
             out.push(format!(
-                "non-finite loss term: task {} kl {} recon {}",
-                self.task, self.kl, self.recon
+                "non-finite loss term: task {} kl {} recon {} aux {}",
+                self.task, self.kl, self.recon, self.aux
             ));
         }
         out
@@ -147,8 +154,9 @@ pub fn audit_node_model(
     let task = tape.value(breakdown.task).scalar();
     let kl = tape.value(breakdown.kl).scalar();
     let recon = tape.value(breakdown.recon).scalar();
+    let aux = breakdown.aux.map_or(0.0, |a| tape.value(a).scalar());
     let total = tape.value(breakdown.total).scalar();
-    let expected = task + weights.gamma * kl + weights.delta * recon;
+    let expected = task + weights.gamma * kl + weights.delta * recon + aux;
     let decomposition_err = (total - expected).abs() / total.abs().max(1.0);
 
     AuditReport {
@@ -156,6 +164,7 @@ pub fn audit_node_model(
         task,
         kl,
         recon,
+        aux,
         total,
         decomposition_err,
     }

@@ -8,7 +8,7 @@
 //! it — a class of bug plain gradcheck is structurally blind to, because
 //! the flip changes the objective and its gradient coherently.
 
-use adamgnn_core::{faults, AdamGnnConfig, AdamGnnNode, LossWeights, ReconPlan};
+use adamgnn_core::{faults, AdamGnnConfig, AdamGnnNode, LossWeights, PoolingKind, ReconPlan};
 use mg_graph::Topology;
 use mg_nn::testkit::seeds;
 use mg_nn::GraphCtx;
@@ -49,11 +49,12 @@ struct Fixture {
     weights: LossWeights,
 }
 
-fn fixture() -> Fixture {
+fn fixture_with(pooling: PoolingKind) -> Fixture {
     let (ctx, labels) = clique_ring_ctx();
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(8, 12, 2);
     cfg.dropout = 0.0;
+    cfg.pooling = pooling;
     let model = AdamGnnNode::new(&mut store, cfg, 2, &mut seeds::model_init());
     let nodes = Rc::new((0..ctx.n()).collect::<Vec<_>>());
     let plan = ReconPlan::sample(&ctx.graph, 17);
@@ -66,6 +67,10 @@ fn fixture() -> Fixture {
         plan,
         weights: LossWeights::default(),
     }
+}
+
+fn fixture() -> Fixture {
+    fixture_with(PoolingKind::AdamGnn)
 }
 
 fn run_audit(f: &Fixture) -> mg_verify::AuditReport {
@@ -122,6 +127,48 @@ fn model_gradients_match_central_differences() {
         report.grad.entries_checked
     );
     assert!(report.grad.entries_checked > 0);
+}
+
+/// The same whole-model audit for each rival operator: ASAP's LEConv
+/// scoring + intra-cluster attention path, and SpaPool's soft assignment
+/// (whose entropy auxiliary joins the objective). Their discrete
+/// selections are pinned by the freeze, so the frozen objective is the
+/// exact function the backward pass differentiates — same contract as
+/// the default operator.
+#[test]
+fn rival_operator_gradients_match_central_differences() {
+    for kind in [PoolingKind::Asap, PoolingKind::SpaPool] {
+        let f = fixture_with(kind);
+        let report = run_audit(&f);
+        assert!(
+            report.ok(&AuditConfig::default()),
+            "{:?} model-level audit failed:\n  {}",
+            kind,
+            report.problems(&AuditConfig::default()).join("\n  ")
+        );
+        assert!(
+            report.grad.max_rel_err < 1e-4 || report.grad.max_abs_err < 1e-4,
+            "{:?} gradient error too large: abs {:.3e} rel {:.3e} over {} entries",
+            kind,
+            report.grad.max_abs_err,
+            report.grad.max_rel_err,
+            report.grad.entries_checked
+        );
+        assert!(report.grad.entries_checked > 0);
+    }
+}
+
+/// SpaPool's auxiliary term must actually be live in the fixture —
+/// otherwise the rival audit above would not be exercising its gradient.
+#[test]
+fn spapool_fixture_has_live_aux_term() {
+    let f = fixture_with(PoolingKind::SpaPool);
+    let report = run_audit(&f);
+    assert!(
+        report.aux != 0.0 && report.aux.is_finite(),
+        "SpaPool aux term inactive: {}",
+        report.aux
+    );
 }
 
 #[test]

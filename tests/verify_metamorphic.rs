@@ -9,7 +9,7 @@
 //! that actually owns it (ego, ego-network member, or retained node).
 
 use adamgnn_core::{
-    decomposed_loss, AdamGnnConfig, AdamGnnGc, AdamGnnNode, LossWeights, ReconPlan,
+    decomposed_loss, AdamGnnConfig, AdamGnnGc, AdamGnnNode, LossWeights, PoolingKind, ReconPlan,
 };
 use mg_graph::Topology;
 use mg_nn::gc::GraphClassifier;
@@ -89,25 +89,35 @@ fn observe(
     observed
 }
 
-fn node_model(n_feat: usize) -> (ParamStore, AdamGnnNode) {
+fn node_model(n_feat: usize, pooling: PoolingKind) -> (ParamStore, AdamGnnNode) {
     let mut store = ParamStore::new();
     let mut cfg = AdamGnnConfig::new(n_feat, 10, 2);
     cfg.dropout = 0.0;
+    cfg.pooling = pooling;
     let model = AdamGnnNode::new(&mut store, cfg, 2, &mut seeds::model_init());
     (store, model)
 }
 
+/// One of the three shipped pooling operators, uniformly — the
+/// metamorphic invariants are claims about the [`Pooling`] trait
+/// contract, so every implementor must satisfy them.
+fn any_pooling() -> impl Strategy<Value = PoolingKind> {
+    (0usize..PoolingKind::ALL.len()).prop_map(|i| PoolingKind::ALL[i])
+}
+
 proptest! {
     /// Node-id permutation permutes embeddings and β rows, maps the ego
-    /// set, and leaves every loss term stable.
+    /// (or anchor/cluster) set, and leaves every loss term stable — for
+    /// every pooling operator behind the trait.
     #[test]
     fn permutation_equivariance_of_embeddings_and_losses(
         (g, x) in graph_and_features(),
+        pooling in any_pooling(),
         pseed in 0u64..10_000,
     ) {
         let n = g.n();
         let perm = random_permutation(n, pseed);
-        let (store, model) = node_model(FEAT);
+        let (store, model) = node_model(FEAT, pooling);
 
         let ctx = GraphCtx::new(g.clone(), x.clone());
         let targets = Rc::new((0..n).map(|i| i % 2).collect::<Vec<_>>());
@@ -159,10 +169,13 @@ proptest! {
     }
 
     /// Satellite: flyback β rows are a probability simplex — entries
-    /// non-negative, each row summing to 1.
+    /// non-negative, each row summing to 1 — whatever operator pooled.
     #[test]
-    fn flyback_beta_rows_form_a_simplex((g, x) in graph_and_features()) {
-        let (store, model) = node_model(FEAT);
+    fn flyback_beta_rows_form_a_simplex(
+        (g, x) in graph_and_features(),
+        pooling in any_pooling(),
+    ) {
+        let (store, model) = node_model(FEAT, pooling);
         let ctx = GraphCtx::new(g, x);
         let tape = Tape::new();
         let bind = store.bind(&tape);
@@ -185,16 +198,19 @@ proptest! {
     }
 
     /// The graph-level readout is permutation-invariant: an AdamGNN graph
-    /// classifier scores a relabelled graph identically.
+    /// classifier scores a relabelled graph identically — under every
+    /// pooling operator.
     #[test]
     fn graph_readout_is_permutation_invariant(
         (g, x) in graph_and_features(),
+        pooling in any_pooling(),
         pseed in 0u64..10_000,
     ) {
         let perm = random_permutation(g.n(), pseed);
         let mut store = ParamStore::new();
         let mut cfg = AdamGnnConfig::new(FEAT, 10, 2);
         cfg.dropout = 0.0;
+        cfg.pooling = pooling;
         let model = AdamGnnGc::new(&mut store, cfg, 3, &mut seeds::model_init());
         // logits plus the discrete pooling structure (eval-mode forwards
         // are deterministic, so the two forwards see identical structure)
@@ -226,14 +242,17 @@ proptest! {
         }
     }
 
-    /// Satellite: unpooling round-trip row ownership. Pushing the
-    /// hyper-node identity through the level-1 formation matrix must
-    /// route mass only to rows the hyper-node owns — its ego (weight
-    /// exactly 1), the ego's λ=1 members, or the retained node itself —
-    /// and every node must be owned by at least one hyper-node.
+    /// Satellite: unpooling round-trip row ownership, specific to the
+    /// default operator's sparse formation matrix (SpaPool's soft
+    /// assignment deliberately spreads mass to every anchor, and ASAP's
+    /// clusters overlap). Pushing the hyper-node identity through the
+    /// level-1 formation matrix must route mass only to rows the
+    /// hyper-node owns — its ego (weight exactly 1), the ego's λ=1
+    /// members, or the retained node itself — and every node must be
+    /// owned by at least one hyper-node.
     #[test]
     fn unpooling_routes_rows_to_their_owners((g, x) in graph_and_features()) {
-        let (store, model) = node_model(FEAT);
+        let (store, model) = node_model(FEAT, PoolingKind::AdamGnn);
         let ctx = GraphCtx::new(g.clone(), x);
         let tape = Tape::new();
         let bind = store.bind(&tape);
